@@ -1,0 +1,72 @@
+"""Ablation: InCoM's O(1) step cost vs full-path O(L), and message sizes.
+
+Not a single paper figure, but the micro-mechanism behind §3.1's claims:
+per-step measurement cost must stay flat for InCoM and grow linearly for
+the full-path baseline, and message sizes must be 80 B vs 24+8L B.  This
+is the design choice DESIGN.md calls out as DistGER's first contribution.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from common import print_table, run_once
+from repro.runtime.message import message_size_ratio
+from repro.walks import FullPathWalkMeasure, IncrementalWalkMeasure
+
+LENGTHS = (20, 40, 80, 160)
+_times = {}
+
+
+def _observe_walk(measure_cls, length: int) -> float:
+    measure = measure_cls()
+    start = time.perf_counter()
+    for step in range(length):
+        measure.observe(step % 17)
+        measure.should_terminate(0.9, 5)
+    return time.perf_counter() - start
+
+
+@pytest.mark.parametrize("length", LENGTHS)
+@pytest.mark.parametrize("mode", ("incom", "fullpath"))
+def test_ablation_incom_step_cost(benchmark, mode, length):
+    cls = IncrementalWalkMeasure if mode == "incom" else FullPathWalkMeasure
+
+    def run():
+        # Repeat to get stable timings at small lengths.
+        total = 0.0
+        for _ in range(30):
+            total += _observe_walk(cls, length)
+        return total
+
+    _times[(mode, length)] = run_once(benchmark, run)
+
+
+def test_ablation_incom_report(benchmark):
+    if len(_times) < 2 * len(LENGTHS):
+        pytest.skip("run the parametrised benches first")
+    run_once(benchmark, lambda: None)
+    rows = []
+    for length in LENGTHS:
+        inc = _times[("incom", length)]
+        full = _times[("fullpath", length)]
+        rows.append([length, inc, full, full / max(1e-9, inc),
+                     message_size_ratio(length)])
+    print_table(
+        "Ablation: walk-measurement cost and message-size ratio vs length",
+        ["walk length", "InCoM s", "full-path s", "time ratio",
+         "msg size ratio"], rows,
+    )
+    # Complexity shape: doubling the walk length should roughly double
+    # InCoM's total cost (linear per walk) but roughly quadruple the
+    # full-path cost (quadratic per walk).
+    inc_growth = _times[("incom", 160)] / _times[("incom", 40)]
+    full_growth = _times[("fullpath", 160)] / _times[("fullpath", 40)]
+    assert full_growth > 1.8 * inc_growth, (
+        f"full-path growth {full_growth:.1f}x should far exceed "
+        f"InCoM growth {inc_growth:.1f}x"
+    )
+    # Message-size ratio at the routine L=80 is the paper's 8.3x.
+    assert message_size_ratio(80) == pytest.approx(8.3)

@@ -1,0 +1,50 @@
+"""Figure 7: DistGER running time on R-MAT graphs of growing size.
+
+Paper result: with fixed degree (10) and |V| from 1e5 to 1e9, random-walk
+and training time grow linearly with graph size; real graphs lie on the
+same trend.
+
+Reproduced with R-MAT scales 7-10 (128-1024 nodes at the default bench
+scale): the wall-time-vs-size curve should be close to linear in |V|
+(ratio of successive times ~ ratio of sizes).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from common import print_table, run_once
+from repro.graph import rmat
+from repro.systems import DistGER
+
+SCALES = (7, 8, 9, 10)
+_times = {}
+
+
+@pytest.mark.parametrize("scale", SCALES)
+def test_fig7_rmat_scaling(benchmark, scale):
+    graph = rmat(scale=scale, edge_factor=5, seed=3)
+    system = DistGER(num_machines=4, dim=32, epochs=1, seed=0)
+    result = run_once(benchmark, system.embed, graph)
+    _times[scale] = (graph.num_nodes, result.phase("sampling"),
+                     result.phase("training"), result.wall_seconds)
+
+
+def test_fig7_report(benchmark):
+    if len(_times) < len(SCALES):
+        pytest.skip("run the parametrised benches first")
+    run_once(benchmark, lambda: None)
+    rows = [[f"2^{s}", *_times[s]] for s in SCALES]
+    print_table(
+        "Figure 7: DistGER time vs synthetic graph size (R-MAT, deg~10)",
+        ["scale", "nodes", "walk s", "train s", "total s"], rows,
+    )
+    # Linear-growth shape: quadrupling nodes should not blow time up by
+    # more than ~4x the size ratio (i.e. super-linear growth is a failure).
+    n_last, t_last = _times[SCALES[-1]][0], _times[SCALES[-1]][3]
+    n_first, t_first = _times[SCALES[0]][0], _times[SCALES[0]][3]
+    size_ratio = n_last / n_first
+    time_ratio = t_last / max(1e-9, t_first)
+    assert time_ratio < 4.0 * size_ratio, (
+        f"time grew {time_ratio:.1f}x for a {size_ratio:.1f}x size increase"
+    )

@@ -1,0 +1,118 @@
+"""Shared infrastructure for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper
+(DESIGN.md §3 maps experiment → module).  Conventions:
+
+* ``REPRO_BENCH_SCALE`` (env, default 0.5) multiplies the dataset stand-in
+  sizes; raise it for higher-fidelity (slower) runs.
+* ``REPRO_BENCH_EPOCHS`` (env, default 2) sets training epochs for the
+  efficiency benches; effectiveness benches choose their own.
+* Each bench prints the same rows/series the paper reports, labelled with
+  the paper's numbers where available, so the console output *is* the
+  paper-vs-measured comparison recorded in EXPERIMENTS.md.
+* ``benchmark.pedantic(fn, rounds=1, iterations=1)`` is used because one
+  end-to-end system run is seconds-long; pytest-benchmark still records
+  the timing.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Sequence
+
+from repro.graph import load
+from repro.graph.datasets import Dataset
+
+
+def bench_scale() -> float:
+    return float(os.environ.get("REPRO_BENCH_SCALE", "0.5"))
+
+
+def bench_epochs() -> int:
+    return int(os.environ.get("REPRO_BENCH_EPOCHS", "2"))
+
+
+def bench_dataset(name: str, scale: float | None = None) -> Dataset:
+    return load(name, scale=scale if scale is not None else bench_scale())
+
+
+def bench_suite(names: Sequence[str] | None = None) -> List[Dataset]:
+    return [bench_dataset(n) for n in (names or ("FL", "YT", "LJ", "OR", "TW"))]
+
+
+def run_once(benchmark, fn: Callable, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+def print_table(title: str, headers: Sequence[str],
+                rows: Sequence[Sequence]) -> None:
+    """Print an aligned table (the bench's reproduced figure/table)."""
+    widths = [len(h) for h in headers]
+    str_rows = [[_fmt(c) for c in row] for row in rows]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    print(f"\n=== {title} ===")
+    print("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        print("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 0.01:
+            return f"{cell:.3g}"
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+#: Reference numbers transcribed from the paper, used in bench printouts
+#: so every run shows paper-vs-measured side by side.
+PAPER = {
+    "fig5_speedup_vs": {
+        "KnightKing": 9.25, "HuGE-D": 6.56, "PBG": 26.2, "DistDGL": 51.9,
+    },
+    "table4_auc": {
+        "PBG": {"YT": 0.753, "LJ": 0.882, "OR": 0.955, "TW": 0.912},
+        "DistDGL": {"YT": 0.894, "LJ": 0.718, "OR": 0.815, "TW": None},
+        "KnightKing": {"YT": 0.904, "LJ": 0.963, "OR": 0.918, "TW": None},
+        "DistGER": {"YT": 0.966, "LJ": 0.976, "OR": 0.921, "TW": 0.919},
+    },
+    "table5a_partition_seconds": {
+        "FL": {"PBG": 383.28, "METIS": 127.72, "MPGP": 15.96},
+        "YT": {"PBG": 349.15, "METIS": 116.30, "MPGP": 13.56},
+        "LJ": {"PBG": 458.52, "METIS": 425.19, "MPGP": 36.42},
+        "OR": {"PBG": 2662.62, "METIS": 2761.25, "MPGP": 294.68},
+        "TW": {"PBG": 79200.0, "METIS": None, "MPGP": 32400.0},
+    },
+    "fig10_message_reduction": 0.45,
+    "fig10_walk_time_improvement": 0.389,
+    "fig10_walk_speedup": {"KnightKing": 3.32, "HuGE-D": 3.88},
+    "fig10_dsgl_vs_pword2vec": 4.31,
+    "fig10_length_reduction": 0.632,
+    "fig10_rounds_reduction": 0.18,
+    "fig12_walk_time_reduction": {"deepwalk": 0.411, "node2vec": 0.516},
+    "fig12_training_speedup": {"deepwalk": 17.7, "node2vec": 21.3},
+    "fig6_tw_times": {1: 3090.0, 2: 1739.0, 4: 1197.0, 8: 746.0},
+    "fig6_or_times": {1: 304.0, 2: 204.0, 4: 149.0, 8: 89.0},
+    "table3_memory_gb": {
+        "FL": {"KnightKing": 0.66, "DistGER": 0.41},
+        "YT": {"KnightKing": 4.11, "DistGER": 1.36},
+        "LJ": {"KnightKing": 7.65, "DistGER": 1.95},
+        "OR": {"KnightKing": 10.98, "DistGER": 3.27},
+        "TW": {"KnightKing": None, "DistGER": 20.18},
+    },
+    "table6_overhead_weighted": {
+        "FL": 11.585 / 10.038, "YT": 52.981 / 49.982, "LJ": 72.598 / 70.143,
+        "OR": 258.966 / 233.096, "TW": 2890.743 / 2779.802,
+    },
+    "table9_gpu": {
+        "FL": (1.791, 0.653), "YT": (27.529, 20.451), "LJ": (29.791, 27.835),
+        "OR": (51.959, 46.341), "TW": (299.896, 390.081),
+    },
+}

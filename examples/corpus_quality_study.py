@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Corpus quality: concise *and* comprehensive (the §2.1 argument).
+
+HuGE's pitch is that routine random walks (L=80, r=10 for every node)
+overshoot: the corpus keeps growing long after it has captured the graph.
+This study generates three corpora on the LiveJournal stand-in --
+
+* the routine KnightKing corpus,
+* a truncated routine corpus (L=20, r=3: cheap but blind),
+* DistGER's information-oriented corpus (entropy-terminated walks,
+  KL-terminated rounds)
+
+-- and scores each on comprehensiveness (node/edge coverage, occupancy
+KL vs the degree distribution) and conciseness (tokens per covered
+node/edge).  The information-oriented corpus should match the routine
+corpus's coverage at a fraction of its tokens, which is exactly why the
+paper's training phase is 17-28x faster on the same quality tier.
+
+Run:  python examples/corpus_quality_study.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import load_dataset
+from repro.runtime import Cluster
+from repro.walks import (
+    DistributedWalkEngine,
+    WalkConfig,
+    compare_corpora,
+    entropy_trace,
+    vectorized_routine_corpus,
+)
+
+
+def main() -> None:
+    dataset = load_dataset("LJ", scale=0.5)
+    graph = dataset.graph
+    print(f"Graph: {graph.num_nodes} nodes, {graph.num_edges} edges\n")
+
+    cluster = Cluster(1, np.zeros(graph.num_nodes, dtype=np.int64), seed=0)
+    info_corpus = DistributedWalkEngine(
+        graph, cluster, WalkConfig.distger()).run().corpus
+
+    corpora = {
+        "routine L=80 r=10": vectorized_routine_corpus(
+            graph, walk_length=80, walks_per_node=10, seed=0),
+        "truncated L=20 r=3": vectorized_routine_corpus(
+            graph, walk_length=20, walks_per_node=3, seed=0),
+        "information-oriented": info_corpus,
+    }
+
+    report = compare_corpora(graph, corpora)
+    print(f"{'corpus':22s} {'tokens':>8s} {'avg L':>6s} {'node cov':>9s} "
+          f"{'edge cov':>9s} {'KL':>6s} {'tok/node':>9s} {'tok/edge':>9s}")
+    for name, q in report.items():
+        print(f"{name:22s} {q.tokens:8d} {q.average_walk_length:6.1f} "
+              f"{q.node_coverage:9.1%} {q.edge_coverage:9.1%} "
+              f"{q.occupancy_kl:6.3f} {q.tokens_per_covered_node:9.1f} "
+              f"{q.tokens_per_covered_edge:9.1f}")
+
+    routine = report["routine L=80 r=10"]
+    info = report["information-oriented"]
+    print(f"\nInformation-oriented corpus: "
+          f"{info.tokens / routine.tokens:.1%} of the routine tokens at "
+          f"{info.node_coverage:.1%} node coverage "
+          f"(routine: {routine.node_coverage:.1%}).")
+
+    # Why walks can stop early: the entropy ramp saturates.
+    walk = max(info_corpus.walks, key=len)
+    trace = entropy_trace(walk)
+    print(f"\nEntropy ramp of the longest info-walk (length {len(walk)}):")
+    marks = [0, len(trace) // 4, len(trace) // 2, 3 * len(trace) // 4,
+             len(trace) - 1]
+    print("  " + "  ".join(f"L={i + 1}: {trace[i]:.2f}" for i in marks))
+    print("Growth flattens -> the R² rule (Eq. 5) terminates the walk "
+          "instead of padding the corpus to L=80.")
+
+
+if __name__ == "__main__":
+    main()

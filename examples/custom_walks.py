@@ -1,0 +1,42 @@
+#!/usr/bin/env python
+"""The generic API (paper §6.6): any walk kernel, information-centric.
+
+DistGER is not tied to HuGE's transition kernel: DeepWalk's uniform walk,
+node2vec's biased second-order walk, and HuGE+ all run through the same
+engine, each freed from the routine L=80 / r=10 configuration by the
+information-centric termination rules.  This example compares the four
+kernels' corpora and quality on one graph.
+
+Run:  python examples/custom_walks.py
+"""
+
+from __future__ import annotations
+
+from repro import DistGER, load_dataset
+from repro.tasks import auc_from_split, split_edges
+
+
+def main() -> None:
+    graph = load_dataset("LJ", scale=0.5).graph
+    split = split_edges(graph, test_fraction=0.5, seed=0)
+    print(f"Residual training graph: {split.train_graph.num_edges} edges\n")
+
+    print(f"{'kernel':10s} {'avg len':>8s} {'rounds':>7s} "
+          f"{'tokens':>8s} {'wall s':>7s} {'AUC':>6s}")
+    for kernel in ("huge", "huge+", "deepwalk", "node2vec"):
+        system = DistGER(num_machines=4, dim=64, epochs=4, seed=0,
+                         kernel=kernel)
+        result = system.embed(split.train_graph)
+        auc = auc_from_split(result.embeddings, split)
+        print(f"{kernel:10s} {result.stats['avg_walk_length']:8.1f} "
+              f"{result.stats['rounds']:7.0f} "
+              f"{result.stats['corpus_tokens']:8.0f} "
+              f"{result.wall_seconds:7.2f} {auc:6.3f}")
+
+    print("\nEvery kernel terminates walks by entropy convergence rather "
+          "than a fixed length -- the corpus adapts to the graph, not the "
+          "other way around.")
+
+
+if __name__ == "__main__":
+    main()

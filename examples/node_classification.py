@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Multi-label node classification -- the paper's Fig. 9 task.
+
+Embeds the labelled Flickr stand-in (interest-group style labels derived
+from community structure), trains a one-vs-rest logistic regression on a
+sweep of training ratios, and reports Micro-/Macro-F1, comparing DistGER
+with the KnightKing baseline.
+
+Run:  python examples/node_classification.py
+"""
+
+from __future__ import annotations
+
+from repro import DistGER, KnightKing, load_dataset
+from repro.tasks import evaluate_classification
+
+
+def main() -> None:
+    dataset = load_dataset("FL", scale=0.6)
+    print(f"Graph: {dataset.graph.num_nodes} nodes, "
+          f"{dataset.graph.num_edges} edges, "
+          f"{dataset.num_labels} label categories\n")
+
+    systems = [
+        DistGER(num_machines=4, dim=64, epochs=4, seed=0),
+        KnightKing(num_machines=4, dim=64, epochs=2, seed=0),
+    ]
+    embeddings = {}
+    for system in systems:
+        result = system.embed(dataset.graph)
+        embeddings[result.system] = result.embeddings
+        print(f"{result.system}: embedded in {result.wall_seconds:.2f}s")
+
+    print(f"\n{'system':12s} {'ratio':>6s} {'macro-F1':>9s} {'micro-F1':>9s}")
+    for name, emb in embeddings.items():
+        for ratio in (0.3, 0.5, 0.7):
+            report = evaluate_classification(
+                emb, dataset.labels, train_ratio=ratio, trials=3, seed=0
+            )
+            print(f"{name:12s} {ratio:6.1f} {report.mean_macro_f1:9.3f} "
+                  f"{report.mean_micro_f1:9.3f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Partitioning study: why MPGP matters for random walks (paper §3.2).
+
+Partitions the same graph with every scheme in the library, then runs the
+identical information-oriented walk workload over each partitioning and
+reports edge cut, balance, cross-machine messages, and simulated walk
+time -- the quantities behind the paper's Fig. 10(c,d) and Fig. 11.
+
+Run:  python examples/partitioning_study.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.partition import (
+    FennelPartitioner,
+    HashPartitioner,
+    LDGPartitioner,
+    MetisLikePartitioner,
+    MPGPPartitioner,
+    ParallelMPGPPartitioner,
+    WorkloadBalancePartitioner,
+    evaluate,
+)
+from repro.runtime import Cluster
+from repro.walks import DistributedWalkEngine, WalkConfig
+
+MACHINES = 4
+
+
+def main() -> None:
+    graph = load_dataset("LJ", scale=0.6).graph
+    print(f"Graph: {graph.num_nodes} nodes, {graph.num_edges} edges, "
+          f"{MACHINES} machines\n")
+
+    partitioners = [
+        HashPartitioner(),
+        WorkloadBalancePartitioner(),
+        LDGPartitioner(),
+        FennelPartitioner(),
+        MetisLikePartitioner(),
+        MPGPPartitioner(),
+        ParallelMPGPPartitioner(),
+    ]
+
+    print(f"{'scheme':20s} {'part s':>7s} {'cut%':>6s} {'balance':>8s} "
+          f"{'messages':>9s} {'walk s(sim)':>11s}")
+    for partitioner in partitioners:
+        result = partitioner.partition(graph, MACHINES)
+        quality = evaluate(graph, result.assignment, MACHINES)
+        cluster = Cluster(MACHINES, result.assignment, seed=1)
+        DistributedWalkEngine(graph, cluster, WalkConfig.distger()).run()
+        print(f"{result.method:20s} {result.seconds:7.3f} "
+              f"{quality.cut_fraction:6.1%} {quality.node_balance:8.2f} "
+              f"{cluster.metrics.messages_sent:9d} "
+              f"{cluster.simulated_seconds():11.3f}")
+
+    print("\nProximity-aware schemes (MPGP, METIS-like) cut cross-machine "
+          "walker traffic roughly in half vs load-only balancing -- the "
+          "paper's 45% message reduction (Fig. 10(c)).")
+
+
+if __name__ == "__main__":
+    main()

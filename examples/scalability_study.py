@@ -1,0 +1,48 @@
+#!/usr/bin/env python
+"""Scalability study -- the paper's Fig. 6 and Fig. 7 at laptop scale.
+
+Part 1 sweeps the simulated machine count (1, 2, 4, 8) on a fixed graph
+and reports the simulated makespan: compute shrinks with machines while
+communication grows, reproducing the scaling curves.
+
+Part 2 sweeps the graph size (R-MAT scales) at a fixed cluster and shows
+the near-linear growth of sampling + training time with |V|.
+
+Run:  python examples/scalability_study.py
+"""
+
+from __future__ import annotations
+
+from repro import DistGER, load_dataset
+from repro.graph import rmat
+
+
+def machine_sweep() -> None:
+    graph = load_dataset("LJ", scale=0.5).graph
+    print(f"Machine sweep on |V|={graph.num_nodes}, |E|={graph.num_edges}")
+    print(f"{'machines':>9s} {'sim s':>8s} {'messages':>9s} "
+          f"{'sync MB':>8s} {'imbalance':>9s}")
+    for machines in (1, 2, 4, 8):
+        system = DistGER(num_machines=machines, dim=32, epochs=2, seed=0)
+        result = system.embed(graph)
+        m = result.metrics
+        print(f"{machines:9d} {result.simulated_seconds:8.3f} "
+              f"{m.messages_sent:9d} {m.sync_bytes / 1e6:8.1f} "
+              f"{m.compute_imbalance:9.2f}")
+
+
+def size_sweep() -> None:
+    print("\nGraph-size sweep (R-MAT, 4 machines)")
+    print(f"{'nodes':>7s} {'edges':>8s} {'walk s':>8s} {'train s':>8s}")
+    for scale in (7, 8, 9, 10):
+        graph = rmat(scale=scale, edge_factor=5, seed=3)
+        system = DistGER(num_machines=4, dim=32, epochs=1, seed=0)
+        result = system.embed(graph)
+        print(f"{graph.num_nodes:7d} {graph.num_edges:8d} "
+              f"{result.phase('sampling'):8.2f} "
+              f"{result.phase('training'):8.2f}")
+
+
+if __name__ == "__main__":
+    machine_sweep()
+    size_sweep()

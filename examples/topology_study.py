@@ -1,0 +1,98 @@
+#!/usr/bin/env python
+"""Deployment topologies: what MPGP's message reduction is worth.
+
+The paper's testbed is a flat 100 Gbps switch.  Real clusters have racks
+with oversubscribed core links, and heterogeneous machines straggle.
+This study reprices the *same* recorded walk traffic under three cost
+models -- flat switch, 2-rack network at increasing oversubscription, and
+a cluster with one half-speed machine -- for DistGER's MPGP partition vs
+KnightKing's workload-balancing partition.
+
+Expected shape: MPGP's ~45% cross-machine message reduction (Fig. 10(c))
+is worth more the more expensive cross-rack bytes become, because MPGP's
+locality keeps walkers inside machines (and hence inside racks).
+
+Run:  python examples/topology_study.py
+"""
+
+from __future__ import annotations
+
+from repro import load_dataset
+from repro.partition import MPGPPartitioner, WorkloadBalancePartitioner
+from repro.runtime import (
+    Cluster,
+    HeterogeneousCostModel,
+    RackTopologyCostModel,
+    rack_assignment,
+)
+from repro.walks import DistributedWalkEngine, WalkConfig
+
+MACHINES = 4
+
+
+def sample_walks(graph, partitioner) -> Cluster:
+    """Run one identical sampling workload over a partition; return the
+    cluster holding the recorded per-pair traffic."""
+    assignment = partitioner.partition(graph, MACHINES).assignment
+    cluster = Cluster(MACHINES, assignment, seed=0)
+    config = WalkConfig.distger(max_rounds=3)
+    DistributedWalkEngine(graph, cluster, config).run()
+    return cluster
+
+
+def main() -> None:
+    dataset = load_dataset("LJ", scale=0.5)
+    graph = dataset.graph
+    print(f"Graph: {graph.num_nodes} nodes, {graph.num_edges} edges; "
+          f"{MACHINES} machines\n")
+
+    clusters = {
+        "MPGP (DistGER)": sample_walks(graph, MPGPPartitioner(seed=0)),
+        "workload-bal. (KnightKing)": sample_walks(
+            graph, WorkloadBalancePartitioner()),
+    }
+
+    for name, cluster in clusters.items():
+        m = cluster.metrics
+        print(f"{name}: {m.messages_sent} cross-machine messages, "
+              f"{m.message_bytes} B")
+
+    racks = rack_assignment(MACHINES, 2)
+    print(f"\nSimulated makespan (s) under each topology "
+          f"(racks: {racks}):")
+    header = f"{'topology':34s}" + "".join(f"{n.split()[0]:>14s}"
+                                           for n in clusters)
+    print(header)
+
+    rows = [("flat switch (paper's testbed)", None)]
+    rows += [(f"2 racks, {o:.0f}x oversubscribed",
+              RackTopologyCostModel(racks=racks, oversubscription=o))
+             for o in (2.0, 4.0, 8.0)]
+    baseline_ratio = None
+    for label, model in rows:
+        times = []
+        for cluster in clusters.values():
+            cost = model or cluster.cost_model
+            times.append(cost.makespan(cluster.metrics))
+        ratio = times[1] / times[0]
+        if baseline_ratio is None:
+            baseline_ratio = ratio
+        print(f"{label:34s}" + "".join(f"{t:14.4f}" for t in times)
+              + f"   (KK/MPGP {ratio:.2f}x)")
+
+    print("\nStraggler scenario (machine 3 at half speed):")
+    straggler = HeterogeneousCostModel(
+        speed_factors=(1.0, 1.0, 1.0, 0.5))
+    for name, cluster in clusters.items():
+        t_flat = cluster.cost_model.makespan(cluster.metrics)
+        t_slow = straggler.makespan(cluster.metrics)
+        print(f"  {name:28s} {t_flat:.4f}s -> {t_slow:.4f}s "
+              f"(+{(t_slow / t_flat - 1) * 100:.0f}%)")
+
+    print("\nThe KK/MPGP gap widens with oversubscription: locality that "
+          "saves messages on a flat switch saves *core bandwidth* in a "
+          "real datacenter.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""DistGER reproduction: distributed graph embedding with
+information-oriented random walks (Fang et al., VLDB 2023).
+
+A from-scratch, pure-Python implementation of the paper's system and every
+substrate it depends on:
+
+* ``repro.graph``      -- CSR graphs, generators, dataset stand-ins
+* ``repro.runtime``    -- simulated cluster, BSP walker scheduling,
+                          byte-accurate message accounting
+* ``repro.partition``  -- MPGP and all baselines (LDG, FENNEL, METIS-like,
+                          KnightKing workload balancing)
+* ``repro.walks``      -- HuGE information-oriented walks with InCoM O(1)
+                          measurement, node2vec/DeepWalk kernels
+* ``repro.embedding``  -- DSGL, Pword2vec, pSGNScc, SGNS learners with
+                          hotness-block synchronisation
+* ``repro.systems``    -- end-to-end DistGER, HuGE-D, KnightKing, PBG,
+                          DistDGL, DistGER-GPU
+* ``repro.tasks``      -- link prediction, multi-label classification,
+                          clustering, recommendation, grid search
+
+Quickstart::
+
+    from repro import embed_graph, load_dataset
+    ds = load_dataset("LJ")
+    result = embed_graph(ds.graph, method="distger")
+    print(result.embeddings.shape, result.wall_seconds)
+"""
+
+from repro.api import available_methods, embed_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import load as load_dataset
+from repro.graph.datasets import load_suite
+from repro.systems import (
+    ALL_SYSTEMS,
+    SystemComparison,
+    DistDGL,
+    DistGER,
+    DistGERGPU,
+    HuGED,
+    KnightKing,
+    PBG,
+    SystemResult,
+    compare_systems,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "CSRGraph",
+    "DistDGL",
+    "DistGER",
+    "DistGERGPU",
+    "HuGED",
+    "KnightKing",
+    "PBG",
+    "SystemComparison",
+    "SystemResult",
+    "__version__",
+    "available_methods",
+    "compare_systems",
+    "embed_graph",
+    "load_dataset",
+    "load_suite",
+]

@@ -1,0 +1,126 @@
+"""High-level public API.
+
+Most users want one call::
+
+    from repro import embed_graph
+    result = embed_graph(graph, method="distger", num_machines=4, dim=64)
+    vectors = result.embeddings
+
+``method`` selects any of the reproduced systems; kernel and walk/train
+overrides expose the generic API of paper §6.6 (e.g. DeepWalk or node2vec
+walks with information-centric termination on DistGER).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Optional
+
+from repro.embedding.model import TrainConfig
+from repro.graph.csr import CSRGraph
+from repro.systems.base import SystemResult
+from repro.systems.distdgl import DistDGL
+from repro.systems.gpu import DistGERGPU
+from repro.systems.pbg import PBG
+from repro.systems.walk_systems import DistGER, HuGED, KnightKing
+from repro.walks.engine import WalkConfig
+
+_METHODS = {
+    "distger": DistGER,
+    "huge-d": HuGED,
+    "knightking": KnightKing,
+    "pbg": PBG,
+    "distdgl": DistDGL,
+    "distger-gpu": DistGERGPU,
+}
+
+_WALK_METHODS = ("distger", "huge-d", "knightking", "distger-gpu")
+# Flat hyper-parameter names accepted by embed_graph for the walk-based
+# systems and routed into their train/walk override dicts, so callers (and
+# grid searches) can write embed_graph(g, lr=0.05, mu=0.9) directly.
+_TRAIN_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(TrainConfig)
+) - {"dim", "epochs", "seed"}
+_WALK_FIELDS = frozenset(
+    f.name for f in dataclasses.fields(WalkConfig)
+) - {"kernel", "mode"}
+
+
+def _route_overrides(key: str, kwargs: dict) -> dict:
+    """Move flat TrainConfig/WalkConfig fields into the override dicts."""
+    if key not in _WALK_METHODS:
+        return kwargs
+    train = dict(kwargs.pop("train_overrides", {}) or {})
+    walk = dict(kwargs.pop("walk_overrides", {}) or {})
+    for name in list(kwargs):
+        if name in _TRAIN_FIELDS:
+            train[name] = kwargs.pop(name)
+        elif name in _WALK_FIELDS:
+            # KnightKing's walk knobs (walk_length, walks_per_node, p, q)
+            # are real constructor arguments; leave those in place.
+            if key == "knightking" and name in (
+                    "walk_length", "walks_per_node", "p", "q"):
+                continue
+            walk[name] = kwargs.pop(name)
+    if train:
+        kwargs["train_overrides"] = train
+    if walk:
+        kwargs["walk_overrides"] = walk
+    return kwargs
+
+
+def embed_graph(
+    graph: CSRGraph,
+    method: str = "distger",
+    num_machines: int = 4,
+    dim: int = 64,
+    epochs: int = 2,
+    seed: int = 0,
+    kernel: Optional[str] = None,
+    **system_kwargs,
+) -> SystemResult:
+    """Embed ``graph`` with one of the reproduced systems.
+
+    Parameters
+    ----------
+    graph:
+        The input :class:`repro.graph.CSRGraph`.
+    method:
+        ``"distger"`` (default), ``"huge-d"``, ``"knightking"``, ``"pbg"``,
+        ``"distdgl"`` or ``"distger-gpu"``.
+    num_machines, dim, epochs, seed:
+        Cluster size and training hyper-parameters shared by all systems.
+    kernel:
+        For the walk-based systems: ``"huge"`` (default), ``"huge+"``,
+        ``"deepwalk"`` or ``"node2vec"`` -- the §6.6 generic API.
+    system_kwargs:
+        Forwarded to the selected system's constructor.  For the
+        walk-based systems, flat training hyper-parameters (``lr``,
+        ``window``, ``negatives``, ``lr_schedule``, ...) and walk knobs
+        (``mu``, ``delta``, ``max_length``, ...) are recognised and routed
+        into the system's ``train_overrides``/``walk_overrides``
+        automatically.
+
+    Returns
+    -------
+    SystemResult
+        Embeddings plus timers, traffic metrics, and run statistics.
+    """
+    key = method.lower()
+    if key not in _METHODS:
+        raise KeyError(f"unknown method {method!r}; options: {sorted(_METHODS)}")
+    cls = _METHODS[key]
+    kwargs = dict(num_machines=num_machines, dim=dim, epochs=epochs,
+                  seed=seed, **_route_overrides(key, dict(system_kwargs)))
+    if kernel is not None:
+        if key in ("distger", "distger-gpu", "knightking"):
+            kwargs["kernel"] = kernel
+        else:
+            raise ValueError(f"method {method!r} does not accept a kernel")
+    system = cls(**kwargs)
+    return system.embed(graph)
+
+
+def available_methods() -> list:
+    """Names accepted by :func:`embed_graph`."""
+    return sorted(_METHODS)

@@ -1,0 +1,288 @@
+"""Command-line interface.
+
+Six subcommands cover the common workflows:
+
+* ``embed``     -- run any reproduced system on a dataset stand-in or an
+                   edge-list file and save embeddings in word2vec format.
+* ``evaluate``  -- link-prediction AUC of a method on a dataset.
+* ``partition`` -- compare partitioning schemes on a dataset.
+* ``cluster``   -- embed, k-means the vectors, report NMI/modularity.
+* ``similar``   -- nearest embedding neighbours of a node.
+* ``stats``     -- structural statistics of a dataset or edge list.
+
+Examples::
+
+    python -m repro embed --dataset LJ --method distger --dim 64 \
+        --out /tmp/lj.emb
+    python -m repro embed --edges graph.txt --method knightking
+    python -m repro evaluate --dataset LJ --method distger --trials 3
+    python -m repro partition --dataset LJ --machines 4
+    python -m repro cluster --dataset FL --k 6
+    python -m repro similar --dataset LJ --node 0 --k 10
+    python -m repro stats --dataset TW
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.api import available_methods, embed_graph
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import ALL_DATASETS, load
+from repro.graph.io import read_edge_list, save_embeddings
+from repro.partition import (
+    FennelPartitioner,
+    HashPartitioner,
+    LDGPartitioner,
+    MetisLikePartitioner,
+    MPGPPartitioner,
+    ParallelMPGPPartitioner,
+    WorkloadBalancePartitioner,
+    evaluate as evaluate_partition,
+)
+from repro.tasks import evaluate_link_prediction
+
+_KERNEL_CHOICES = ["huge", "huge+", "deepwalk", "node2vec", "node2vec-alias"]
+
+
+def _load_graph(args) -> CSRGraph:
+    # --edges takes precedence over --dataset when both are given.
+    if args.edges:
+        return read_edge_list(args.edges, directed=args.directed,
+                              weighted=args.weighted)
+    return load(args.dataset, scale=args.scale).graph
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=list(ALL_DATASETS), default="LJ",
+                        help="built-in dataset stand-in (default: LJ)")
+    parser.add_argument("--edges", metavar="FILE",
+                        help="whitespace edge-list file; overrides --dataset")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="stand-in size multiplier (default: 1.0)")
+    parser.add_argument("--directed", action="store_true",
+                        help="treat the edge list as directed")
+    parser.add_argument("--weighted", action="store_true",
+                        help="read a third edge-weight column")
+
+
+def _add_system_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--method", choices=available_methods(),
+                        default="distger")
+    parser.add_argument("--machines", type=int, default=4)
+    parser.add_argument("--dim", type=int, default=64)
+    parser.add_argument("--epochs", type=int, default=5)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--kernel", default=None, choices=_KERNEL_CHOICES,
+                        help="walk kernel for walk-based methods (§6.6)")
+
+
+def cmd_embed(args) -> int:
+    graph = _load_graph(args)
+    print(f"Embedding |V|={graph.num_nodes}, |E|={graph.num_edges} "
+          f"with {args.method} on {args.machines} simulated machines ...")
+    result = embed_graph(graph, method=args.method,
+                         num_machines=args.machines, dim=args.dim,
+                         epochs=args.epochs, seed=args.seed,
+                         kernel=args.kernel)
+    print(f"done in {result.wall_seconds:.2f}s wall "
+          f"({result.simulated_seconds:.3f}s simulated); "
+          f"{result.metrics.messages_sent} walker messages, "
+          f"{result.metrics.sync_bytes / 1e6:.1f} MB sync traffic")
+    if args.out:
+        save_embeddings(args.out, result.embeddings)
+        print(f"embeddings written to {args.out}")
+    return 0
+
+
+def cmd_evaluate(args) -> int:
+    graph = _load_graph(args)
+
+    def embedder(train_graph: CSRGraph):
+        return embed_graph(train_graph, method=args.method,
+                           num_machines=args.machines, dim=args.dim,
+                           epochs=args.epochs, seed=args.seed,
+                           kernel=args.kernel).embeddings
+
+    print(f"Link prediction with {args.method} "
+          f"({args.trials} trials, 50% edges held out) ...")
+    report = evaluate_link_prediction(graph, embedder, trials=args.trials,
+                                      seed=args.seed)
+    print(f"AUC = {report.mean_auc:.4f} (+- {report.std_auc:.4f})")
+    return 0
+
+
+_PARTITIONERS = {
+    "hash": HashPartitioner,
+    "workload-balancing": WorkloadBalancePartitioner,
+    "ldg": LDGPartitioner,
+    "fennel": FennelPartitioner,
+    "metis-like": MetisLikePartitioner,
+    "mpgp": MPGPPartitioner,
+    "mpgp-parallel": ParallelMPGPPartitioner,
+}
+
+
+def cmd_partition(args) -> int:
+    graph = _load_graph(args)
+    schemes = args.schemes or list(_PARTITIONERS)
+    print(f"{'scheme':20s} {'seconds':>8s} {'cut%':>7s} {'balance':>8s} "
+          f"{'walk locality':>13s}")
+    for name in schemes:
+        partitioner = _PARTITIONERS[name]()
+        result = partitioner.partition(graph, args.machines)
+        quality = evaluate_partition(graph, result.assignment, args.machines)
+        print(f"{name:20s} {result.seconds:8.3f} "
+              f"{quality.cut_fraction:7.1%} {quality.node_balance:8.2f} "
+              f"{quality.expected_walk_locality:13.3f}")
+    return 0
+
+
+def _embed_for_args(graph: CSRGraph, args):
+    return embed_graph(graph, method=args.method,
+                       num_machines=args.machines, dim=args.dim,
+                       epochs=args.epochs, seed=args.seed,
+                       kernel=args.kernel).embeddings
+
+
+def cmd_cluster(args) -> int:
+    from repro.tasks import evaluate_clustering
+
+    dataset = None if args.edges else load(args.dataset, scale=args.scale)
+    graph = _load_graph(args)
+    truth = dataset.communities if dataset is not None else None
+    print(f"Embedding |V|={graph.num_nodes} with {args.method}, then "
+          f"k-means with k={args.k} ...")
+    emb = _embed_for_args(graph, args)
+    report = evaluate_clustering(graph, emb, k=args.k, ground_truth=truth,
+                                 seed=args.seed)
+    print(f"modularity = {report.modularity:.4f}")
+    if report.nmi is not None:
+        print(f"NMI vs planted communities = {report.nmi:.4f}")
+    return 0
+
+
+def cmd_similar(args) -> int:
+    from repro.embedding import top_k_similar
+    from repro.graph.io import load_embeddings
+
+    graph = _load_graph(args)
+    if args.node < 0 or args.node >= graph.num_nodes:
+        print(f"error: node {args.node} outside |V|={graph.num_nodes}",
+              file=sys.stderr)
+        return 2
+    if args.embeddings:
+        emb = load_embeddings(args.embeddings)
+    else:
+        emb = _embed_for_args(graph, args)
+    neighbors = set(int(v) for v in graph.neighbors(args.node))
+    print(f"top-{args.k} nodes most similar to {args.node} "
+          f"(graph degree {graph.degree(args.node)}):")
+    for node, score in top_k_similar(emb, args.node, k=args.k):
+        tag = " (graph neighbour)" if node in neighbors else ""
+        print(f"  {node:8d}  {score:+.4f}{tag}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    from repro.graph import (
+        approximate_diameter,
+        average_degree,
+        clustering_coefficient,
+        connected_components,
+        degree_assortativity,
+        degree_gini,
+        density,
+        power_law_exponent,
+    )
+
+    graph = _load_graph(args)
+    comp = connected_components(graph)
+    num_components = int(comp.max()) + 1 if comp.size else 0
+    rows = [
+        ("nodes", graph.num_nodes),
+        ("edges", graph.num_edges),
+        ("directed", graph.directed),
+        ("weighted", graph.is_weighted),
+        ("average degree", f"{average_degree(graph):.2f}"),
+        ("density", f"{density(graph):.3g}"),
+        ("components", num_components),
+        ("degree gini", f"{degree_gini(graph):.3f}"),
+        ("assortativity", f"{degree_assortativity(graph):.3f}"),
+        ("approx. diameter", approximate_diameter(graph, seed=args.seed)),
+    ]
+    if not graph.directed:
+        rows.append(("clustering coeff", f"{clustering_coefficient(graph):.3f}"))
+    try:
+        rows.append(("power-law exponent", f"{power_law_exponent(graph):.2f}"))
+    except ValueError:
+        rows.append(("power-law exponent", "n/a (no tail)"))
+    width = max(len(name) for name, _ in rows)
+    for name, value in rows:
+        print(f"{name:{width}s}  {value}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="DistGER reproduction: distributed graph embedding "
+                    "with information-oriented random walks (VLDB 2023).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_embed = sub.add_parser("embed", help="embed a graph, save vectors")
+    _add_graph_args(p_embed)
+    _add_system_args(p_embed)
+    p_embed.add_argument("--out", metavar="FILE",
+                         help="write embeddings (word2vec text format)")
+    p_embed.set_defaults(func=cmd_embed)
+
+    p_eval = sub.add_parser("evaluate", help="link-prediction AUC")
+    _add_graph_args(p_eval)
+    _add_system_args(p_eval)
+    p_eval.add_argument("--trials", type=int, default=3)
+    p_eval.set_defaults(func=cmd_evaluate)
+
+    p_part = sub.add_parser("partition", help="compare partitioners")
+    _add_graph_args(p_part)
+    p_part.add_argument("--machines", type=int, default=4)
+    p_part.add_argument("--schemes", nargs="*",
+                        choices=list(_PARTITIONERS), default=None)
+    p_part.set_defaults(func=cmd_partition)
+
+    p_cluster = sub.add_parser("cluster",
+                               help="k-means clustering of the embeddings")
+    _add_graph_args(p_cluster)
+    _add_system_args(p_cluster)
+    p_cluster.add_argument("--k", type=int, default=5,
+                           help="number of clusters (default: 5)")
+    p_cluster.set_defaults(func=cmd_cluster)
+
+    p_sim = sub.add_parser("similar",
+                           help="nearest embedding neighbours of a node")
+    _add_graph_args(p_sim)
+    _add_system_args(p_sim)
+    p_sim.add_argument("--node", type=int, required=True)
+    p_sim.add_argument("--k", type=int, default=10)
+    p_sim.add_argument("--embeddings", metavar="FILE",
+                       help="reuse saved embeddings instead of re-embedding")
+    p_sim.set_defaults(func=cmd_similar)
+
+    p_stats = sub.add_parser("stats", help="structural graph statistics")
+    _add_graph_args(p_stats)
+    p_stats.add_argument("--seed", type=int, default=0)
+    p_stats.set_defaults(func=cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,55 @@
+"""Model checkpointing: persist and restore a full Skip-Gram model.
+
+:func:`repro.graph.io.save_embeddings` covers the word2vec text format for
+the final node vectors; this module persists the *whole model* -- both
+global matrices plus the frequency-ordered vocabulary -- so training can
+be inspected, resumed or evaluated offline.  NPZ keeps the round-trip
+bit-exact, which the tests rely on.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.embedding.model import EmbeddingModel
+from repro.embedding.vocab import Vocabulary
+
+_FORMAT_VERSION = 1
+
+
+def save_model(model: EmbeddingModel, path: str) -> None:
+    """Write ``model`` (matrices + vocabulary) to ``path`` as NPZ."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    np.savez_compressed(
+        path,
+        version=np.array([_FORMAT_VERSION]),
+        phi_in=model.phi_in,
+        phi_out=model.phi_out,
+        row_to_node=model.vocab.row_to_node,
+        node_to_row=model.vocab.node_to_row,
+        row_counts=model.vocab.row_counts,
+    )
+
+
+def load_model(path: str) -> EmbeddingModel:
+    """Restore a model written by :func:`save_model` (bit-exact)."""
+    with np.load(path) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported checkpoint version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        vocab = Vocabulary(
+            row_to_node=data["row_to_node"],
+            node_to_row=data["node_to_row"],
+            row_counts=data["row_counts"],
+        )
+        model = EmbeddingModel.__new__(EmbeddingModel)
+        model.phi_in = data["phi_in"]
+        model.phi_out = data["phi_out"]
+        model.vocab = vocab
+        model.dim = int(model.phi_in.shape[1])
+    return model

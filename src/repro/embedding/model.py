@@ -1,0 +1,116 @@
+"""Embedding model storage and training configuration.
+
+The Skip-Gram model keeps two matrices (paper §4.2): ``phi_in`` holding the
+vectors of context nodes and ``phi_out`` holding target/negative vectors.
+Rows are in **frequency order** (the vocabulary's row space), which is
+DSGL's Improvement-I; conversion back to node-id space happens once at the
+end of training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.embedding.schedules import SCHEDULES
+from repro.embedding.vocab import Vocabulary
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class TrainConfig:
+    """Hyper-parameters of the feature-learning phase.
+
+    Defaults follow the paper's §6.1 settings scaled to stand-in size:
+    window ``w = 10``, ``K = 5`` negative samples, 2 multi-windows, with a
+    token-based synchronisation period replacing the paper's 0.1-second
+    wall-clock period (deterministic at any machine speed).
+    """
+
+    dim: int = 64
+    window: int = 10
+    negatives: int = 5
+    epochs: int = 2
+    lr: float = 0.025
+    min_lr: float = 1e-4
+    # Learning-rate schedule over training progress; "linear" is word2vec's
+    # default decay (see repro.embedding.schedules for the alternatives).
+    lr_schedule: str = "linear"
+    multi_windows: int = 2
+    # Frequent periods keep replica divergence small, which is what makes
+    # gradient-averaging reconciliation sound (Pword2vec syncs every 0.1 s
+    # for the same reason; tokens replace wall-clock for determinism).
+    sync_period_tokens: int = 2_000
+    sync_mode: str = "hotness"  # hotness | full | none
+    # word2vec's frequent-token subsampling threshold ``t``: occurrences of
+    # node v are kept with probability min(1, sqrt(t / f(v))) where f(v) is
+    # its corpus frequency.  0 disables (the default -- the paper does not
+    # subsample; exposed as a standard word2vec option).
+    subsample: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        check_positive("dim", self.dim)
+        check_positive("window", self.window)
+        check_positive("negatives", self.negatives)
+        check_positive("epochs", self.epochs)
+        check_positive("lr", self.lr)
+        check_positive("multi_windows", self.multi_windows)
+        if self.sync_mode not in ("hotness", "full", "none"):
+            raise ValueError(f"unknown sync_mode {self.sync_mode!r}")
+        if self.lr_schedule not in SCHEDULES:
+            raise ValueError(
+                f"unknown lr_schedule {self.lr_schedule!r}; "
+                f"options: {sorted(SCHEDULES)}"
+            )
+        if self.subsample < 0:
+            raise ValueError(f"subsample must be >= 0, got {self.subsample}")
+
+
+class EmbeddingModel:
+    """One machine's replica of the two global matrices (row space)."""
+
+    def __init__(self, vocab: Vocabulary, dim: int, seed: SeedLike = 0) -> None:
+        rng = default_rng(seed)
+        n = vocab.size
+        # word2vec initialisation: small uniform input vectors, zero outputs.
+        self.phi_in = ((rng.random((n, dim)) - 0.5) / dim).astype(np.float32)
+        self.phi_out = np.zeros((n, dim), dtype=np.float32)
+        self.vocab = vocab
+        self.dim = dim
+
+    def clone(self) -> "EmbeddingModel":
+        """Deep copy -- used to give each machine an identical replica."""
+        copy = EmbeddingModel.__new__(EmbeddingModel)
+        copy.phi_in = self.phi_in.copy()
+        copy.phi_out = self.phi_out.copy()
+        copy.vocab = self.vocab
+        copy.dim = self.dim
+        return copy
+
+    def embeddings_node_space(self) -> np.ndarray:
+        """Input vectors re-ordered to node-id space (the final output)."""
+        return self.vocab.reorder_to_node_space(self.phi_in)
+
+    def memory_bytes(self) -> int:
+        return int(self.phi_in.nbytes + self.phi_out.nbytes)
+
+
+def average_models(models: List[EmbeddingModel]) -> EmbeddingModel:
+    """Average all replicas (the final full-model reduction)."""
+    if not models:
+        raise ValueError("no models to average")
+    out = models[0].clone()
+    if len(models) == 1:
+        return out
+    out.phi_in = np.mean([m.phi_in for m in models], axis=0).astype(np.float32)
+    out.phi_out = np.mean([m.phi_out for m in models], axis=0).astype(np.float32)
+    return out
+
+
+def sigmoid(x: np.ndarray) -> np.ndarray:
+    """Numerically-clipped logistic function (word2vec clips to ±6)."""
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -6.0, 6.0)))

@@ -1,0 +1,44 @@
+"""Negative sampling distribution (word2vec's unigram^0.75 [34]).
+
+Negative samples are drawn from ``P_n(v) ∝ ocn(v)^{0.75}`` over corpus
+occurrences -- the distribution the Skip-Gram objective (Eq. 2) takes its
+expectation under.  Sampling is O(1) via the alias method, and samples are
+drawn in *row space* (frequency order) so learners can index the global
+matrices directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.embedding.vocab import Vocabulary
+from repro.utils.alias import AliasTable
+
+
+class NegativeSampler:
+    """Draws negative rows from the smoothed unigram distribution."""
+
+    def __init__(self, vocab: Vocabulary, power: float = 0.75) -> None:
+        if not 0.0 <= power <= 1.0:
+            raise ValueError(f"power must be in [0, 1], got {power}")
+        counts = vocab.row_counts.astype(np.float64)
+        weights = np.power(counts, power)
+        if weights.sum() <= 0:
+            # Degenerate corpus: fall back to uniform over the vocabulary.
+            weights = np.ones_like(weights)
+        self.power = power
+        self._table = AliasTable(weights)
+        self._vocab = vocab
+
+    def sample_rows(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` negative rows (indices into the global matrices)."""
+        return self._table.sample(rng, size=count)
+
+    def sample_nodes(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """``count`` negative node ids (for API symmetry / tests)."""
+        return self._vocab.row_to_node[self.sample_rows(count, rng)]
+
+    @property
+    def probabilities(self) -> np.ndarray:
+        """Row-space sampling distribution (for distribution tests)."""
+        return self._table.probabilities

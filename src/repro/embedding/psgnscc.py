@@ -1,0 +1,81 @@
+"""pSGNScc learner (Rengasamy et al. [45], Fig. 3(c)).
+
+pSGNScc enlarges Pword2vec's batch by *combining context*: the context
+nodes of a window whose target appears among the current window's negative
+samples are merged into the current update, yielding a bigger matrix batch.
+Finding such a partner window requires a pre-generated inverted index
+(target → windows), whose build and lookup overhead is exactly the
+criticism the paper raises (§4.1) -- and which this implementation
+reproduces: the index is materialised per walk batch before training on it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.embedding.model import sigmoid
+from repro.embedding.sgns import BaseLearner
+from repro.embedding.windows import iter_windows
+
+
+class PSGNSccLearner(BaseLearner):
+    """Combined-context shared-negatives learner."""
+
+    name = "psgnscc"
+
+    def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        k = self.config.negatives
+        tokens = 0
+        for walk in walks:
+            tokens += int(walk.size)
+            rows = self._rows(walk)
+            windows: List[Tuple[int, np.ndarray]] = list(
+                iter_windows(rows, self.config.window)
+            )
+            # The pre-generated inverted index: target row -> window ids.
+            index: Dict[int, List[int]] = defaultdict(list)
+            for w_id, (target, _ctx) in enumerate(windows):
+                index[target].append(w_id)
+            processed = np.zeros(len(windows), dtype=bool)
+            for w_id, (target, contexts) in enumerate(windows):
+                if processed[w_id]:
+                    continue
+                processed[w_id] = True
+                neg_rows = self.sampler.sample_rows(k, self.rng)
+                # Lookup: a yet-unprocessed window whose target is one of
+                # our negatives contributes its contexts to the batch.
+                partner_id = -1
+                for neg in neg_rows:
+                    for cand in index.get(int(neg), ()):  # lookup overhead
+                        if not processed[cand]:
+                            partner_id = cand
+                            break
+                    if partner_id >= 0:
+                        break
+                if partner_id >= 0:
+                    processed[partner_id] = True
+                    p_target, p_contexts = windows[partner_id]
+                    out_rows = np.concatenate([[target, p_target], neg_rows])
+                    ctx = phi_in[np.concatenate([contexts, p_contexts])]
+                    labels = np.zeros((ctx.shape[0], out_rows.size),
+                                      dtype=np.float32)
+                    labels[:contexts.size, 0] = 1.0
+                    labels[contexts.size:, 1] = 1.0
+                    ctx_rows = np.concatenate([contexts, p_contexts])
+                else:
+                    out_rows = np.concatenate([[target], neg_rows])
+                    ctx = phi_in[contexts]
+                    labels = np.zeros((ctx.shape[0], out_rows.size),
+                                      dtype=np.float32)
+                    labels[:, 0] = 1.0
+                    ctx_rows = contexts
+                outs = phi_out[out_rows]
+                scores = sigmoid(ctx @ outs.T)
+                grad = (labels - scores) * lr
+                phi_in[ctx_rows] = ctx + grad @ outs
+                phi_out[out_rows] = outs + grad.T @ ctx
+        return tokens

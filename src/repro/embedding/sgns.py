@@ -1,0 +1,116 @@
+"""Baseline Skip-Gram learners: vanilla SGNS and Pword2vec.
+
+* :class:`SGNSLearner` is the original word2vec formulation (Fig. 3(a)):
+  every (context, target) pair draws its own negative set, producing
+  level-1 (vector-vector) operations -- the memory-bandwidth-bound baseline.
+
+* :class:`Pword2vecLearner` shares one negative set across all context
+  nodes of a window (Fig. 3(b), Ji et al. [22]), converting the update
+  into one small matrix-matrix product per window -- Intel's shared-memory
+  state of the art the paper builds on and then beats with DSGL.
+
+Both operate on an :class:`EmbeddingModel` in row (frequency) space.
+Duplicate-row updates within one batch follow Hogwild semantics (last
+write wins), exactly like the lock-free implementations they model.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.embedding.model import EmbeddingModel, TrainConfig, sigmoid
+from repro.embedding.negative import NegativeSampler
+from repro.embedding.windows import iter_windows
+
+
+class BaseLearner:
+    """Common state for all learners."""
+
+    name = "base"
+
+    def __init__(
+        self,
+        model: EmbeddingModel,
+        sampler: NegativeSampler,
+        config: TrainConfig,
+        rng: np.random.Generator,
+    ) -> None:
+        self.model = model
+        self.sampler = sampler
+        self.config = config
+        self.rng = rng
+
+    def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        """Train on ``walks`` at learning rate ``lr``; return tokens used."""
+        raise NotImplementedError
+
+    # Shared helpers ----------------------------------------------------- #
+
+    def _rows(self, nodes: np.ndarray) -> np.ndarray:
+        return self.model.vocab.rows_of(nodes)
+
+
+class SGNSLearner(BaseLearner):
+    """Vanilla Skip-Gram with per-pair negative sampling (level-1 BLAS)."""
+
+    name = "sgns"
+
+    def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        k = self.config.negatives
+        tokens = 0
+        for walk in walks:
+            tokens += int(walk.size)
+            rows = self._rows(walk)
+            for target, contexts in iter_windows(rows, self.config.window):
+                for c_row in contexts:
+                    neg_rows = self.sampler.sample_rows(k, self.rng)
+                    out_rows = np.concatenate([[target], neg_rows])
+                    x = phi_in[c_row]
+                    outs = phi_out[out_rows]
+                    scores = sigmoid(outs @ x)
+                    grad = np.zeros(k + 1, dtype=np.float32)
+                    grad[0] = 1.0
+                    grad -= scores
+                    grad *= lr
+                    phi_in[c_row] = x + grad @ outs
+                    phi_out[out_rows] = outs + np.outer(grad, x)
+        return tokens
+
+
+class Pword2vecLearner(BaseLearner):
+    """Shared-negatives-per-window learner (level-3 BLAS batching)."""
+
+    name = "pword2vec"
+
+    def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        k = self.config.negatives
+        tokens = 0
+        for walk in walks:
+            tokens += int(walk.size)
+            rows = self._rows(walk)
+            for target, contexts in iter_windows(rows, self.config.window):
+                neg_rows = self.sampler.sample_rows(k, self.rng)
+                out_rows = np.concatenate([[target], neg_rows])
+                ctx = phi_in[contexts]                     # (m, d)
+                outs = phi_out[out_rows]                   # (k+1, d)
+                scores = sigmoid(ctx @ outs.T)             # (m, k+1)
+                labels = np.zeros_like(scores)
+                labels[:, 0] = 1.0
+                grad = (labels - scores) * lr              # (m, k+1)
+                phi_in[contexts] = ctx + grad @ outs
+                phi_out[out_rows] = outs + grad.T @ ctx
+        return tokens
+
+
+def linear_lr(
+    config: TrainConfig, tokens_done: int, tokens_total: int
+) -> float:
+    """word2vec's linear learning-rate decay over the whole training run."""
+    if tokens_total <= 0:
+        return config.lr
+    progress = min(1.0, tokens_done / tokens_total)
+    return max(config.min_lr, config.lr * (1.0 - progress))

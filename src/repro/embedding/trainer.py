@@ -1,0 +1,214 @@
+"""Distributed training orchestration (the learner of Fig. 1).
+
+The corpus is split into per-machine sub-corpora (walks stay with the
+machine that owns their source, as in Fig. 1).  Every machine trains a full
+model replica on its shard; the trainer interleaves the shards in
+sync-period slices -- machine 0 trains one slice, machine 1 trains one
+slice, ..., then the sync strategy reconciles the replicas -- which is the
+deterministic sequential equivalent of the paper's parallel loop.  A final
+average produces the published embeddings.
+
+Learner selection covers every trainer the paper measures: ``sgns``
+(original word2vec), ``pword2vec`` [22], ``psgnscc`` [45] and ``dsgl``
+(DistGER's own, §4.2).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Type
+
+import numpy as np
+
+from repro.embedding.dsgl import DSGLLearner
+from repro.embedding.model import EmbeddingModel, TrainConfig
+from repro.embedding.negative import NegativeSampler
+from repro.embedding.psgnscc import PSGNSccLearner
+from repro.embedding.schedules import make_schedule
+from repro.embedding.sgns import BaseLearner, Pword2vecLearner, SGNSLearner
+from repro.embedding.sync import make_sync
+from repro.embedding.vocab import Vocabulary
+from repro.runtime.cluster import Cluster
+from repro.utils.rng import spawn_rngs
+from repro.walks.corpus import Corpus
+
+LEARNERS: Dict[str, Type[BaseLearner]] = {
+    "sgns": SGNSLearner,
+    "pword2vec": Pword2vecLearner,
+    "psgnscc": PSGNSccLearner,
+    "dsgl": DSGLLearner,
+}
+
+
+@dataclass
+class TrainResult:
+    """Output of distributed training."""
+
+    embeddings: np.ndarray          # (num_nodes, dim) node-id space
+    model: EmbeddingModel           # averaged final model (row space)
+    tokens_processed: int = 0
+    wall_seconds: float = 0.0
+    sync_rounds: int = 0
+    extras: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def throughput(self) -> float:
+        """Tokens (nodes) processed per second -- the paper's §6.5 metric."""
+        if self.wall_seconds <= 0:
+            return 0.0
+        return self.tokens_processed / self.wall_seconds
+
+
+class DistributedTrainer:
+    """Trains node embeddings from a corpus over a simulated cluster."""
+
+    def __init__(
+        self,
+        corpus: Corpus,
+        cluster: Cluster,
+        config: Optional[TrainConfig] = None,
+        learner: str = "dsgl",
+        walk_machines: Optional[Sequence[int]] = None,
+    ) -> None:
+        if learner not in LEARNERS:
+            raise KeyError(f"unknown learner {learner!r}; options: "
+                           f"{sorted(LEARNERS)}")
+        self.corpus = corpus
+        self.cluster = cluster
+        self.config = config or TrainConfig()
+        self.learner_name = learner
+        self.walk_machines = (
+            list(walk_machines) if walk_machines is not None else None
+        )
+        if self.walk_machines is not None and \
+                len(self.walk_machines) != corpus.num_walks:
+            raise ValueError("walk_machines must align with corpus walks")
+
+    # ------------------------------------------------------------------ #
+
+    def _shards(self) -> List[List[np.ndarray]]:
+        """Split walks into per-machine sub-corpora.
+
+        With ``walk_machines`` the sub-corpora keep sampling locality
+        (walks stay with their source's machine -- load-bearing for
+        reconciliation quality), then whole walks are moved from the
+        heaviest to the lightest shards until token counts are balanced:
+        the partitioner's γ-slack node skew must not become a training
+        straggler.
+        """
+        m = self.cluster.num_machines
+        shards: List[List[np.ndarray]] = [[] for _ in range(m)]
+        if self.walk_machines is None:
+            for i, walk in enumerate(self.corpus.walks):
+                shards[i % m].append(walk)
+            return shards
+        for walk, machine in zip(self.corpus.walks, self.walk_machines):
+            shards[machine].append(walk)
+        tokens = [sum(int(w.size) for w in shard) for shard in shards]
+        target = sum(tokens) / m
+        # Move trailing walks off overloaded shards onto the lightest one.
+        for heavy in range(m):
+            while tokens[heavy] > 1.05 * target and len(shards[heavy]) > 1:
+                light = int(np.argmin(tokens))
+                if light == heavy or tokens[light] >= 0.95 * target:
+                    break
+                walk = shards[heavy].pop()
+                shards[light].append(walk)
+                tokens[heavy] -= int(walk.size)
+                tokens[light] += int(walk.size)
+        return shards
+
+    def _keep_probabilities(self) -> Optional[np.ndarray]:
+        """word2vec subsampling: per-node keep probability, or None."""
+        t = self.config.subsample
+        if t <= 0:
+            return None
+        occ = self.corpus.occurrences.astype(np.float64)
+        total = max(1.0, occ.sum())
+        freq = np.maximum(occ / total, 1e-12)
+        return np.minimum(1.0, np.sqrt(t / freq))
+
+    @staticmethod
+    def _subsample_walk(
+        walk: np.ndarray, keep: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        mask = rng.random(walk.size) < keep[walk]
+        return walk[mask]
+
+    def train(self) -> TrainResult:
+        """Run the full distributed training; returns final embeddings."""
+        cfg = self.config
+        cluster = self.cluster
+        m = cluster.num_machines
+        vocab = Vocabulary.from_corpus(self.corpus)
+        sampler = NegativeSampler(vocab)
+        keep = self._keep_probabilities()
+        base_model = EmbeddingModel(vocab, cfg.dim, seed=cfg.seed)
+        replicas = [base_model if i == 0 else base_model.clone()
+                    for i in range(m)]
+        rngs = spawn_rngs(cfg.seed, m + 1)
+        sync_rng = rngs[-1]
+        learner_cls = LEARNERS[self.learner_name]
+        learners = [
+            learner_cls(replicas[i], sampler, cfg, rngs[i]) for i in range(m)
+        ]
+        sync = make_sync(cfg.sync_mode)
+        sync.start(replicas)
+        shards = self._shards()
+        total_tokens = self.corpus.total_tokens * cfg.epochs
+        schedule = make_schedule(cfg.lr_schedule, cfg.lr, cfg.min_lr)
+
+        tokens_done = 0
+        sync_rounds = 0
+        start = time.perf_counter()
+        for _epoch in range(cfg.epochs):
+            # Cursor into each machine's shard.
+            cursors = [0] * m
+            while any(cursors[i] < len(shards[i]) for i in range(m)):
+                # Each machine trains one sync-period slice.
+                for machine in range(m):
+                    shard = shards[machine]
+                    slice_tokens = 0
+                    batch: List[np.ndarray] = []
+                    while (cursors[machine] < len(shard)
+                           and slice_tokens < cfg.sync_period_tokens):
+                        walk = shard[cursors[machine]]
+                        if keep is not None:
+                            walk = self._subsample_walk(
+                                walk, keep, rngs[machine]
+                            )
+                        if walk.size:
+                            batch.append(walk)
+                            slice_tokens += int(walk.size)
+                        cursors[machine] += 1
+                    if not batch:
+                        continue
+                    lr = schedule(tokens_done / max(1, total_tokens))
+                    used = learners[machine].train_walks(batch, lr)
+                    tokens_done += used
+                    # Compute cost: one fused update per token per
+                    # (window x (K+1)) dot products, matching §2.1's
+                    # complexity O(C · w · (K+1) · o).
+                    cluster.metrics.record_compute(
+                        machine,
+                        used * cfg.window * (cfg.negatives + 1),
+                    )
+                sync.sync(replicas, sync_rng, cluster.metrics)
+                sync_rounds += 1
+        # Final reduction: delta-sum every row once so no machine's
+        # contribution is lost.
+        final = sync.finalize(replicas, cluster.metrics)
+        wall = time.perf_counter() - start
+        for machine in range(m):
+            cluster.metrics.record_memory(
+                machine,
+                replicas[machine].memory_bytes() + self.corpus.memory_bytes() // m,
+            )
+        return TrainResult(
+            embeddings=final.embeddings_node_space(),
+            model=final,
+            tokens_processed=tokens_done,
+            wall_seconds=wall,
+            sync_rounds=sync_rounds,
+        )

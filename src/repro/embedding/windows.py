@@ -1,0 +1,64 @@
+"""Sliding-window extraction shared by every Skip-Gram learner.
+
+A walk ``[v_0 ... v_{L-1}]`` yields one window per position ``t``: target
+``v_t`` with contexts ``v_{t-w} ... v_{t+w}`` (excluding ``v_t``).  All
+learners -- SGNS, Pword2vec, pSGNScc and DSGL -- consume exactly these
+windows; they differ only in how they batch the resulting updates.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+Window = Tuple[int, np.ndarray]  # (target node, context nodes)
+
+
+def iter_windows(walk: np.ndarray, window: int) -> Iterator[Window]:
+    """Yield ``(target, contexts)`` for each position of ``walk``."""
+    length = walk.size
+    for t in range(length):
+        lo = max(0, t - window)
+        hi = min(length, t + window + 1)
+        contexts = np.concatenate([walk[lo:t], walk[t + 1:hi]])
+        if contexts.size:
+            yield int(walk[t]), contexts
+
+
+def window_batches(
+    walks: Sequence[np.ndarray], window: int, group: int
+) -> Iterator[List[Window]]:
+    """Yield batches mixing windows from ``group`` walks at a time.
+
+    Reproduces DSGL's multi-window mechanism (Improvement-II, Fig. 3(d)):
+    ``group`` walks are assigned to one thread and their window streams are
+    advanced in lock-step, so each yielded batch contains one window from
+    each still-active walk of the chunk.  When a walk exhausts, the batch
+    narrows until the chunk is done.
+    """
+    if group < 1:
+        raise ValueError(f"group must be >= 1, got {group}")
+    for start in range(0, len(walks), group):
+        chunk = walks[start:start + group]
+        streams = [iter_windows(w, window) for w in chunk]
+        while streams:
+            batch: List[Window] = []
+            survivors = []
+            for stream in streams:
+                item = next(stream, None)
+                if item is not None:
+                    batch.append(item)
+                    survivors.append(stream)
+            streams = survivors
+            if batch:
+                yield batch
+
+
+def count_windows(walks: Sequence[np.ndarray], window: int) -> int:
+    """Total number of windows the walks produce (throughput accounting)."""
+    total = 0
+    for walk in walks:
+        # Every position with at least one other node in range is a window.
+        total += walk.size if walk.size > 1 else 0
+    return total

@@ -1,0 +1,342 @@
+"""Synthetic graph generators.
+
+The paper evaluates on five real graphs (Flickr, YouTube, LiveJournal,
+Com-Orkut, Twitter) plus R-MAT synthetic graphs for the scalability study
+(Fig. 7).  The real datasets are not redistributable here, so
+:mod:`repro.graph.datasets` builds scaled-down stand-ins from these
+generators, matched on the structural properties that drive random-walk
+embedding behaviour: power-law degree skew, density, and (for the labelled
+graphs) community structure.
+
+All generators return connected-ish simple undirected graphs as
+:class:`repro.graph.csr.CSRGraph` and are fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_positive, check_probability
+
+
+def erdos_renyi(num_nodes: int, num_edges: int, seed: SeedLike = None) -> CSRGraph:
+    """G(n, m) uniform random graph (baseline, non-power-law)."""
+    check_positive("num_nodes", num_nodes)
+    check_positive("num_edges", num_edges, allow_zero=True)
+    rng = default_rng(seed)
+    edges = set()
+    # Rejection-sample distinct non-loop pairs; fine at laptop scale.
+    max_possible = num_nodes * (num_nodes - 1) // 2
+    target = min(num_edges, max_possible)
+    while len(edges) < target:
+        need = target - len(edges)
+        u = rng.integers(0, num_nodes, size=2 * need + 8)
+        v = rng.integers(0, num_nodes, size=2 * need + 8)
+        for a, b in zip(u, v):
+            if a == b:
+                continue
+            e = (int(min(a, b)), int(max(a, b)))
+            edges.add(e)
+            if len(edges) >= target:
+                break
+    return CSRGraph.from_edges(np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
+                               num_nodes=num_nodes)
+
+
+def barabasi_albert(num_nodes: int, attach: int, seed: SeedLike = None) -> CSRGraph:
+    """Preferential-attachment graph (power-law degrees, exponent ~3).
+
+    Each arriving node attaches to ``attach`` existing nodes chosen
+    proportionally to degree — the classic model behind the paper's
+    "real-world graphs follow a power-law" premise (§4.2).
+    """
+    check_positive("num_nodes", num_nodes)
+    check_positive("attach", attach)
+    if num_nodes <= attach:
+        raise ValueError(f"num_nodes={num_nodes} must exceed attach={attach}")
+    rng = default_rng(seed)
+    # Repeated-nodes list implements preferential attachment in O(1)/draw.
+    repeated: List[int] = []
+    edges: List[Tuple[int, int]] = []
+    targets = list(range(attach))
+    for new_node in range(attach, num_nodes):
+        for t in targets:
+            edges.append((new_node, t))
+        repeated.extend(targets)
+        repeated.extend([new_node] * attach)
+        # Sample next targets (distinct) from the repeated list.
+        chosen: set = set()
+        while len(chosen) < attach:
+            chosen.add(repeated[int(rng.integers(0, len(repeated)))])
+        targets = list(chosen)
+    return CSRGraph.from_edges(np.asarray(edges, dtype=np.int64), num_nodes=num_nodes)
+
+
+def rmat(
+    scale: int,
+    edge_factor: int = 10,
+    a: float = 0.57,
+    b: float = 0.19,
+    c: float = 0.19,
+    seed: SeedLike = None,
+    directed: bool = False,
+) -> CSRGraph:
+    """R-MAT recursive-matrix generator [11] used in the paper's Fig. 7.
+
+    ``2**scale`` nodes and ``edge_factor * 2**scale`` sampled edges with the
+    standard Graph500 partition probabilities (a, b, c, d=1−a−b−c).  The
+    recursion is vectorised: each bit of the (row, col) address is drawn for
+    all edges at once.
+    """
+    check_positive("scale", scale)
+    check_positive("edge_factor", edge_factor)
+    d = 1.0 - a - b - c
+    if min(a, b, c, d) < 0:
+        raise ValueError("R-MAT probabilities must be non-negative and sum <= 1")
+    rng = default_rng(seed)
+    n = 1 << scale
+    m = edge_factor * n
+    src = np.zeros(m, dtype=np.int64)
+    dst = np.zeros(m, dtype=np.int64)
+    p_right = b + d  # probability the column bit is 1
+    p_bottom_given_right = d / (b + d) if (b + d) > 0 else 0.0
+    p_bottom_given_left = c / (a + c) if (a + c) > 0 else 0.0
+    for bit in range(scale):
+        right = rng.random(m) < p_right
+        p_bottom = np.where(right, p_bottom_given_right, p_bottom_given_left)
+        bottom = rng.random(m) < p_bottom
+        src = (src << 1) | bottom.astype(np.int64)
+        dst = (dst << 1) | right.astype(np.int64)
+    edges = np.stack([src, dst], axis=1)
+    return CSRGraph.from_edges(edges, num_nodes=n, directed=directed)
+
+
+def powerlaw_cluster(
+    num_nodes: int,
+    attach: int,
+    triangle_prob: float = 0.3,
+    seed: SeedLike = None,
+) -> CSRGraph:
+    """Holme–Kim power-law graph with tunable clustering.
+
+    Like :func:`barabasi_albert` but each preferential attachment is followed
+    with probability ``triangle_prob`` by a triad-closing step, raising the
+    common-neighbour counts that HuGE's transition kernel (Eq. 3) and MPGP's
+    second-order proximity (Eq. 14) feed on.
+    """
+    check_positive("num_nodes", num_nodes)
+    check_positive("attach", attach)
+    check_probability("triangle_prob", triangle_prob)
+    if num_nodes <= attach:
+        raise ValueError(f"num_nodes={num_nodes} must exceed attach={attach}")
+    rng = default_rng(seed)
+    adjacency: List[set] = [set() for _ in range(num_nodes)]
+    repeated: List[int] = list(range(attach))
+    edges: List[Tuple[int, int]] = []
+
+    def add_edge(u: int, v: int) -> None:
+        if u != v and v not in adjacency[u]:
+            adjacency[u].add(v)
+            adjacency[v].add(u)
+            edges.append((u, v))
+            repeated.append(u)
+            repeated.append(v)
+
+    for new_node in range(attach, num_nodes):
+        target = int(rng.integers(0, max(1, new_node))) if not repeated else \
+            repeated[int(rng.integers(0, len(repeated)))]
+        added = 0
+        guard = 0
+        while added < attach and guard < 50 * attach:
+            guard += 1
+            add_edge(new_node, target)
+            added += 1
+            if added >= attach:
+                break
+            if adjacency[target] and rng.random() < triangle_prob:
+                # Triad formation: connect to a neighbour of the target.
+                nbrs = list(adjacency[target])
+                cand = nbrs[int(rng.integers(0, len(nbrs)))]
+                if cand != new_node and cand not in adjacency[new_node]:
+                    add_edge(new_node, cand)
+                    added += 1
+                    continue
+            target = repeated[int(rng.integers(0, len(repeated)))]
+    return CSRGraph.from_edges(np.asarray(edges, dtype=np.int64), num_nodes=num_nodes)
+
+
+def planted_partition(
+    num_nodes: int,
+    num_communities: int,
+    p_in: float,
+    p_out: float,
+    seed: SeedLike = None,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Planted-community graph with ground-truth community ids.
+
+    Returns ``(graph, community_of_node)``.  Used to synthesise the labelled
+    Flickr/YouTube stand-ins for the multi-label classification experiments
+    (Fig. 9): structure and labels are correlated by construction.
+    """
+    check_positive("num_nodes", num_nodes)
+    check_positive("num_communities", num_communities)
+    check_probability("p_in", p_in)
+    check_probability("p_out", p_out)
+    rng = default_rng(seed)
+    comm = rng.integers(0, num_communities, size=num_nodes)
+    edges: List[Tuple[int, int]] = []
+    # Block-sample: expected-count binomial draws per pair class keeps this
+    # O(E) instead of O(V^2) for the sparse regimes we use.
+    for u in range(num_nodes):
+        same = np.flatnonzero(comm[u + 1:] == comm[u]) + u + 1
+        diff = np.flatnonzero(comm[u + 1:] != comm[u]) + u + 1
+        if same.size:
+            take = same[rng.random(same.size) < p_in]
+            edges.extend((u, int(v)) for v in take)
+        if diff.size:
+            take = diff[rng.random(diff.size) < p_out]
+            edges.extend((u, int(v)) for v in take)
+    graph = CSRGraph.from_edges(np.asarray(edges, dtype=np.int64).reshape(-1, 2),
+                                num_nodes=num_nodes)
+    return graph, comm
+
+
+def community_graph(
+    num_nodes: int,
+    num_communities: int,
+    within_degree: float,
+    cross_degree: float,
+    exponent: float = 2.5,
+    seed: SeedLike = None,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Chung-Lu block model: power-law degrees *and* strong communities.
+
+    Real social graphs combine two properties that drive random-walk
+    embeddings: heavy-tailed degrees and community structure with a small
+    cross-community edge fraction (which bounds achievable link-prediction
+    AUC from above).  This generator controls both directly:
+
+    * nodes get Pareto activity weights with tail ``exponent`` (heavier
+      tail for smaller exponent);
+    * each community receives ``|C| · within_degree / 2`` internal edges
+      with endpoints drawn ∝ activity (Chung-Lu);
+    * ``num_nodes · cross_degree / 2`` cross-community edges are added the
+      same way globally.
+
+    Returns ``(graph, community_of_node)``.
+    """
+    check_positive("num_nodes", num_nodes)
+    check_positive("num_communities", num_communities)
+    check_positive("within_degree", within_degree)
+    check_positive("cross_degree", cross_degree, allow_zero=True)
+    rng = default_rng(seed)
+    comm = rng.integers(0, num_communities, size=num_nodes)
+    # Pareto activity weights; alpha = exponent - 1 gives degree tail
+    # exponent ~= `exponent` under Chung-Lu sampling.
+    weights = (1.0 + rng.pareto(exponent - 1.0, size=num_nodes))
+    edges: set = set()
+
+    def sample_pairs(members: np.ndarray, num_edges: int,
+                     forbid_same_comm: bool = False) -> None:
+        if members.size < 2 or num_edges <= 0:
+            return
+        w = weights[members]
+        p = w / w.sum()
+        attempts = 0
+        added = 0
+        while added < num_edges and attempts < 20 * num_edges + 100:
+            attempts += 1
+            u, v = rng.choice(members, size=2, p=p)
+            if u == v:
+                continue
+            if forbid_same_comm and comm[u] == comm[v]:
+                continue
+            e = (int(min(u, v)), int(max(u, v)))
+            if e in edges:
+                continue
+            edges.add(e)
+            added += 1
+
+    for c in range(num_communities):
+        members = np.flatnonzero(comm == c)
+        sample_pairs(members, int(round(members.size * within_degree / 2.0)))
+    sample_pairs(np.arange(num_nodes),
+                 int(round(num_nodes * cross_degree / 2.0)),
+                 forbid_same_comm=True)
+    graph = CSRGraph.from_edges(
+        np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
+        num_nodes=num_nodes,
+    )
+    return graph, comm
+
+
+def multi_labels_from_communities(
+    communities: np.ndarray,
+    num_labels: int,
+    labels_per_community: int = 3,
+    noise: float = 0.05,
+    seed: SeedLike = None,
+) -> np.ndarray:
+    """Derive a multi-label matrix from community ids.
+
+    Each community is assigned ``labels_per_community`` characteristic
+    labels; each member carries those labels, occasionally flipped with
+    probability ``noise``.  Returns a boolean ``(num_nodes, num_labels)``
+    matrix mimicking the interest-group labels of Flickr/YouTube.
+    """
+    check_positive("num_labels", num_labels)
+    check_probability("noise", noise)
+    rng = default_rng(seed)
+    communities = np.asarray(communities)
+    num_comm = int(communities.max()) + 1 if communities.size else 0
+    assignment = np.zeros((num_comm, num_labels), dtype=bool)
+    for c in range(num_comm):
+        chosen = rng.choice(num_labels, size=min(labels_per_community, num_labels),
+                            replace=False)
+        assignment[c, chosen] = True
+    labels = assignment[communities]
+    flips = rng.random(labels.shape) < noise
+    labels = labels ^ flips
+    # Guarantee every node has at least one label (classification protocol
+    # assumes non-empty label sets).
+    empty = ~labels.any(axis=1)
+    if empty.any():
+        fallback = rng.integers(0, num_labels, size=int(empty.sum()))
+        labels[np.flatnonzero(empty), fallback] = True
+    return labels
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> CSRGraph:
+    """Deterministic ring of cliques -- handy, fully-predictable test graph."""
+    check_positive("num_cliques", num_cliques)
+    check_positive("clique_size", clique_size)
+    edges: List[Tuple[int, int]] = []
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                edges.append((base + i, base + j))
+        nxt = ((c + 1) % num_cliques) * clique_size
+        if num_cliques > 1:
+            edges.append((base, nxt))
+    return CSRGraph.from_edges(np.asarray(edges, dtype=np.int64),
+                               num_nodes=num_cliques * clique_size)
+
+
+def star(num_leaves: int) -> CSRGraph:
+    """Star graph: node 0 hub, ``num_leaves`` spokes (degenerate-case tests)."""
+    check_positive("num_leaves", num_leaves)
+    edges = np.stack([np.zeros(num_leaves, dtype=np.int64),
+                      np.arange(1, num_leaves + 1, dtype=np.int64)], axis=1)
+    return CSRGraph.from_edges(edges, num_nodes=num_leaves + 1)
+
+
+def path(num_nodes: int) -> CSRGraph:
+    """Simple path graph (degenerate-case tests)."""
+    check_positive("num_nodes", num_nodes)
+    ids = np.arange(num_nodes - 1, dtype=np.int64)
+    return CSRGraph.from_edges(np.stack([ids, ids + 1], axis=1), num_nodes=num_nodes)

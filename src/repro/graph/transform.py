@@ -1,0 +1,134 @@
+"""Graph transformations: component extraction, k-core, relabeling.
+
+Random-walk embedding pipelines preprocess real graphs before sampling:
+walks cannot leave a connected component, so embedding quality statistics
+are usually reported on the largest component; and peeling low-degree
+shells (k-core) is the standard densification step when walks on hairy
+peripheries waste the corpus budget.  These helpers produce *compact*
+subgraphs (node ids relabelled to ``0..n'-1``) plus the id mapping needed
+to carry labels/embeddings across.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.graph.stats import connected_components
+from repro.utils.validation import check_positive
+
+
+def induced_subgraph(
+    graph: CSRGraph, nodes: np.ndarray
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Subgraph induced by ``nodes``, compactly relabelled.
+
+    Returns ``(subgraph, old_ids)`` where ``old_ids[new_id]`` recovers the
+    original node id (so ``labels[old_ids]`` re-indexes node metadata).
+    Edge weights are carried over.
+    """
+    nodes = np.unique(np.asarray(nodes, dtype=np.int64))
+    if nodes.size and (nodes[0] < 0 or nodes[-1] >= graph.num_nodes):
+        raise ValueError("nodes contain ids outside the graph")
+    new_id = np.full(graph.num_nodes, -1, dtype=np.int64)
+    new_id[nodes] = np.arange(nodes.size, dtype=np.int64)
+
+    arcs = graph.edge_array()
+    keep = (new_id[arcs[:, 0]] >= 0) & (new_id[arcs[:, 1]] >= 0)
+    kept = arcs[keep]
+    kept_w = None if graph.weights is None else graph.weights[keep]
+    # Arcs are already direction-complete for undirected graphs; rebuild
+    # the CSR directly without re-symmetrising.
+    n = nodes.size
+    relabelled = np.stack([new_id[kept[:, 0]], new_id[kept[:, 1]]], axis=1)
+    order = np.lexsort((relabelled[:, 1], relabelled[:, 0]))
+    relabelled = relabelled[order]
+    if kept_w is not None:
+        kept_w = kept_w[order]
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    if len(relabelled):
+        indptr[1:] = np.cumsum(np.bincount(relabelled[:, 0], minlength=n))
+    sub = CSRGraph(indptr, relabelled[:, 1].copy() if len(relabelled)
+                   else np.empty(0, dtype=np.int64),
+                   kept_w, directed=graph.directed)
+    return sub, nodes
+
+
+def largest_component_subgraph(graph: CSRGraph) -> Tuple[CSRGraph, np.ndarray]:
+    """Compact subgraph of the largest connected component.
+
+    Walks never leave a component, so this is the canonical preprocessing
+    step before sampling.  Returns ``(subgraph, old_ids)``.
+    """
+    comp = connected_components(graph)
+    if comp.size == 0:
+        return graph, np.empty(0, dtype=np.int64)
+    largest = int(np.bincount(comp).argmax())
+    return induced_subgraph(graph, np.flatnonzero(comp == largest))
+
+
+def k_core(graph: CSRGraph, k: int) -> Tuple[CSRGraph, np.ndarray]:
+    """The ``k``-core: maximal subgraph with all degrees >= ``k``.
+
+    Standard peeling: repeatedly remove nodes of degree < k until a fixed
+    point.  Defined here for undirected graphs (degree = full adjacency).
+    Returns ``(subgraph, old_ids)``; the core can be empty.
+    """
+    check_positive("k", k)
+    if graph.directed:
+        raise ValueError("k-core peeling is defined here for undirected graphs")
+    alive = np.ones(graph.num_nodes, dtype=bool)
+    degree = graph.degrees.astype(np.int64).copy()
+    # Queue-based peeling is O(|V| + |E|).
+    from collections import deque
+
+    queue = deque(int(v) for v in np.flatnonzero(degree < k))
+    while queue:
+        u = queue.popleft()
+        if not alive[u]:
+            continue
+        alive[u] = False
+        for v in graph.neighbors(u):
+            v = int(v)
+            if alive[v]:
+                degree[v] -= 1
+                if degree[v] < k:
+                    queue.append(v)
+    return induced_subgraph(graph, np.flatnonzero(alive))
+
+
+def core_number(graph: CSRGraph) -> np.ndarray:
+    """Core number per node: the largest ``k`` whose k-core contains it.
+
+    Batagelj-Zaversnik style peeling in increasing degree order; isolated
+    nodes get 0.  Undirected graphs only.
+    """
+    if graph.directed:
+        raise ValueError("core numbers are defined here for undirected graphs")
+    n = graph.num_nodes
+    degree = graph.degrees.astype(np.int64).copy()
+    core = np.zeros(n, dtype=np.int64)
+    alive = np.ones(n, dtype=bool)
+    # Simple repeated-min peeling: fine at stand-in scale and obviously
+    # correct; the bin-bucket O(|E|) version buys nothing at 10^3 nodes.
+    order = list(np.argsort(degree, kind="stable"))
+    import heapq
+
+    heap = [(int(degree[v]), int(v)) for v in order]
+    heapq.heapify(heap)
+    current_core = 0
+    while heap:
+        d, u = heapq.heappop(heap)
+        if not alive[u] or d != degree[u]:
+            continue  # stale entry
+        current_core = max(current_core, int(d))
+        core[u] = current_core
+        alive[u] = False
+        for v in graph.neighbors(u):
+            v = int(v)
+            if alive[v]:
+                degree[v] -= 1
+                heapq.heappush(heap, (int(degree[v]), v))
+    return core

@@ -1,0 +1,38 @@
+"""Trivial partitioners: hash and contiguous-chunk.
+
+These are the no-information baselines: hash partitioning is what most
+distributed graph systems default to, and chunking preserves id locality.
+Both balance node counts but ignore structure entirely, so they bound the
+cross-machine communication from above in the partition-quality studies.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import Partitioner
+
+
+class HashPartitioner(Partitioner):
+    """``machine = node_id % num_parts`` (modulo hash)."""
+
+    name = "hash"
+
+    def _assign(self, graph: CSRGraph, num_parts: int) -> np.ndarray:
+        return np.arange(graph.num_nodes, dtype=np.int64) % num_parts
+
+
+class ChunkPartitioner(Partitioner):
+    """Contiguous equal-size id ranges per machine."""
+
+    name = "chunk"
+
+    def _assign(self, graph: CSRGraph, num_parts: int) -> np.ndarray:
+        n = graph.num_nodes
+        if n == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.minimum(
+            (np.arange(n, dtype=np.int64) * num_parts) // max(n, 1),
+            num_parts - 1,
+        )

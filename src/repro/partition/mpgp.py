@@ -1,0 +1,214 @@
+"""MPGP: Multi-Proximity-aware streaming Graph Partitioning (paper §3.2).
+
+MPGP places each streamed node ``v`` on the partition maximising
+
+    ``(PF1(v, P_i) + PF2(v, P_i)) · τ(P_i)``            (Eq. 14)
+
+where
+
+* ``PF1(v, P_i) = |N(v) ∩ P_i|`` is the first-order proximity (neighbour
+  count already in the partition; weighted graphs sum edge weights),
+* ``PF2(v, P_i) = Σ_{u ∈ N(v) ∩ P_i} |N(v) ∩ N(u)|`` is the second-order
+  proximity (common-neighbour mass -- the same quantity HuGE's transition
+  probability rewards, which is why MPGP keeps information-oriented walkers
+  local), and
+* ``τ(P_i) = 1 − |P_i| / (γ · avg_size)`` is the *dynamic* load-balancing
+  term (Eq. 15): ``avg_size`` is recomputed after every assignment, so good
+  balance is enforced throughout the stream rather than only at the end
+  (the paper's contrast with LDG/FENNEL's static capacities).
+
+Optimisations from the paper, all implemented here:
+
+1. first-order scores use a membership bitmap (O(deg) for all partitions at
+   once) and common-neighbour counts use **galloping** intersection;
+2. PF2 only visits ``u ∈ N(v) ∩ P_i`` -- non-neighbours cannot be reached
+   by a walker in one hop, so they are skipped;
+3. streaming order is pluggable, defaulting to **DFS+degree** (recommended
+   for sequential MPGP);
+4. a parallel variant (:class:`ParallelMPGPPartitioner`) splits the stream
+   into segments partitioned independently and merged, defaulting to
+   **BFS+degree** as the paper recommends.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from typing import List, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import Partitioner
+from repro.partition.galloping import galloping_intersect_size
+from repro.partition.streaming_orders import get_order
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive
+
+
+def _mpgp_stream(
+    graph: CSRGraph,
+    stream: np.ndarray,
+    num_parts: int,
+    gamma: float,
+    part_of: Optional[np.ndarray] = None,
+    sizes: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Core streaming loop shared by sequential and parallel MPGP.
+
+    ``part_of``/``sizes`` allow a caller to continue from a partial
+    assignment (used when merging parallel segments).
+    """
+    n = graph.num_nodes
+    if part_of is None:
+        part_of = np.full(n, -1, dtype=np.int64)
+    if sizes is None:
+        sizes = np.zeros(num_parts, dtype=np.int64)
+    member_of_part = part_of  # alias for readability
+    weighted = graph.is_weighted
+
+    for v in stream:
+        v = int(v)
+        nbrs = graph.neighbors(v)
+        nbr_weights = graph.neighbor_weights(v) if weighted else None
+
+        pf1 = np.zeros(num_parts, dtype=np.float64)
+        pf2 = np.zeros(num_parts, dtype=np.float64)
+        placed_mask = member_of_part[nbrs] >= 0 if nbrs.size else \
+            np.empty(0, dtype=bool)
+        placed_nbrs = nbrs[placed_mask]
+        if placed_nbrs.size:
+            parts = member_of_part[placed_nbrs]
+            if weighted:
+                np.add.at(pf1, parts, nbr_weights[placed_mask])
+            else:
+                np.add.at(pf1, parts, 1.0)
+            # Second-order proximity, restricted to partitioned neighbours
+            # (optimisation 2): common neighbours via galloping.
+            for idx, u in enumerate(placed_nbrs):
+                cm = galloping_intersect_size(nbrs, graph.neighbors(int(u)))
+                if cm:
+                    contrib = cm * (nbr_weights[placed_mask][idx] if weighted else 1.0)
+                    pf2[parts[idx]] += contrib
+
+        total_assigned = int(sizes.sum())
+        if total_assigned == 0:
+            tau = np.ones(num_parts)
+        else:
+            avg = total_assigned / num_parts
+            tau = 1.0 - sizes / (gamma * avg)
+        scores = (pf1 + pf2) * tau
+        eligible = tau > 0
+        if not eligible.any():
+            target = int(np.argmin(sizes))
+        else:
+            masked = np.where(eligible, scores, -np.inf)
+            best = float(masked.max())
+            if best <= 0.0:
+                # No structural signal: place on the least-loaded eligible
+                # partition to preserve balance.
+                candidate_sizes = np.where(eligible, sizes, np.iinfo(np.int64).max)
+                target = int(np.argmin(candidate_sizes))
+            else:
+                target = int(np.argmax(masked))
+        part_of[v] = target
+        sizes[target] += 1
+    return part_of
+
+
+class MPGPPartitioner(Partitioner):
+    """Sequential MPGP (paper default: DFS+degree stream, γ = 2)."""
+
+    name = "mpgp"
+
+    def __init__(self, gamma: float = 2.0, order: str = "dfs+degree",
+                 seed: SeedLike = 0) -> None:
+        check_positive("gamma", gamma)
+        self.gamma = gamma
+        self.order = order
+        self.seed = seed
+
+    def _assign(self, graph: CSRGraph, num_parts: int) -> np.ndarray:
+        stream = get_order(self.order, graph, self.seed)
+        return _mpgp_stream(graph, stream, num_parts, self.gamma)
+
+
+class ParallelMPGPPartitioner(Partitioner):
+    """Parallel MPGP (MPGP-P): segment the stream, partition independently,
+    merge (paper default: BFS+degree stream).
+
+    Each segment is partitioned by the core MPGP loop against its own empty
+    partition set; segment results are then merged part-by-part, pairing
+    each segment's largest part with the globally least-loaded machine so
+    the union stays balanced.
+    """
+
+    name = "mpgp-parallel"
+
+    def __init__(self, gamma: float = 2.0, order: str = "bfs+degree",
+                 num_segments: int = 4, seed: SeedLike = 0,
+                 use_threads: bool = False) -> None:
+        # ``use_threads`` exists for fidelity with the paper's parallel
+        # implementation; under the CPython GIL the independent-segment
+        # structure (less PF2 work per segment) is what delivers the
+        # speed-up, so plain sequential segment processing is the default.
+        check_positive("gamma", gamma)
+        check_positive("num_segments", num_segments)
+        self.gamma = gamma
+        self.order = order
+        self.num_segments = num_segments
+        self.seed = seed
+        self.use_threads = use_threads
+
+    def _assign(self, graph: CSRGraph, num_parts: int) -> np.ndarray:
+        stream = get_order(self.order, graph, self.seed)
+        segments = np.array_split(stream, self.num_segments)
+        segments = [s for s in segments if s.size]
+
+        def run_segment(segment: np.ndarray) -> np.ndarray:
+            return _mpgp_stream(graph, segment, num_parts, self.gamma)
+
+        if self.use_threads and len(segments) > 1:
+            with ThreadPoolExecutor(max_workers=len(segments)) as pool:
+                results: List[np.ndarray] = list(pool.map(run_segment, segments))
+        else:
+            results = [run_segment(s) for s in segments]
+
+        # Merge: per segment, map its parts onto global machines.  Each
+        # segment part goes to the machine it shares the most edges with
+        # among machines not yet taken by this segment, weighted by the
+        # same dynamic balance term MPGP uses; the first segment (no prior
+        # content) falls back to largest-part -> lightest-machine.
+        final = np.full(graph.num_nodes, -1, dtype=np.int64)
+        global_sizes = np.zeros(num_parts, dtype=np.int64)
+        for segment, part_of in zip(segments, results):
+            seg_nodes = segment
+            seg_parts = part_of[seg_nodes]
+            seg_sizes = np.bincount(seg_parts, minlength=num_parts)
+            # Edge affinity between every segment part and every machine.
+            affinity = np.zeros((num_parts, num_parts), dtype=np.float64)
+            for v, p in zip(seg_nodes, seg_parts):
+                nbr_final = final[graph.neighbors(int(v))]
+                nbr_final = nbr_final[nbr_final >= 0]
+                if nbr_final.size:
+                    np.add.at(affinity[p], nbr_final, 1.0)
+            mapping = np.full(num_parts, -1, dtype=np.int64)
+            taken = np.zeros(num_parts, dtype=bool)
+            total_assigned = int(global_sizes.sum())
+            avg = max(1.0, (total_assigned + seg_nodes.size) / num_parts)
+            for p in np.argsort(-seg_sizes, kind="stable"):
+                tau = np.maximum(1e-9, 1.0 - global_sizes / (self.gamma * avg))
+                scores = np.where(taken, -np.inf, (affinity[p] + 1e-9) * tau)
+                target = int(np.argmax(scores))
+                mapping[p] = target
+                taken[target] = True
+            mapped = mapping[seg_parts]
+            final[seg_nodes] = mapped
+            global_sizes += np.bincount(mapped, minlength=num_parts)
+        # Nodes absent from the stream (isolated under some orders) --
+        # defensive fallback, streaming orders cover all nodes.
+        missing = np.flatnonzero(final < 0)
+        for v in missing:  # pragma: no cover - orders are exhaustive
+            target = int(np.argmin(global_sizes))
+            final[v] = target
+            global_sizes[target] += 1
+        return final

@@ -1,0 +1,70 @@
+"""Persisting partitions.
+
+At the paper's scale partitioning Twitter takes hours (Table 5); nobody
+re-partitions per run.  These helpers store a
+:class:`repro.partition.base.PartitionResult` as NPZ so a placement can
+be computed once and reused across sampling/training experiments, and
+validate it against the graph it is applied to.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.base import PartitionResult
+
+_FORMAT_VERSION = 1
+
+
+def save_partition(result: PartitionResult, path: str) -> None:
+    """Write a partition result (assignment + bookkeeping) as NPZ."""
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    extras_keys = sorted(result.extras)
+    np.savez_compressed(
+        path,
+        version=np.array([_FORMAT_VERSION]),
+        assignment=result.assignment,
+        num_parts=np.array([result.num_parts]),
+        method=np.array([result.method]),
+        seconds=np.array([result.seconds]),
+        extras_keys=np.array(extras_keys),
+        extras_values=np.array(
+            [float(result.extras[k]) for k in extras_keys], dtype=np.float64
+        ),
+    )
+
+
+def load_partition(path: str, graph: CSRGraph | None = None) -> PartitionResult:
+    """Restore a partition written by :func:`save_partition`.
+
+    When ``graph`` is given, the assignment is checked to cover exactly
+    its node set -- reusing a placement on the wrong graph is a silent
+    corruption bug otherwise.
+    """
+    with np.load(path, allow_pickle=False) as data:
+        version = int(data["version"][0])
+        if version != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported partition version {version} "
+                f"(expected {_FORMAT_VERSION})"
+            )
+        extras = {
+            str(k): float(v)
+            for k, v in zip(data["extras_keys"], data["extras_values"])
+        }
+        result = PartitionResult(
+            assignment=data["assignment"],
+            num_parts=int(data["num_parts"][0]),
+            method=str(data["method"][0]),
+            seconds=float(data["seconds"][0]),
+            extras=extras,
+        )
+    if graph is not None and result.assignment.size != graph.num_nodes:
+        raise ValueError(
+            f"{path}: partition covers {result.assignment.size} nodes but "
+            f"the graph has {graph.num_nodes}"
+        )
+    return result

@@ -1,0 +1,44 @@
+"""Simulated distributed runtime.
+
+Stands in for the paper's 8-machine cluster: machine placement, BSP walker
+scheduling, byte-accurate message accounting and a cost model that converts
+operation/traffic counts into a simulated makespan.  See DESIGN.md §1 for
+why this substitution preserves the paper's efficiency comparisons.
+"""
+
+from repro.runtime.bsp import BSPEngine, BSPStats, SuperstepRecord
+from repro.runtime.cluster import Cluster
+from repro.runtime.message import (
+    DeepWalkMessage,
+    FullPathMessage,
+    IncrementalMessage,
+    Node2VecMessage,
+    SyncMessage,
+    WalkerMessage,
+    message_size_ratio,
+)
+from repro.runtime.metrics import ClusterMetrics, CostModel
+from repro.runtime.topology import (
+    HeterogeneousCostModel,
+    RackTopologyCostModel,
+    rack_assignment,
+)
+
+__all__ = [
+    "BSPEngine",
+    "BSPStats",
+    "Cluster",
+    "ClusterMetrics",
+    "CostModel",
+    "DeepWalkMessage",
+    "FullPathMessage",
+    "HeterogeneousCostModel",
+    "IncrementalMessage",
+    "Node2VecMessage",
+    "RackTopologyCostModel",
+    "SuperstepRecord",
+    "SyncMessage",
+    "WalkerMessage",
+    "message_size_ratio",
+    "rack_assignment",
+]

@@ -1,0 +1,138 @@
+"""Bulk Synchronous Parallel superstep loop (Valiant [56], paper §2.2).
+
+KnightKing coordinates walkers with BSP: in each superstep every machine
+advances its resident walkers; walkers that hop to a node on another machine
+become messages delivered at the start of the next superstep.  This module
+implements that loop generically so all three walk modes (node2vec routine,
+HuGE-D full-path, DistGER InCoM) share identical scheduling and differ only
+in their per-step kernels and message payloads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Generic, List, Optional, Tuple, TypeVar
+
+from repro.runtime.cluster import Cluster
+
+Item = TypeVar("Item")
+
+#: A step function outcome: ``None`` terminates the item; otherwise
+#: ``(destination_machine, item, message_bytes)`` re-enqueues it.  A zero
+#: ``message_bytes`` with an unchanged machine means "continue locally"
+#: (the engine does not count a message for it).
+StepResult = Optional[Tuple[int, Item, int]]
+
+
+@dataclass
+class SuperstepRecord:
+    """What happened during one superstep (the BSP trace unit)."""
+
+    #: items resident per machine at the start of the superstep.
+    items_per_machine: List[int]
+    #: items that terminated during the superstep.
+    completed: int
+    #: cross-machine messages emitted during the superstep.
+    messages: int
+
+    @property
+    def active_items(self) -> int:
+        return sum(self.items_per_machine)
+
+    @property
+    def machine_imbalance(self) -> float:
+        """Max/mean resident items; the BSP straggler indicator."""
+        total = self.active_items
+        if total == 0:
+            return 1.0
+        mean = total / len(self.items_per_machine)
+        return max(self.items_per_machine) / mean
+
+
+@dataclass
+class BSPStats:
+    """Scheduling statistics of one BSP run."""
+
+    supersteps: int = 0
+    items_completed: int = 0
+    messages_delivered: int = 0
+    #: per-superstep records when tracing is enabled (engine option).
+    trace: List[SuperstepRecord] = None  # type: ignore[assignment]
+
+
+class BSPEngine(Generic[Item]):
+    """Runs items (walkers) to completion over a simulated cluster.
+
+    The per-item ``advance`` callable keeps stepping an item while it stays
+    on its current machine and returns a :data:`StepResult` when the item
+    either terminates (``None``) or must migrate (destination machine plus
+    the wire size of the walker message).
+    """
+
+    def __init__(self, cluster: Cluster, trace: bool = False) -> None:
+        self.cluster = cluster
+        self.stats = BSPStats()
+        if trace:
+            self.stats.trace = []
+
+    def run(
+        self,
+        initial: List[Tuple[int, Item]],
+        advance: Callable[[int, Item], StepResult],
+        max_supersteps: int = 1_000_000,
+    ) -> BSPStats:
+        """Drive all items to completion.
+
+        Parameters
+        ----------
+        initial:
+            ``(machine, item)`` seeds, typically one walker per source node
+            placed on the machine owning that node.
+        advance:
+            The per-item kernel; called as ``advance(machine, item)``.
+        max_supersteps:
+            Safety valve against non-terminating kernels.
+        """
+        queues: List[List[Item]] = [[] for _ in range(self.cluster.num_machines)]
+        for machine, item in initial:
+            queues[machine].append(item)
+
+        metrics = self.cluster.metrics
+        for _ in range(max_supersteps):
+            if not any(queues):
+                break
+            self.stats.supersteps += 1
+            step_completed = 0
+            step_messages = 0
+            items_per_machine = [len(q) for q in queues]
+            next_queues: List[List[Item]] = [[] for _ in range(self.cluster.num_machines)]
+            for machine, queue in enumerate(queues):
+                for item in queue:
+                    result = advance(machine, item)
+                    while result is not None:
+                        dest, moved, n_bytes = result
+                        if dest == machine and n_bytes == 0:
+                            # Kernel yielded control without leaving the
+                            # machine; keep advancing within the superstep.
+                            result = advance(machine, moved)
+                            continue
+                        metrics.record_message(n_bytes, src=machine, dst=dest)
+                        self.stats.messages_delivered += 1
+                        step_messages += 1
+                        next_queues[dest].append(moved)
+                        break
+                    else:
+                        self.stats.items_completed += 1
+                        step_completed += 1
+            if self.stats.trace is not None:
+                self.stats.trace.append(SuperstepRecord(
+                    items_per_machine=items_per_machine,
+                    completed=step_completed,
+                    messages=step_messages,
+                ))
+            queues = next_queues
+        else:
+            raise RuntimeError(
+                f"BSP did not converge within {max_supersteps} supersteps"
+            )
+        return self.stats

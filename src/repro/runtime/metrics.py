@@ -1,0 +1,169 @@
+"""Metric counters for the simulated cluster.
+
+The paper's efficiency claims decompose into (a) per-machine computation,
+(b) cross-machine message counts and bytes, and (c) synchronisation traffic.
+:class:`ClusterMetrics` counts all three; :class:`CostModel` turns the
+counts into a simulated makespan so experiments can report machine-count
+scaling (Fig. 6) deterministically, independent of the host's Python speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class ClusterMetrics:
+    """Accumulated work and traffic of one simulated run."""
+
+    num_machines: int
+    compute_units: List[float] = field(default_factory=list)
+    local_steps: List[int] = field(default_factory=list)
+    messages_sent: int = 0
+    message_bytes: int = 0
+    sync_messages: int = 0
+    sync_bytes: int = 0
+    peak_memory_bytes: List[int] = field(default_factory=list)
+    #: bytes sent per (src, dst) machine pair, when callers provide the
+    #: endpoints -- the input of the rack-topology cost models.
+    message_byte_matrix: List[List[int]] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        m = self.num_machines
+        if m <= 0:
+            raise ValueError(f"num_machines must be positive, got {m}")
+        if not self.compute_units:
+            self.compute_units = [0.0] * m
+        if not self.local_steps:
+            self.local_steps = [0] * m
+        if not self.peak_memory_bytes:
+            self.peak_memory_bytes = [0] * m
+        if not self.message_byte_matrix:
+            self.message_byte_matrix = [[0] * m for _ in range(m)]
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+
+    def record_compute(self, machine: int, units: float) -> None:
+        """Credit ``units`` of computational work to ``machine``."""
+        self.compute_units[machine] += units
+
+    def record_local_step(self, machine: int, count: int = 1) -> None:
+        """Count walk steps processed locally on ``machine``."""
+        self.local_steps[machine] += count
+
+    def record_message(self, n_bytes: int, src: int | None = None,
+                       dst: int | None = None) -> None:
+        """Count one cross-machine walker message of ``n_bytes``.
+
+        When the caller knows the endpoints it should pass ``src``/``dst``
+        so topology-aware cost models can price intra- vs inter-rack
+        traffic differently; endpoint-free recording remains valid and
+        simply leaves the pair matrix untouched.
+        """
+        self.messages_sent += 1
+        self.message_bytes += n_bytes
+        if src is not None and dst is not None:
+            self.message_byte_matrix[src][dst] += n_bytes
+
+    def record_sync(self, n_bytes: int, n_messages: int = 1) -> None:
+        """Count model-synchronisation traffic."""
+        self.sync_messages += n_messages
+        self.sync_bytes += n_bytes
+
+    def record_memory(self, machine: int, n_bytes: int) -> None:
+        """Track the peak resident bytes observed on ``machine``."""
+        if n_bytes > self.peak_memory_bytes[machine]:
+            self.peak_memory_bytes[machine] = n_bytes
+
+    # ------------------------------------------------------------------ #
+    # Aggregates
+    # ------------------------------------------------------------------ #
+
+    @property
+    def total_compute(self) -> float:
+        return sum(self.compute_units)
+
+    @property
+    def max_compute(self) -> float:
+        return max(self.compute_units) if self.compute_units else 0.0
+
+    @property
+    def total_local_steps(self) -> int:
+        return sum(self.local_steps)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.message_bytes + self.sync_bytes
+
+    @property
+    def compute_imbalance(self) -> float:
+        """Max/mean compute ratio: 1.0 means perfectly balanced."""
+        total = self.total_compute
+        if total <= 0:
+            return 1.0
+        mean = total / self.num_machines
+        return self.max_compute / mean
+
+    def merge(self, other: "ClusterMetrics") -> None:
+        """Fold another run's counters into this one (same cluster size)."""
+        if other.num_machines != self.num_machines:
+            raise ValueError("cannot merge metrics from different cluster sizes")
+        for m in range(self.num_machines):
+            self.compute_units[m] += other.compute_units[m]
+            self.local_steps[m] += other.local_steps[m]
+            self.peak_memory_bytes[m] = max(
+                self.peak_memory_bytes[m], other.peak_memory_bytes[m]
+            )
+            for d in range(self.num_machines):
+                self.message_byte_matrix[m][d] += other.message_byte_matrix[m][d]
+        self.messages_sent += other.messages_sent
+        self.message_bytes += other.message_bytes
+        self.sync_messages += other.sync_messages
+        self.sync_bytes += other.sync_bytes
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "num_machines": self.num_machines,
+            "total_compute": self.total_compute,
+            "max_compute": self.max_compute,
+            "compute_imbalance": self.compute_imbalance,
+            "messages_sent": self.messages_sent,
+            "message_bytes": self.message_bytes,
+            "sync_messages": self.sync_messages,
+            "sync_bytes": self.sync_bytes,
+            "total_local_steps": self.total_local_steps,
+        }
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Turns metric counters into a simulated makespan.
+
+    ``compute_rate`` is work-units per second per machine, ``bandwidth`` is
+    bytes per second of the interconnect, ``latency`` is per-message
+    overhead.  Defaults are calibrated so walk steps and message costs are
+    on the same order as the paper's 100 Gbps / 72-core testbed *relative to
+    each other* -- only ratios matter for the reproduced figures.
+    """
+
+    compute_rate: float = 5.0e6
+    bandwidth: float = 1.25e9
+    latency: float = 2.0e-6
+
+    def makespan(self, metrics: ClusterMetrics) -> float:
+        """Simulated end-to-end seconds: slowest machine + network time."""
+        compute_time = metrics.max_compute / self.compute_rate
+        network_time = (
+            metrics.total_bytes / self.bandwidth
+            + (metrics.messages_sent + metrics.sync_messages) * self.latency
+        )
+        return compute_time + network_time
+
+    def compute_seconds(self, metrics: ClusterMetrics) -> float:
+        return metrics.max_compute / self.compute_rate
+
+    def network_seconds(self, metrics: ClusterMetrics) -> float:
+        return self.makespan(metrics) - self.compute_seconds(metrics)

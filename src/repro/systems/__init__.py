@@ -1,0 +1,45 @@
+"""End-to-end embedding systems: DistGER and every baseline it is measured
+against (HuGE-D, KnightKing, PBG, DistDGL), plus the GPU cost-model variant.
+"""
+
+from repro.systems.base import EmbeddingSystem, SystemResult
+from repro.systems.distdgl import DistDGL
+from repro.systems.gpu import DistGERGPU, GPUCostModel
+from repro.systems.pbg import PBG
+from repro.systems.walk_systems import (
+    DistGER,
+    HuGED,
+    KnightKing,
+    RandomWalkSystem,
+)
+
+from repro.systems.comparison import (
+    SystemComparison,
+    SystemComparisonRow,
+    compare_systems,
+)
+
+ALL_SYSTEMS = {
+    "DistGER": DistGER,
+    "HuGE-D": HuGED,
+    "KnightKing": KnightKing,
+    "PBG": PBG,
+    "DistDGL": DistDGL,
+}
+
+__all__ = [
+    "ALL_SYSTEMS",
+    "DistDGL",
+    "DistGER",
+    "DistGERGPU",
+    "EmbeddingSystem",
+    "GPUCostModel",
+    "HuGED",
+    "KnightKing",
+    "PBG",
+    "RandomWalkSystem",
+    "SystemComparison",
+    "SystemComparisonRow",
+    "SystemResult",
+    "compare_systems",
+]

@@ -1,0 +1,158 @@
+"""Side-by-side system comparison (the §6 experiment loop as a library).
+
+Every evaluation in the paper runs several systems on the same graph and
+compares end-to-end time, traffic, memory and task quality.  The benches
+each re-implement that loop; this harness exposes it as public API so
+users can reproduce the comparisons on their own graphs::
+
+    from repro.systems import compare_systems
+    table = compare_systems(graph, methods=("distger", "knightking"),
+                            num_machines=4, dim=64)
+    print(table.formatted())
+
+Quality scoring is optional: pass ``task="link-prediction"`` to also
+report AUC on a held-out split shared by every method.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.graph.csr import CSRGraph
+
+
+@dataclass
+class SystemComparisonRow:
+    """One system's measurements on the shared workload."""
+
+    method: str
+    wall_seconds: float
+    simulated_seconds: float
+    walker_messages: int
+    walker_message_bytes: int
+    sync_bytes: int
+    peak_memory_bytes: int
+    corpus_tokens: Optional[float]   # None for the non-walk systems
+    auc: Optional[float]             # None when no task was requested
+
+    def as_list(self) -> List:
+        return [
+            self.method, self.wall_seconds, self.simulated_seconds,
+            self.walker_messages, self.walker_message_bytes,
+            self.sync_bytes, self.peak_memory_bytes,
+            self.corpus_tokens, self.auc,
+        ]
+
+
+@dataclass
+class SystemComparison:
+    """All rows of one comparison plus convenience accessors."""
+
+    rows: List[SystemComparisonRow] = field(default_factory=list)
+
+    HEADERS = [
+        "method", "wall s", "sim s", "walker msgs", "walker bytes",
+        "sync bytes", "peak mem B", "corpus tokens", "AUC",
+    ]
+
+    def row(self, method: str) -> SystemComparisonRow:
+        for r in self.rows:
+            if r.method == method:
+                return r
+        raise KeyError(f"no row for method {method!r}")
+
+    def speedup(self, fast: str, slow: str, clock: str = "wall") -> float:
+        """``slow``'s time over ``fast``'s (the paper's headline ratios)."""
+        if clock not in ("wall", "simulated"):
+            raise ValueError("clock must be 'wall' or 'simulated'")
+        attr = "wall_seconds" if clock == "wall" else "simulated_seconds"
+        denom = getattr(self.row(fast), attr)
+        if denom <= 0:
+            return float("inf")
+        return getattr(self.row(slow), attr) / denom
+
+    def formatted(self) -> str:
+        """Aligned text table (what the examples print)."""
+        str_rows = [
+            [_fmt(c) for c in row.as_list()] for row in self.rows
+        ]
+        widths = [len(h) for h in self.HEADERS]
+        for row in str_rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = [
+            "  ".join(h.ljust(w) for h, w in zip(self.HEADERS, widths)),
+            "  ".join("-" * w for w in widths),
+        ]
+        lines += ["  ".join(c.ljust(w) for c, w in zip(row, widths))
+                  for row in str_rows]
+        return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if cell is None:
+        return "-"
+    if isinstance(cell, float):
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def compare_systems(
+    graph: CSRGraph,
+    methods: Sequence[str] = ("distger", "huge-d", "knightking"),
+    num_machines: int = 4,
+    dim: int = 32,
+    epochs: int = 2,
+    seed: int = 0,
+    task: Optional[str] = None,
+    test_fraction: float = 0.3,
+    method_kwargs: Optional[Dict[str, dict]] = None,
+) -> SystemComparison:
+    """Run every method on the same graph and collect the §6 quantities.
+
+    With ``task="link-prediction"`` a single edge split is drawn first and
+    every method is trained on the same residual graph and scored on the
+    same held-out edges, so the AUC column is directly comparable.
+    ``method_kwargs`` maps a method name to extra constructor arguments
+    (e.g. ``{"knightking": {"walk_length": 40}}``).
+    """
+    from repro.api import embed_graph
+
+    if task not in (None, "link-prediction"):
+        raise ValueError(f"unknown task {task!r}; use 'link-prediction'")
+    method_kwargs = method_kwargs or {}
+
+    split = None
+    train_graph = graph
+    if task == "link-prediction":
+        from repro.tasks import split_edges
+
+        split = split_edges(graph, test_fraction=test_fraction, seed=seed)
+        train_graph = split.train_graph
+
+    comparison = SystemComparison()
+    for method in methods:
+        result = embed_graph(
+            train_graph, method=method, num_machines=num_machines,
+            dim=dim, epochs=epochs, seed=seed,
+            **method_kwargs.get(method, {}),
+        )
+        auc = None
+        if split is not None:
+            from repro.tasks import auc_from_split
+
+            auc = auc_from_split(result.embeddings, split)
+        metrics = result.metrics
+        comparison.rows.append(SystemComparisonRow(
+            method=method,
+            wall_seconds=result.wall_seconds,
+            simulated_seconds=result.simulated_seconds,
+            walker_messages=metrics.messages_sent,
+            walker_message_bytes=metrics.message_bytes,
+            sync_bytes=metrics.sync_bytes,
+            peak_memory_bytes=max(metrics.peak_memory_bytes),
+            corpus_tokens=result.stats.get("corpus_tokens"),
+            auc=auc,
+        ))
+    return comparison

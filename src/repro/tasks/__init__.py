@@ -1,0 +1,89 @@
+"""Downstream evaluation tasks: link prediction, node classification,
+clustering, recommendation, and hyper-parameter search."""
+
+from repro.tasks.clustering import (
+    ClusteringReport,
+    evaluate_clustering,
+    kmeans,
+    modularity,
+    normalized_mutual_information,
+)
+from repro.tasks.classification import (
+    ClassificationReport,
+    evaluate_classification,
+)
+from repro.tasks.link_prediction import (
+    LinkPredictionReport,
+    auc_from_split,
+    evaluate_link_prediction,
+    pair_scores,
+)
+from repro.tasks.logreg import LogisticRegression, OneVsRestClassifier
+from repro.tasks.metrics import (
+    auc_score,
+    average_precision,
+    f1_binary,
+    macro_f1,
+    micro_f1,
+    precision_at_k,
+)
+from repro.tasks.model_selection import (
+    GridSearchReport,
+    ParameterGrid,
+    Trial,
+    classification_objective,
+    grid_search,
+    link_prediction_objective,
+)
+from repro.tasks.recommendation import (
+    RecommendationReport,
+    RecommendationSplit,
+    evaluate_recommendation,
+    random_baseline_precision,
+    rank_items,
+    split_interactions,
+)
+from repro.tasks.split import (
+    LinkPredictionSplit,
+    sample_non_edges,
+    split_edges,
+    split_nodes,
+)
+
+__all__ = [
+    "ClassificationReport",
+    "ClusteringReport",
+    "GridSearchReport",
+    "LinkPredictionReport",
+    "LinkPredictionSplit",
+    "LogisticRegression",
+    "OneVsRestClassifier",
+    "ParameterGrid",
+    "RecommendationReport",
+    "RecommendationSplit",
+    "Trial",
+    "auc_from_split",
+    "auc_score",
+    "average_precision",
+    "classification_objective",
+    "evaluate_classification",
+    "evaluate_clustering",
+    "evaluate_link_prediction",
+    "evaluate_recommendation",
+    "f1_binary",
+    "grid_search",
+    "kmeans",
+    "link_prediction_objective",
+    "macro_f1",
+    "micro_f1",
+    "modularity",
+    "normalized_mutual_information",
+    "pair_scores",
+    "precision_at_k",
+    "random_baseline_precision",
+    "rank_items",
+    "sample_non_edges",
+    "split_edges",
+    "split_interactions",
+    "split_nodes",
+]

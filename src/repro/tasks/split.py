@@ -1,0 +1,114 @@
+"""Train/test splits for downstream evaluation (paper §6.4 protocol).
+
+Link prediction follows [17, 18, 53, 69]: remove 50% of edges uniformly at
+random as positive test edges (training embeddings on the residual graph),
+and sample an equal number of non-edges as negatives.  Classification
+splits nodes by a training ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_fraction
+
+
+@dataclass
+class LinkPredictionSplit:
+    """Residual training graph plus labelled node-pair sets."""
+
+    train_graph: CSRGraph
+    test_positive: np.ndarray   # (n_pos, 2)
+    test_negative: np.ndarray   # (n_neg, 2)
+
+
+def split_edges(
+    graph: CSRGraph,
+    test_fraction: float = 0.5,
+    seed: SeedLike = None,
+    keep_connected_sources: bool = True,
+) -> LinkPredictionSplit:
+    """Uniformly remove ``test_fraction`` of edges as positive test pairs.
+
+    With ``keep_connected_sources`` an edge is retained (not removed) when
+    removing it would isolate one of its endpoints -- embeddings of
+    zero-degree nodes are meaningless, which would only add noise to the
+    AUC; the paper's protocol implicitly relies on the giant component
+    surviving the split at its graph scales.
+    """
+    check_fraction("test_fraction", test_fraction)
+    rng = default_rng(seed)
+    edges = graph.unique_edges()
+    if len(edges) < 4:
+        raise ValueError("graph too small for a link-prediction split")
+    order = rng.permutation(len(edges))
+    target_removals = int(len(edges) * test_fraction)
+
+    residual_degree = graph.degrees.copy()
+    removed_mask = np.zeros(len(edges), dtype=bool)
+    removed = 0
+    for idx in order:
+        if removed >= target_removals:
+            break
+        u, v = int(edges[idx, 0]), int(edges[idx, 1])
+        if keep_connected_sources and (
+            residual_degree[u] <= 1 or residual_degree[v] <= 1
+        ):
+            continue
+        removed_mask[idx] = True
+        residual_degree[u] -= 1
+        residual_degree[v] -= 1
+        removed += 1
+
+    test_pos = edges[removed_mask]
+    train_graph = graph.subgraph_without_edges(map(tuple, test_pos))
+    test_neg = sample_non_edges(graph, count=len(test_pos), rng=rng)
+    return LinkPredictionSplit(
+        train_graph=train_graph,
+        test_positive=test_pos,
+        test_negative=test_neg,
+    )
+
+
+def sample_non_edges(
+    graph: CSRGraph, count: int, rng: SeedLike = None
+) -> np.ndarray:
+    """Sample ``count`` node pairs with no edge in ``graph``."""
+    gen = default_rng(rng)
+    n = graph.num_nodes
+    out = np.empty((count, 2), dtype=np.int64)
+    filled = 0
+    guard = 0
+    while filled < count:
+        guard += 1
+        if guard > 1000:
+            raise RuntimeError("non-edge sampling did not converge; "
+                               "graph may be too dense")
+        need = count - filled
+        u = gen.integers(0, n, size=2 * need + 8)
+        v = gen.integers(0, n, size=2 * need + 8)
+        for a, b in zip(u, v):
+            if a == b or graph.has_edge(int(a), int(b)):
+                continue
+            out[filled] = (a, b)
+            filled += 1
+            if filled >= count:
+                break
+    return out
+
+
+def split_nodes(
+    num_nodes: int, train_ratio: float, seed: SeedLike = None
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random (train_ids, test_ids) node split for classification."""
+    check_fraction("train_ratio", train_ratio)
+    rng = default_rng(seed)
+    perm = rng.permutation(num_nodes)
+    cut = max(1, int(round(num_nodes * train_ratio)))
+    cut = min(cut, num_nodes - 1)
+    return np.sort(perm[:cut]), np.sort(perm[cut:])

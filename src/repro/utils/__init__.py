@@ -1,0 +1,50 @@
+"""Shared utilities used across the DistGER reproduction.
+
+This package contains small, dependency-free building blocks:
+
+* :mod:`repro.utils.rng` -- deterministic random number management.
+* :mod:`repro.utils.alias` -- O(1) discrete sampling via the alias method.
+* :mod:`repro.utils.incremental` -- O(1) streaming statistics (mean,
+  product moments, entropy, linear-regression R^2) that power InCoM.
+* :mod:`repro.utils.stats` -- batch entropy / divergence helpers.
+* :mod:`repro.utils.timer` -- lightweight instrumentation timers.
+* :mod:`repro.utils.validation` -- argument-checking helpers shared by
+  public entry points.
+"""
+
+from repro.utils.alias import AliasTable
+from repro.utils.incremental import (
+    IncrementalCorrelation,
+    IncrementalEntropy,
+    IncrementalMean,
+)
+from repro.utils.rng import default_rng, spawn_rngs
+from repro.utils.stats import (
+    entropy_of_counts,
+    entropy_of_sequence,
+    kl_divergence,
+    r_squared,
+)
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    check_fraction,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "AliasTable",
+    "IncrementalCorrelation",
+    "IncrementalEntropy",
+    "IncrementalMean",
+    "Timer",
+    "check_fraction",
+    "check_positive",
+    "check_probability",
+    "default_rng",
+    "entropy_of_counts",
+    "entropy_of_sequence",
+    "kl_divergence",
+    "r_squared",
+    "spawn_rngs",
+]

@@ -1,0 +1,56 @@
+"""Deterministic random-number management.
+
+Every stochastic component in the reproduction (walkers, negative samplers,
+partitioner tie-breaks, dataset generators) receives an explicit
+:class:`numpy.random.Generator`.  Centralising construction here keeps all
+experiments reproducible: a single integer seed fans out into independent
+streams via :func:`spawn_rngs`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+def default_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Accepts ``None`` (non-deterministic), an integer seed, an existing
+    generator (returned unchanged so callers can thread one generator
+    through a pipeline), or a :class:`numpy.random.SeedSequence`.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
+    """Spawn ``count`` independent generators from a single ``seed``.
+
+    Used to give each simulated machine (or thread) its own stream so that
+    changing the number of machines does not perturb unrelated streams.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    if isinstance(seed, np.random.Generator):
+        # Derive children from the generator's own bit stream.
+        seeds = seed.integers(0, 2**63 - 1, size=count)
+        return [np.random.default_rng(int(s)) for s in seeds]
+    seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
+    return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def derive_seed(seed: Optional[int], *salt: int) -> Optional[int]:
+    """Combine ``seed`` with integer ``salt`` values into a new seed.
+
+    Returns ``None`` when the base seed is ``None`` so that explicitly
+    non-deterministic runs stay non-deterministic.
+    """
+    if seed is None:
+        return None
+    mixed = np.random.SeedSequence([seed, *salt])
+    return int(mixed.generate_state(1)[0])

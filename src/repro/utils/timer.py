@@ -1,0 +1,56 @@
+"""Lightweight instrumentation timers.
+
+Every system in :mod:`repro.systems` reports a phase breakdown (partition /
+sample / train) the way the paper's tables do; :class:`Timer` is the shared
+mechanism.  Timers are reentrant-safe context managers accumulating wall
+time per named phase.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator
+
+
+@dataclass
+class Timer:
+    """Accumulates wall-clock seconds per named phase."""
+
+    phases: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Time a block: ``with timer.phase("sampling"): ...``."""
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            elapsed = time.perf_counter() - start
+            self.phases[name] = self.phases.get(name, 0.0) + elapsed
+            self.counts[name] = self.counts.get(name, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Manually credit ``seconds`` to phase ``name``."""
+        self.phases[name] = self.phases.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def get(self, name: str) -> float:
+        return self.phases.get(name, 0.0)
+
+    @property
+    def total(self) -> float:
+        return sum(self.phases.values())
+
+    def as_dict(self) -> Dict[str, float]:
+        return dict(self.phases)
+
+    def merge(self, other: "Timer") -> None:
+        for name, seconds in other.phases.items():
+            self.add(name, seconds)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        parts = ", ".join(f"{k}={v:.3f}s" for k, v in sorted(self.phases.items()))
+        return f"Timer({parts}, total={self.total:.3f}s)"

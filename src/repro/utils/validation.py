@@ -1,0 +1,44 @@
+"""Argument-checking helpers shared by public entry points.
+
+Raising early with a precise message is cheaper than debugging a silent
+mis-parameterised experiment; these helpers keep the checks uniform.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+Number = Union[int, float]
+
+
+def check_positive(name: str, value: Number, allow_zero: bool = False) -> Number:
+    """Validate ``value > 0`` (or ``>= 0`` with ``allow_zero``)."""
+    if allow_zero:
+        if value < 0:
+            raise ValueError(f"{name} must be >= 0, got {value!r}")
+    elif value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Validate ``0 <= value <= 1``."""
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(name: str, value: float) -> float:
+    """Validate ``0 < value < 1`` (strict, e.g. train/test split ratios)."""
+    if not 0.0 < value < 1.0:
+        raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value
+
+
+def check_int_in_range(name: str, value: int, low: int, high: int) -> int:
+    """Validate ``low <= value <= high`` for an integer parameter."""
+    if not isinstance(value, (int,)) or isinstance(value, bool):
+        raise TypeError(f"{name} must be an int, got {type(value).__name__}")
+    if not low <= value <= high:
+        raise ValueError(f"{name} must be in [{low}, {high}], got {value}")
+    return value

@@ -1,0 +1,132 @@
+"""Corpus: the set of generated walks fed to the Skip-Gram learner.
+
+Besides holding the walks, the corpus tracks per-node occurrence counts --
+the paper reuses these counts three times: for the walk-count termination
+rule (Eq. 6/7), for ordering DSGL's global matrices by frequency
+(Improvement-I), and for the hotness blocks of the synchronisation scheme
+(Improvement-III).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+import numpy as np
+
+from repro.utils.stats import kl_divergence
+
+
+@dataclass
+class Corpus:
+    """Walks over a fixed node universe of size ``num_nodes``."""
+
+    num_nodes: int
+    walks: List[np.ndarray] = field(default_factory=list)
+    _occurrences: np.ndarray = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self._occurrences is None:
+            self._occurrences = np.zeros(self.num_nodes, dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Building
+    # ------------------------------------------------------------------ #
+
+    def add_walk(self, walk: Sequence[int]) -> None:
+        """Append one walk and update occurrence counts."""
+        arr = np.asarray(walk, dtype=np.int64)
+        if arr.size == 0:
+            return
+        if arr.min() < 0 or arr.max() >= self.num_nodes:
+            raise ValueError("walk contains node ids outside the universe")
+        self.walks.append(arr)
+        np.add.at(self._occurrences, arr, 1)
+
+    def merge(self, other: "Corpus") -> None:
+        """Fold another corpus (e.g. another machine's walks) into this one."""
+        if other.num_nodes != self.num_nodes:
+            raise ValueError("cannot merge corpora over different universes")
+        self.walks.extend(other.walks)
+        self._occurrences += other._occurrences
+
+    # ------------------------------------------------------------------ #
+    # Statistics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def occurrences(self) -> np.ndarray:
+        """Per-node occurrence counts ``ocn(v)`` (int64[num_nodes])."""
+        return self._occurrences
+
+    @property
+    def num_walks(self) -> int:
+        return len(self.walks)
+
+    @property
+    def total_tokens(self) -> int:
+        return int(self._occurrences.sum())
+
+    @property
+    def average_walk_length(self) -> float:
+        if not self.walks:
+            return 0.0
+        return self.total_tokens / self.num_walks
+
+    def frequency_order(self) -> np.ndarray:
+        """Node ids in descending corpus frequency (DSGL's matrix order)."""
+        return np.argsort(-self._occurrences, kind="stable").astype(np.int64)
+
+    def kl_from_degree_distribution(self, degrees: np.ndarray) -> float:
+        """``D(p ‖ q)`` between the degree distribution and corpus
+        occurrences (Eq. 6) -- the walk-count convergence statistic."""
+        return kl_divergence(np.asarray(degrees, dtype=np.float64),
+                             self._occurrences.astype(np.float64) + 1e-12)
+
+    def memory_bytes(self) -> int:
+        """Bytes held by walks + counters (memory-table benchmarks)."""
+        return int(sum(w.nbytes for w in self.walks) + self._occurrences.nbytes)
+
+    # ------------------------------------------------------------------ #
+    # Persistence
+    # ------------------------------------------------------------------ #
+
+    def save(self, path: str) -> None:
+        """Persist the corpus as one walk per line (word2vec corpus format).
+
+        The node universe size is recorded in a header comment so
+        :meth:`load` can rebuild an identical object.
+        """
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(f"# num_nodes={self.num_nodes}\n")
+            for walk in self.walks:
+                handle.write(" ".join(str(int(v)) for v in walk))
+                handle.write("\n")
+
+    @classmethod
+    def load(cls, path: str) -> "Corpus":
+        """Rebuild a corpus written by :meth:`save`."""
+        with open(path, "r", encoding="utf-8") as handle:
+            header = handle.readline().strip()
+            if not header.startswith("# num_nodes="):
+                raise ValueError(f"{path}: missing corpus header")
+            corpus = cls(int(header.split("=", 1)[1]))
+            for line in handle:
+                line = line.strip()
+                if line:
+                    corpus.add_walk([int(tok) for tok in line.split()])
+        return corpus
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        return iter(self.walks)
+
+    def __len__(self) -> int:
+        return self.num_walks
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Corpus(walks={self.num_walks}, tokens={self.total_tokens}, "
+            f"avg_len={self.average_walk_length:.1f})"
+        )

@@ -1,0 +1,239 @@
+"""The distributed walk engine (sampler of Fig. 1).
+
+Runs walks for every source node over a simulated :class:`Cluster` using
+the BSP scheduling of :mod:`repro.runtime.bsp`.  Three modes reproduce the
+three systems compared throughout the paper:
+
+* ``routine``  -- KnightKing: fixed walk length ``L`` and ``r`` walks per
+  node, constant 24/32-byte messages, O(1) per-step compute.
+* ``fullpath`` -- HuGE-D: information-oriented walks, effectiveness
+  recomputed from the full path each step (O(L)), messages carry the path
+  (``24 + 8L`` bytes).
+* ``incom``    -- DistGER: information-oriented walks with O(1) InCoM
+  measurement and constant 80-byte messages.
+
+Per-machine compute units are credited for every sampling trial and for
+every measurement at its mode-specific cost, so the simulated cost model
+reproduces the paper's complexity separations; the *wall-clock* separation
+is also real because the full-path mode genuinely recomputes from scratch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.runtime.bsp import BSPEngine, StepResult
+from repro.runtime.cluster import Cluster
+from repro.runtime.message import BYTES_PER_FIELD
+from repro.utils.validation import check_positive
+from repro.walks.corpus import Corpus
+from repro.walks.incom import make_measure
+from repro.walks.kernels import make_kernel
+from repro.walks.termination import WalkCountRule, WalkLengthRule
+from repro.walks.walker import Walker, WalkStats
+
+
+@dataclass
+class WalkConfig:
+    """Every knob of the sampling phase in one place.
+
+    Defaults correspond to DistGER's information-oriented mode with the
+    laptop-scale calibration discussed in
+    :mod:`repro.walks.termination`; ``routine()`` and ``huge_d()`` presets
+    build the baselines.
+    """
+
+    kernel: str = "huge"    # deepwalk | node2vec | node2vec-alias | huge | huge+
+    mode: str = "incom"             # incom | fullpath | routine
+    # mu=0.82 is the laptop-scale calibration of the paper's mu=0.995 (see
+    # repro.walks.termination): it reproduces the ~63% average walk-length
+    # reduction against the routine L=80 on the dataset stand-ins.
+    mu: float = 0.82
+    delta: float = 0.001   # the paper's constant; also well-behaved here
+    min_length: int = 5
+    max_length: int = 80
+    walk_length: int = 80           # routine mode only
+    walks_per_node: int = 10        # routine mode only
+    min_rounds: int = 2
+    max_rounds: int = 10
+    max_trials_per_step: int = 32
+    p: float = 1.0                  # node2vec return parameter
+    q: float = 1.0                  # node2vec in-out parameter
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("incom", "fullpath", "routine"):
+            raise ValueError(f"unknown mode {self.mode!r}")
+        check_positive("max_trials_per_step", self.max_trials_per_step)
+
+    @classmethod
+    def distger(cls, **overrides) -> "WalkConfig":
+        """DistGER: HuGE walks, InCoM measurement."""
+        return cls(**{"kernel": "huge", "mode": "incom", **overrides})
+
+    @classmethod
+    def huge_d(cls, **overrides) -> "WalkConfig":
+        """HuGE-D baseline: HuGE walks, full-path measurement."""
+        return cls(**{"kernel": "huge", "mode": "fullpath", **overrides})
+
+    @classmethod
+    def routine(cls, kernel: str = "node2vec", **overrides) -> "WalkConfig":
+        """KnightKing: routine configuration (L=80, r=10)."""
+        return cls(**{"kernel": kernel, "mode": "routine", **overrides})
+
+
+@dataclass
+class WalkResult:
+    """Output of one sampling run."""
+
+    corpus: Corpus
+    stats: WalkStats
+    #: Machine owning each walk's source (sub-corpus placement, Fig. 1).
+    walk_machines: List[int] = field(default_factory=list)
+
+
+class DistributedWalkEngine:
+    """Runs a :class:`WalkConfig` over a graph placed on a cluster."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        cluster: Cluster,
+        config: Optional[WalkConfig] = None,
+    ) -> None:
+        if cluster.assignment.size != graph.num_nodes:
+            raise ValueError("cluster assignment does not cover the graph")
+        self.graph = graph
+        self.cluster = cluster
+        self.config = config or WalkConfig()
+        kernel_kwargs = {}
+        if self.config.kernel in ("node2vec", "node2vec-alias"):
+            kernel_kwargs = {"p": self.config.p, "q": self.config.q}
+        self.kernel = make_kernel(self.config.kernel, graph, **kernel_kwargs)
+        self._routine_message_bytes = self.kernel.message_fields * BYTES_PER_FIELD
+
+    # ------------------------------------------------------------------ #
+    # Public API
+    # ------------------------------------------------------------------ #
+
+    def run(self, sources: Optional[np.ndarray] = None) -> WalkResult:
+        """Sample walks from ``sources`` (default: every node with edges)."""
+        cfg = self.config
+        if sources is None:
+            sources = np.flatnonzero(self.graph.degrees > 0)
+        sources = np.asarray(sources, dtype=np.int64)
+
+        corpus = Corpus(self.graph.num_nodes)
+        stats = WalkStats()
+        walk_machines: List[int] = []
+        if sources.size == 0:
+            # Edge-free graph (or caller passed no sources): nothing to
+            # sample, and the KL walk-count rule would be undefined.
+            return WalkResult(corpus=corpus, stats=stats,
+                              walk_machines=walk_machines)
+
+        if cfg.mode == "routine":
+            rounds = cfg.walks_per_node
+            count_rule = None
+        else:
+            rounds = cfg.max_rounds
+            count_rule = WalkCountRule(
+                delta=cfg.delta, min_rounds=cfg.min_rounds,
+                max_rounds=cfg.max_rounds,
+            )
+        degrees = self.graph.degrees
+
+        for round_idx in range(rounds):
+            self._run_round(sources, round_idx, corpus, stats, walk_machines)
+            stats.rounds += 1
+            if count_rule is not None:
+                if count_rule.observe_round(corpus, degrees):
+                    break
+        if count_rule is not None:
+            stats.kl_trace = list(count_rule.kl_trace)
+        return WalkResult(corpus=corpus, stats=stats, walk_machines=walk_machines)
+
+    # ------------------------------------------------------------------ #
+    # One BSP round: a walk from every source
+    # ------------------------------------------------------------------ #
+
+    def _run_round(
+        self,
+        sources: np.ndarray,
+        round_idx: int,
+        corpus: Corpus,
+        stats: WalkStats,
+        walk_machines: List[int],
+    ) -> None:
+        cfg = self.config
+        cluster = self.cluster
+        graph = self.graph
+        metrics = cluster.metrics
+        info_mode = cfg.mode != "routine"
+        length_rule = (
+            WalkLengthRule(mu=cfg.mu, min_length=cfg.min_length,
+                           max_length=cfg.max_length)
+            if info_mode
+            else None
+        )
+
+        items: List[Tuple[int, Tuple[Walker, object]]] = []
+        for offset, source in enumerate(sources):
+            source = int(source)
+            walker = Walker.start(round_idx * len(sources) + offset, source)
+            measure = make_measure(cfg.mode) if info_mode else None
+            if measure is not None:
+                measure.observe(source)
+            items.append((cluster.machine_of(source), (walker, measure)))
+
+        def advance(machine: int, item: Tuple[Walker, object]) -> StepResult:
+            walker, measure = item
+            rng = cluster.rngs[machine]
+            while True:
+                if self._walk_finished(walker, measure, length_rule):
+                    corpus.add_walk(walker.path)
+                    stats.total_walks += 1
+                    stats.walk_lengths.append(walker.length)
+                    walk_machines.append(cluster.machine_of(walker.source))
+                    return None
+                candidate = self.kernel.step(walker.current, walker.previous, rng)
+                stats.total_trials += 1
+                metrics.record_compute(machine, 1.0)
+                if candidate is None:
+                    walker.trials_at_step += 1
+                    if walker.trials_at_step >= cfg.max_trials_per_step:
+                        # Force progress: unconditional uniform hop, the
+                        # pragmatic cap real engines apply to rejection loops.
+                        nbrs = graph.neighbors(walker.current)
+                        candidate = int(nbrs[rng.integers(0, nbrs.size)])
+                    else:
+                        continue
+                walker.advance(int(candidate))
+                stats.total_steps += 1
+                metrics.record_local_step(machine)
+                if measure is not None:
+                    measure.observe(int(candidate))
+                    # Measurement cost: O(1) for InCoM, O(L) for full-path.
+                    metrics.record_compute(machine, measure.step_cost())
+                dest = cluster.machine_of(int(candidate))
+                if dest != machine:
+                    n_bytes = (
+                        measure.message_bytes()
+                        if measure is not None
+                        else self._routine_message_bytes
+                    )
+                    return (dest, (walker, measure), n_bytes)
+
+        engine = BSPEngine(cluster)
+        engine.run(items, advance)
+
+    def _walk_finished(self, walker: Walker, measure, length_rule) -> bool:
+        # Dead end (directed graphs / isolated nodes): stop where we stand.
+        if self.graph.degree(walker.current) == 0:
+            return True
+        if length_rule is None:
+            return walker.length >= self.config.walk_length
+        return length_rule.should_stop(measure)

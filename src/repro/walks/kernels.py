@@ -1,0 +1,197 @@
+"""Per-step transition kernels: DeepWalk, node2vec, HuGE, HuGE+.
+
+Each kernel proposes/accepts the next node for a walker positioned at
+``u``.  All kernels share the *rejection* idiom of the paper: a uniformly
+chosen candidate is accepted with a kernel-specific probability, and a
+rejection leaves the walker at ``u`` to retry (KnightKing's rejection
+sampling for node2vec; HuGE's walking-backtracking strategy [30]).
+
+The function contract returns the accepted node or ``None`` on rejection;
+engines count every call as one unit of per-machine compute, which is what
+makes the acceptance-rate differences between kernels visible in the
+simulated cost model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.partition.galloping import galloping_intersect_size
+from repro.utils.validation import check_positive
+
+
+def _weighted_choice(
+    graph: CSRGraph,
+    node: int,
+    rng: np.random.Generator,
+    cumsum_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> int:
+    """Uniform (or weight-proportional) neighbour draw."""
+    nbrs = graph.neighbors(node)
+    if nbrs.size == 0:
+        raise ValueError(f"node {node} has no neighbours to walk to")
+    if not graph.is_weighted:
+        return int(nbrs[rng.integers(0, nbrs.size)])
+    if cumsum_cache is not None and node in cumsum_cache:
+        cumsum = cumsum_cache[node]
+    else:
+        cumsum = np.cumsum(graph.neighbor_weights(node))
+        if cumsum_cache is not None:
+            cumsum_cache[node] = cumsum
+    x = rng.random() * cumsum[-1]
+    return int(nbrs[np.searchsorted(cumsum, x, side="right")])
+
+
+@dataclass
+class DeepWalkKernel:
+    """First-order uniform walk (DeepWalk [42]); never rejects."""
+
+    graph: CSRGraph
+
+    def __post_init__(self) -> None:
+        self._cumsum_cache: Dict[int, np.ndarray] = {}
+
+    name = "deepwalk"
+    message_fields = 3  # [walk_id, steps, node_id]
+
+    def step(self, current: int, previous: int, rng: np.random.Generator) -> Optional[int]:
+        return _weighted_choice(self.graph, current, rng, self._cumsum_cache)
+
+
+@dataclass
+class Node2VecKernel:
+    """Second-order node2vec walk via rejection sampling (paper §2.1/§2.2).
+
+    The envelope is ``Q(u) = max(1/p, 1, 1/q)``; a uniform candidate ``v``
+    is accepted iff ``π_uv >= y`` for ``y ~ U[0, Q)`` with ``π_uv`` equal to
+    ``1/p`` (return to the previous node), ``1`` (candidate adjacent to the
+    previous node) or ``1/q`` (outward move) -- KnightKing's O(1)-per-trial
+    scheme that avoids scanning the out-edges.
+    """
+
+    graph: CSRGraph
+    p: float = 1.0
+    q: float = 1.0
+
+    name = "node2vec"
+    message_fields = 4  # [walk_id, steps, node_id, prev_node_id]
+
+    def __post_init__(self) -> None:
+        check_positive("p", self.p)
+        check_positive("q", self.q)
+        self._envelope = max(1.0 / self.p, 1.0, 1.0 / self.q)
+        self._cumsum_cache: Dict[int, np.ndarray] = {}
+
+    def _pi(self, previous: int, candidate: int) -> float:
+        if previous < 0:
+            return 1.0  # first step is first-order
+        if candidate == previous:
+            return 1.0 / self.p
+        if self.graph.has_edge(previous, candidate):
+            return 1.0
+        return 1.0 / self.q
+
+    def step(self, current: int, previous: int, rng: np.random.Generator) -> Optional[int]:
+        candidate = _weighted_choice(self.graph, current, rng, self._cumsum_cache)
+        y = rng.random() * self._envelope
+        if self._pi(previous, candidate) >= y:
+            return candidate
+        return None
+
+
+@dataclass
+class HuGEKernel:
+    """HuGE's information-oriented hybrid transition (Eq. 3).
+
+    ``α(u,v) = max(deg u/deg v, deg v/deg u) / (deg u − Cm(u,v))`` combines
+    node-degree influence with common-neighbour similarity; the acceptance
+    probability is ``P(u,v) = Z(α·w(u,v))`` with ``Z = tanh``.  Rejection
+    backtracks to ``u`` (the walking-backtracking strategy).  Common
+    neighbours are counted with galloping intersection over the sorted CSR
+    adjacencies.
+    """
+
+    graph: CSRGraph
+
+    name = "huge"
+    message_fields = 10  # the InCoM constant-size message
+
+    def __post_init__(self) -> None:
+        self._cumsum_cache: Dict[int, np.ndarray] = {}
+        self._cm_cache: Dict[int, int] = {}
+        self._n = self.graph.num_nodes
+
+    def acceptance_probability(self, u: int, v: int) -> float:
+        """``P(u, v)`` of Eq. 3 (public for tests and for HuGE-D)."""
+        deg_u = self.graph.degree(u)
+        deg_v = self.graph.degree(v)
+        if deg_u == 0 or deg_v == 0:
+            # Directed dead end: accept the hop; the walk terminates there.
+            return 1.0
+        key = u * self._n + v if u < v else v * self._n + u
+        cm = self._cm_cache.get(key)
+        if cm is None:
+            cm = galloping_intersect_size(self.graph.neighbors(u),
+                                          self.graph.neighbors(v))
+            self._cm_cache[key] = cm
+        denom = deg_u - cm
+        ratio = max(deg_u / deg_v, deg_v / deg_u)
+        if denom <= 0:
+            # Every neighbour of u is shared with v: maximal similarity.
+            return 1.0
+        alpha = ratio / denom
+        if self.graph.is_weighted:
+            alpha *= self.graph.edge_weight(u, v)
+        return math.tanh(alpha)
+
+    def step(self, current: int, previous: int, rng: np.random.Generator) -> Optional[int]:
+        candidate = _weighted_choice(self.graph, current, rng, self._cumsum_cache)
+        if rng.random() < self.acceptance_probability(current, candidate):
+            return candidate
+        return None
+
+
+@dataclass
+class HuGEPlusKernel(HuGEKernel):
+    """HuGE+ [16]: next-hop selection additionally weighs the candidate's
+    own information content.
+
+    The HuGE+ paper augments Eq. 3 with a node-information term; we model it
+    as the candidate's normalised degree information
+    ``1 + log(1 + deg v) / log(1 + deg_max)``, which boosts hops toward
+    informative (high-degree) regions while preserving HuGE's walk-length
+    and walk-count rules.  (Approximation documented in DESIGN.md; HuGE+
+    uses the same termination machinery, which dominates its behaviour.)
+    """
+
+    name = "huge+"
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        self._log_max_deg = math.log1p(float(self.graph.degrees.max(initial=1)))
+
+    def acceptance_probability(self, u: int, v: int) -> float:
+        base = super().acceptance_probability(u, v)
+        info = 1.0 + math.log1p(self.graph.degree(v)) / self._log_max_deg
+        return math.tanh(math.atanh(min(base, 1.0 - 1e-12)) * info)
+
+
+KERNELS = {
+    "deepwalk": DeepWalkKernel,
+    "node2vec": Node2VecKernel,
+    "huge": HuGEKernel,
+    "huge+": HuGEPlusKernel,
+}
+
+
+def make_kernel(name: str, graph: CSRGraph, **kwargs):
+    """Instantiate a kernel by name with kernel-specific kwargs."""
+    key = name.lower()
+    if key not in KERNELS:
+        raise KeyError(f"unknown kernel {name!r}; options: {sorted(KERNELS)}")
+    return KERNELS[key](graph, **kwargs)

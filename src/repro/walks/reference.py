@@ -1,0 +1,140 @@
+"""Reference oracles: exact walk distributions for verification.
+
+Every sampler in :mod:`repro.walks` is stochastic; these oracles compute
+the distributions they *should* follow, by direct evaluation of the
+paper's formulas, so tests and notebooks can compare empirical behaviour
+against ground truth:
+
+* :func:`node2vec_transition_distribution` -- the exact second-order
+  probabilities of §2.1 that both the rejection kernel and the alias
+  tables must reproduce;
+* :func:`huge_acceptance_matrix` -- Eq. 3's acceptance probability for
+  every arc (HuGE's effective transition bias, since rejected hops
+  retry uniformly);
+* :func:`first_order_stationary_distribution` -- the degree-proportional
+  stationary law of uniform walks (what corpus occupancy converges to);
+* :func:`expected_walk_entropy` -- Monte-Carlo-free entropy of an
+  occupancy vector, the quantity the InCoM accumulator tracks.
+
+These are O(|V|²)-ish by design -- correctness oracles for stand-in
+scale, not production paths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.utils.validation import check_positive
+from repro.walks.kernels import HuGEKernel
+
+
+def node2vec_transition_distribution(
+    graph: CSRGraph, previous: int, current: int,
+    p: float = 1.0, q: float = 1.0,
+) -> dict:
+    """Exact ``P(v | previous, current)`` of the node2vec walk (§2.1).
+
+    ``previous < 0`` means the first (first-order) step.  Returns a
+    ``{node: probability}`` dict over the neighbours of ``current``.
+    """
+    check_positive("p", p)
+    check_positive("q", q)
+    weights = {}
+    for v in graph.neighbors(current):
+        v = int(v)
+        if previous < 0:
+            pi = 1.0
+        elif v == previous:
+            pi = 1.0 / p
+        elif graph.has_edge(previous, v):
+            pi = 1.0
+        else:
+            pi = 1.0 / q
+        weights[v] = pi * graph.edge_weight(current, v)
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError(f"node {current} has no walkable neighbours")
+    return {v: w / total for v, w in weights.items()}
+
+
+def huge_acceptance_matrix(graph: CSRGraph) -> np.ndarray:
+    """Eq. 3's acceptance probability ``P(u, v)`` for every stored arc.
+
+    Returned as a dense ``float64[num_nodes, num_nodes]`` with zeros on
+    non-arcs -- convenient for assertions; use stand-in-scale graphs only.
+    """
+    kernel = HuGEKernel(graph)
+    n = graph.num_nodes
+    out = np.zeros((n, n), dtype=np.float64)
+    for u in range(n):
+        for v in graph.neighbors(u):
+            out[u, int(v)] = kernel.acceptance_probability(u, int(v))
+    return out
+
+
+def huge_effective_transition_matrix(graph: CSRGraph) -> np.ndarray:
+    """The walking-backtracking chain's effective per-step distribution.
+
+    A HuGE step proposes uniformly over ``N(u)`` and accepts with Eq. 3;
+    rejection re-proposes.  Conditioned on eventually accepting, the hop
+    distribution is acceptance-weighted uniform:
+    ``P(v | u) = P(u,v) / Σ_w P(u,w)``.  Rows of dead-end nodes are zero.
+    """
+    accept = huge_acceptance_matrix(graph)
+    row_sums = accept.sum(axis=1, keepdims=True)
+    out = np.divide(accept, row_sums, out=np.zeros_like(accept),
+                    where=row_sums > 0)
+    return out
+
+
+def first_order_stationary_distribution(graph: CSRGraph) -> np.ndarray:
+    """Stationary law of the uniform first-order walk: ``deg(v) / 2|E|``.
+
+    Only defined for undirected graphs (where the chain is reversible and
+    the closed form holds); raises otherwise.
+    """
+    if graph.directed:
+        raise ValueError(
+            "closed-form stationary distribution requires an undirected graph"
+        )
+    deg = graph.degrees.astype(np.float64)
+    total = deg.sum()
+    if total <= 0:
+        raise ValueError("graph has no edges")
+    return deg / total
+
+
+def stationary_distribution_power_iteration(
+    transition: np.ndarray, tol: float = 1e-12, max_iters: int = 10_000
+) -> np.ndarray:
+    """Stationary distribution of a row-stochastic matrix by power
+    iteration (for chains without a closed form, e.g. HuGE's).
+
+    Rows that sum to zero (dead ends) are treated as self-loops so the
+    iteration stays stochastic.
+    """
+    t = np.asarray(transition, dtype=np.float64).copy()
+    if t.ndim != 2 or t.shape[0] != t.shape[1]:
+        raise ValueError(f"transition must be square, got {t.shape}")
+    n = t.shape[0]
+    dead = t.sum(axis=1) <= 0
+    t[dead, :] = 0.0
+    t[dead, dead] = 1.0
+    pi = np.full(n, 1.0 / n)
+    for _ in range(max_iters):
+        nxt = pi @ t
+        if np.abs(nxt - pi).max() < tol:
+            return nxt / nxt.sum()
+        pi = nxt
+    return pi / pi.sum()
+
+
+def expected_walk_entropy(occupancy: np.ndarray) -> float:
+    """Shannon entropy (bits) of a non-negative occupancy vector (Eq. 4)."""
+    occ = np.asarray(occupancy, dtype=np.float64)
+    total = occ.sum()
+    if total <= 0:
+        raise ValueError("occupancy must have positive mass")
+    probs = occ[occ > 0] / total
+    return float(-(probs * np.log2(probs)).sum())

@@ -1,0 +1,74 @@
+"""Walker state (paper §2.2's walker-centric model).
+
+A :class:`Walker` is the unit of scheduling in the BSP walk engine: it
+carries its identity, position, and generated path, plus (in the
+information-oriented modes) the InCoM measurement state defined in
+:mod:`repro.walks.incom`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Walker:
+    """One random walk in progress."""
+
+    walk_id: int
+    source: int
+    current: int
+    previous: int = -1
+    path: List[int] = field(default_factory=list)
+    #: Number of accepted steps so far (== len(path) - 1).
+    steps: int = 0
+    #: Rejection-sampling trials spent at the current position.
+    trials_at_step: int = 0
+
+    @classmethod
+    def start(cls, walk_id: int, source: int) -> "Walker":
+        """A fresh walker positioned at its source with the source on-path."""
+        return cls(walk_id=walk_id, source=source, current=source,
+                   path=[source])
+
+    def advance(self, node: int) -> None:
+        """Accept ``node`` as the next step."""
+        self.previous = self.current
+        self.current = node
+        self.path.append(node)
+        self.steps += 1
+        self.trials_at_step = 0
+
+    @property
+    def length(self) -> int:
+        """Current walk length ``L`` = number of nodes on the path."""
+        return len(self.path)
+
+
+@dataclass
+class WalkStats:
+    """Aggregate statistics of one sampling run (feeds Fig. 10/12 benches)."""
+
+    total_walks: int = 0
+    total_steps: int = 0
+    total_trials: int = 0
+    rounds: int = 0
+    walk_lengths: List[int] = field(default_factory=list)
+    kl_trace: List[float] = field(default_factory=list)
+
+    @property
+    def average_length(self) -> float:
+        if not self.walk_lengths:
+            return 0.0
+        return sum(self.walk_lengths) / len(self.walk_lengths)
+
+    @property
+    def average_walks_per_node(self) -> Optional[float]:
+        return None if self.rounds == 0 else float(self.rounds)
+
+    @property
+    def acceptance_rate(self) -> float:
+        if self.total_trials == 0:
+            return 1.0
+        return self.total_steps / self.total_trials

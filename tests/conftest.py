@@ -1,0 +1,62 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    CSRGraph,
+    community_graph,
+    path,
+    powerlaw_cluster,
+    ring_of_cliques,
+    star,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def triangle() -> CSRGraph:
+    """The smallest interesting graph: a triangle."""
+    return CSRGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def small_graph() -> CSRGraph:
+    """Deterministic 40-node ring of 5 cliques."""
+    return ring_of_cliques(5, 8)
+
+
+@pytest.fixture
+def medium_graph() -> CSRGraph:
+    """~200-node power-law graph with clustering."""
+    return powerlaw_cluster(200, attach=4, triangle_prob=0.5, seed=42)
+
+
+@pytest.fixture
+def community_graph_with_labels():
+    """Community-structured graph plus its ground-truth communities."""
+    return community_graph(150, 6, within_degree=10.0, cross_degree=0.8,
+                           seed=7)
+
+
+@pytest.fixture
+def star_graph() -> CSRGraph:
+    return star(10)
+
+
+@pytest.fixture
+def path_graph() -> CSRGraph:
+    return path(12)
+
+
+@pytest.fixture
+def weighted_triangle() -> CSRGraph:
+    return CSRGraph.from_edges(
+        [(0, 1), (1, 2), (0, 2)], weights=[1.0, 2.0, 3.0]
+    )

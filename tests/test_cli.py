@@ -1,0 +1,80 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.graph import load_embeddings
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_embed_defaults(self):
+        args = build_parser().parse_args(["embed"])
+        assert args.dataset == "LJ"
+        assert args.method == "distger"
+        assert args.machines == 4
+
+    def test_rejects_unknown_method(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["embed", "--method", "gcn"])
+
+    def test_edges_overrides_dataset(self):
+        args = build_parser().parse_args(
+            ["embed", "--dataset", "LJ", "--edges", "x.txt"]
+        )
+        assert args.edges == "x.txt"  # _load_graph prefers the file
+
+
+class TestCommands:
+    def test_embed_writes_output(self, tmp_path, capsys):
+        out = str(tmp_path / "emb.txt")
+        code = main([
+            "embed", "--dataset", "FL", "--scale", "0.2",
+            "--method", "distger", "--dim", "8", "--epochs", "1",
+            "--machines", "2", "--out", out,
+        ])
+        assert code == 0
+        emb = load_embeddings(out)
+        assert emb.shape[1] == 8
+        assert np.all(np.isfinite(emb))
+        assert "walker messages" in capsys.readouterr().out
+
+    def test_embed_from_edge_list(self, tmp_path, capsys):
+        edge_file = tmp_path / "g.txt"
+        rng = np.random.default_rng(0)
+        lines = set()
+        for _ in range(200):
+            u, v = rng.integers(0, 40, size=2)
+            if u != v:
+                lines.add(f"{min(u, v)} {max(u, v)}")
+        edge_file.write_text("\n".join(sorted(lines)) + "\n")
+        code = main([
+            "embed", "--edges", str(edge_file), "--method", "knightking",
+            "--dim", "8", "--epochs", "1", "--machines", "2",
+        ])
+        assert code == 0
+
+    def test_evaluate_prints_auc(self, capsys):
+        code = main([
+            "evaluate", "--dataset", "FL", "--scale", "0.25",
+            "--method", "distger", "--dim", "8", "--epochs", "1",
+            "--machines", "2", "--trials", "1",
+        ])
+        assert code == 0
+        assert "AUC" in capsys.readouterr().out
+
+    def test_partition_table(self, capsys):
+        code = main([
+            "partition", "--dataset", "FL", "--scale", "0.25",
+            "--machines", "2", "--schemes", "hash", "mpgp",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "mpgp" in out
+        assert "hash" in out

@@ -1,0 +1,157 @@
+"""Tests for learning-rate schedules and model checkpointing."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import (
+    SCHEDULES,
+    ConstantSchedule,
+    CosineSchedule,
+    DistributedTrainer,
+    EmbeddingModel,
+    InverseSqrtSchedule,
+    LinearDecaySchedule,
+    TrainConfig,
+    Vocabulary,
+    load_model,
+    make_schedule,
+    save_model,
+)
+from repro.runtime.cluster import Cluster
+from repro.walks import Corpus
+
+
+class TestSchedules:
+    def test_linear_matches_word2vec_formula(self):
+        sched = LinearDecaySchedule(lr=0.025, min_lr=1e-4)
+        for progress in (0.0, 0.1, 0.5, 0.9, 1.0):
+            expected = max(1e-4, 0.025 * (1.0 - progress))
+            assert sched(progress) == pytest.approx(expected)
+
+    def test_linear_floors_at_min(self):
+        sched = LinearDecaySchedule(lr=0.01, min_lr=0.005)
+        assert sched(1.0) == pytest.approx(0.005)
+
+    def test_constant(self):
+        sched = ConstantSchedule(lr=0.02)
+        assert sched(0.0) == sched(0.5) == sched(1.0) == 0.02
+
+    def test_inverse_sqrt_endpoints(self):
+        sched = InverseSqrtSchedule(lr=0.05, min_lr=0.0, decay=24.0)
+        assert sched(0.0) == pytest.approx(0.05)
+        assert sched(1.0) == pytest.approx(0.05 / 5.0)
+
+    def test_cosine_endpoints(self):
+        sched = CosineSchedule(lr=0.04, min_lr=0.004)
+        assert sched(0.0) == pytest.approx(0.04)
+        assert sched(1.0) == pytest.approx(0.004)
+        assert sched(0.5) == pytest.approx((0.04 + 0.004) / 2)
+
+    def test_factory(self):
+        for name in SCHEDULES:
+            sched = make_schedule(name, lr=0.025)
+            assert sched(0.0) > 0
+
+    def test_factory_unknown(self):
+        with pytest.raises(KeyError, match="unknown schedule"):
+            make_schedule("exponential", lr=0.025)
+
+    def test_bad_params(self):
+        with pytest.raises(ValueError):
+            LinearDecaySchedule(lr=0.0)
+        with pytest.raises(ValueError):
+            LinearDecaySchedule(lr=0.01, min_lr=0.02)
+        with pytest.raises(ValueError):
+            CosineSchedule(lr=0.01, min_lr=0.02)
+        with pytest.raises(ValueError):
+            InverseSqrtSchedule(lr=0.01, decay=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        name=st.sampled_from(sorted(SCHEDULES)),
+        lr=st.floats(min_value=1e-4, max_value=1.0),
+        p1=st.floats(min_value=0.0, max_value=1.0),
+        p2=st.floats(min_value=0.0, max_value=1.0),
+    )
+    def test_property_monotone_nonincreasing(self, name, lr, p1, p2):
+        """Every schedule is non-increasing in progress and stays positive."""
+        sched = make_schedule(name, lr=lr, min_lr=0.0)
+        lo, hi = min(p1, p2), max(p1, p2)
+        assert sched(lo) >= sched(hi) >= 0.0
+        assert sched(0.0) <= lr * (1.0 + 1e-9)
+
+    def test_trainconfig_validates_schedule(self):
+        with pytest.raises(ValueError, match="lr_schedule"):
+            TrainConfig(lr_schedule="nope")
+
+    def test_trainer_accepts_schedules(self, small_graph):
+        corpus = Corpus(small_graph.num_nodes)
+        rng = np.random.default_rng(0)
+        for _ in range(20):
+            start = int(rng.integers(0, small_graph.num_nodes))
+            walk = [start]
+            for _ in range(9):
+                nbrs = small_graph.neighbors(walk[-1])
+                walk.append(int(nbrs[rng.integers(0, nbrs.size)]))
+            corpus.add_walk(walk)
+        cluster = Cluster(2, np.arange(small_graph.num_nodes) % 2, seed=0)
+        for name in ("linear", "constant", "cosine"):
+            cfg = TrainConfig(dim=8, epochs=1, lr_schedule=name, seed=1)
+            result = DistributedTrainer(corpus, cluster, cfg).train()
+            assert result.embeddings.shape == (small_graph.num_nodes, 8)
+            assert np.isfinite(result.embeddings).all()
+
+
+def _toy_model(num_nodes: int = 12, dim: int = 6) -> EmbeddingModel:
+    corpus = Corpus(num_nodes)
+    rng = np.random.default_rng(3)
+    for _ in range(8):
+        corpus.add_walk(rng.integers(0, num_nodes, size=10))
+    vocab = Vocabulary.from_corpus(corpus)
+    model = EmbeddingModel(vocab, dim, seed=5)
+    model.phi_out = rng.normal(size=model.phi_out.shape).astype(np.float32)
+    return model
+
+
+class TestCheckpoint:
+    def test_roundtrip_bit_exact(self, tmp_path):
+        model = _toy_model()
+        path = str(tmp_path / "ckpt.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(restored.phi_in, model.phi_in)
+        assert np.array_equal(restored.phi_out, model.phi_out)
+        assert np.array_equal(restored.vocab.row_to_node,
+                              model.vocab.row_to_node)
+        assert np.array_equal(restored.vocab.row_counts,
+                              model.vocab.row_counts)
+        assert restored.dim == model.dim
+
+    def test_roundtrip_preserves_node_space_embeddings(self, tmp_path):
+        model = _toy_model()
+        path = str(tmp_path / "ckpt.npz")
+        save_model(model, path)
+        restored = load_model(path)
+        assert np.array_equal(restored.embeddings_node_space(),
+                              model.embeddings_node_space())
+
+    def test_version_check(self, tmp_path):
+        model = _toy_model()
+        path = str(tmp_path / "ckpt.npz")
+        save_model(model, path)
+        with np.load(path) as data:
+            payload = {k: data[k] for k in data.files}
+        payload["version"] = np.array([99])
+        np.savez_compressed(path, **payload)
+        with pytest.raises(ValueError, match="version"):
+            load_model(path)
+
+    def test_creates_directories(self, tmp_path):
+        model = _toy_model()
+        path = str(tmp_path / "deep" / "nested" / "ckpt.npz")
+        save_model(model, path)
+        assert load_model(path).dim == model.dim

@@ -1,0 +1,136 @@
+"""Tests for embedding-space similarity queries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    analogy,
+    cosine_similarity,
+    similarity_matrix,
+    top_k_similar,
+)
+
+
+@pytest.fixture
+def toy_embeddings():
+    """Six nodes in 2-D with known geometry."""
+    return np.array([
+        [1.0, 0.0],    # 0
+        [2.0, 0.0],    # 1: same direction as 0, longer
+        [0.0, 1.0],    # 2: orthogonal to 0
+        [-1.0, 0.0],   # 3: opposite of 0
+        [1.0, 1.0],    # 4: 45 degrees
+        [0.0, 0.0],    # 5: zero vector
+    ])
+
+
+class TestCosineSimilarity:
+    def test_parallel_is_one(self, toy_embeddings):
+        assert cosine_similarity(toy_embeddings, 0, 1) == pytest.approx(1.0)
+
+    def test_orthogonal_is_zero(self, toy_embeddings):
+        assert cosine_similarity(toy_embeddings, 0, 2) == pytest.approx(0.0)
+
+    def test_opposite_is_minus_one(self, toy_embeddings):
+        assert cosine_similarity(toy_embeddings, 0, 3) == pytest.approx(-1.0)
+
+    def test_zero_vector_is_zero(self, toy_embeddings):
+        assert cosine_similarity(toy_embeddings, 0, 5) == 0.0
+
+    def test_symmetric(self, toy_embeddings):
+        assert cosine_similarity(toy_embeddings, 0, 4) == pytest.approx(
+            cosine_similarity(toy_embeddings, 4, 0))
+
+
+class TestTopKSimilar:
+    def test_ranking_cosine(self, toy_embeddings):
+        out = top_k_similar(toy_embeddings, 0, k=3)
+        ids = [node for node, _ in out]
+        assert ids[0] == 1                   # same direction
+        assert ids[1] == 4                   # 45 degrees
+        assert 3 not in ids[:2]              # opposite comes last
+
+    def test_excludes_self(self, toy_embeddings):
+        out = top_k_similar(toy_embeddings, 0, k=10)
+        assert all(node != 0 for node, _ in out)
+
+    def test_dot_metric_rewards_magnitude(self, toy_embeddings):
+        out = top_k_similar(toy_embeddings, 1, k=2, metric="dot")
+        assert out[0][0] == 0 or out[0][1] >= out[1][1]
+
+    def test_candidate_restriction(self, toy_embeddings):
+        out = top_k_similar(toy_embeddings, 0, k=5,
+                            candidates=np.array([2, 3]))
+        assert {node for node, _ in out} == {2, 3}
+
+    def test_scores_descending(self, toy_embeddings):
+        out = top_k_similar(toy_embeddings, 4, k=5)
+        scores = [s for _, s in out]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_empty_candidates(self, toy_embeddings):
+        assert top_k_similar(toy_embeddings, 0,
+                             candidates=np.array([0])) == []
+
+    def test_bad_metric(self, toy_embeddings):
+        with pytest.raises(ValueError, match="metric"):
+            top_k_similar(toy_embeddings, 0, metric="euclid")
+
+
+class TestSimilarityMatrix:
+    def test_cosine_diagonal_is_one(self, toy_embeddings):
+        mat = similarity_matrix(toy_embeddings, np.array([0, 1, 4]))
+        assert np.allclose(np.diag(mat), 1.0)
+
+    def test_symmetric(self, toy_embeddings):
+        mat = similarity_matrix(toy_embeddings, np.array([0, 2, 3, 4]))
+        assert np.allclose(mat, mat.T)
+
+    def test_dot_metric(self, toy_embeddings):
+        mat = similarity_matrix(toy_embeddings, np.array([0, 1]),
+                                metric="dot")
+        assert mat[0, 1] == pytest.approx(2.0)
+
+    def test_bad_metric(self, toy_embeddings):
+        with pytest.raises(ValueError, match="metric"):
+            similarity_matrix(toy_embeddings, np.array([0]), metric="x")
+
+
+class TestAnalogy:
+    def test_recovers_direction(self):
+        # Clean vector arithmetic: king - man + woman = queen.
+        emb = np.array([
+            [1.0, 1.0],   # 0 "king"  = royal + male
+            [0.0, 1.0],   # 1 "man"   = male
+            [0.0, -1.0],  # 2 "woman" = female
+            [1.0, -1.0],  # 3 "queen" = royal + female
+            [5.0, 5.0],   # 4 distractor
+        ])
+        out = analogy(emb, positive=[0, 2], negative=[1], k=1)
+        assert out[0][0] == 3
+
+    def test_excludes_query_nodes(self, toy_embeddings):
+        out = analogy(toy_embeddings, positive=[0], negative=[], k=5)
+        assert all(node != 0 for node, _ in out)
+
+    def test_requires_positive(self, toy_embeddings):
+        with pytest.raises(ValueError, match="positive"):
+            analogy(toy_embeddings, positive=[], negative=[1])
+
+    def test_embedding_neighbors_are_graph_neighbors(self):
+        """On a strongly-clustered graph, a node's nearest embedding
+        neighbours should come from its own clique."""
+        from repro.api import embed_graph
+        from repro.graph import ring_of_cliques
+
+        g = ring_of_cliques(4, 8)
+        emb = embed_graph(g, method="distger", num_machines=2, dim=16,
+                          epochs=3, seed=0).embeddings
+        hits = 0
+        for node in (0, 8, 16, 24):
+            clique = set(range(node, node + 8))
+            top = top_k_similar(emb, node, k=3)
+            hits += sum(1 for n, _ in top if n in clique)
+        assert hits >= 8  # at least 2/3 of neighbours from the right clique

@@ -1,0 +1,223 @@
+"""Tests for synchronisation strategies and the distributed trainer."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.embedding import (
+    DistributedTrainer,
+    EmbeddingModel,
+    FullSync,
+    HotnessBlockSync,
+    NoSync,
+    TrainConfig,
+    Vocabulary,
+    make_sync,
+)
+from repro.runtime import Cluster, ClusterMetrics
+from repro.walks import Corpus
+
+
+def fixture_models(num_machines=3, counts=(5, 5, 3, 1, 1, 0), dim=4):
+    corpus = Corpus(len(counts))
+    for node, n in enumerate(counts):
+        for _ in range(n):
+            corpus.add_walk([node])
+    vocab = Vocabulary.from_corpus(corpus)
+    base = EmbeddingModel(vocab, dim, seed=0)
+    return [base if i == 0 else base.clone() for i in range(num_machines)]
+
+
+class TestSyncStrategies:
+    def test_factory(self):
+        assert isinstance(make_sync("full"), FullSync)
+        assert isinstance(make_sync("hotness"), HotnessBlockSync)
+        assert isinstance(make_sync("none"), NoSync)
+        with pytest.raises(KeyError):
+            make_sync("sometimes")
+
+    def test_full_sync_aligns_replicas(self, rng):
+        models = fixture_models()
+        sync = FullSync()
+        sync.start(models)
+        models[1].phi_in += 1.0
+        sync.sync(models, rng)
+        np.testing.assert_allclose(models[0].phi_in, models[1].phi_in)
+        np.testing.assert_allclose(models[0].phi_in, models[2].phi_in)
+
+    def test_average_rule_divides_step(self, rng):
+        """Averaging: one machine's +3 delta becomes +1 across 3 replicas."""
+        models = fixture_models()
+        sync = FullSync(combine="average")
+        sync.start(models)
+        before = models[0].phi_in[0].copy()
+        models[1].phi_in[0] = before + 3.0
+        sync.sync(models, rng)
+        np.testing.assert_allclose(models[0].phi_in[0], before + 1.0)
+
+    def test_delta_rule_preserves_single_machine_updates(self, rng):
+        """Delta-sum: a row touched by one machine is adopted exactly."""
+        models = fixture_models()
+        sync = FullSync(combine="delta")
+        sync.start(models)
+        before = models[0].phi_in[0].copy()
+        models[1].phi_in[0] = before + 3.0
+        sync.sync(models, rng)
+        np.testing.assert_allclose(models[0].phi_in[0], before + 3.0)
+
+    def test_hotness_skips_untrained_rows(self, rng):
+        models = fixture_models()
+        vocab = models[0].vocab
+        sync = HotnessBlockSync()
+        sync.start(models)
+        rows = sync._select_rows(models, rng)
+        # One row per non-zero block; zero-count block skipped.
+        nonzero_blocks = [b for b in vocab.hotness_blocks()
+                          if vocab.row_counts[b[0]] > 0]
+        assert rows.size == len(nonzero_blocks)
+        for row in rows:
+            assert vocab.row_counts[row] > 0
+
+    def test_hotness_traffic_less_than_full(self, rng):
+        models = fixture_models()
+        m_full, m_hot = ClusterMetrics(3), ClusterMetrics(3)
+        full, hot = FullSync(), HotnessBlockSync()
+        full.start(models)
+        hot.start(models)
+        full.sync(models, rng, m_full)
+        hot.sync(models, rng, m_hot)
+        assert m_hot.sync_bytes < m_full.sync_bytes
+
+    def test_no_sync_does_nothing(self, rng):
+        models = fixture_models()
+        sync = NoSync()
+        sync.start(models)
+        models[1].phi_in += 1.0
+        snapshot = models[0].phi_in.copy()
+        sync.sync(models, rng)
+        np.testing.assert_array_equal(models[0].phi_in, snapshot)
+
+    def test_finalize_merges_all_contributions(self, rng):
+        models = fixture_models()
+        sync = NoSync()
+        sync.start(models)
+        base = models[0].phi_in[2].copy()
+        models[0].phi_in[2] = base + 1.0
+        models[1].phi_in[2] = base + 2.0
+        final = sync.finalize(models)
+        np.testing.assert_allclose(final.phi_in[2], base + 3.0)
+
+    def test_invalid_combine(self):
+        with pytest.raises(ValueError):
+            FullSync(combine="median")
+
+
+class TestDistributedTrainer:
+    def make_corpus(self, num_nodes=30, seed=5):
+        rng = np.random.default_rng(seed)
+        corpus = Corpus(num_nodes)
+        for _ in range(20):
+            corpus.add_walk(rng.integers(0, num_nodes, size=12))
+        return corpus
+
+    def test_produces_embeddings(self):
+        corpus = self.make_corpus()
+        cluster = Cluster(2, np.zeros(30, dtype=np.int64), seed=0)
+        cfg = TrainConfig(dim=8, window=2, negatives=2, epochs=1)
+        result = DistributedTrainer(corpus, cluster, cfg).train()
+        assert result.embeddings.shape == (30, 8)
+        assert np.all(np.isfinite(result.embeddings))
+        assert result.tokens_processed == corpus.total_tokens
+        assert result.throughput > 0
+
+    def test_epochs_multiply_tokens(self):
+        corpus = self.make_corpus()
+        cluster = Cluster(2, np.zeros(30, dtype=np.int64), seed=0)
+        cfg = TrainConfig(dim=8, window=2, negatives=2, epochs=3)
+        result = DistributedTrainer(corpus, cluster, cfg).train()
+        assert result.tokens_processed == 3 * corpus.total_tokens
+
+    def test_walk_machines_validated(self):
+        corpus = self.make_corpus()
+        cluster = Cluster(2, np.zeros(30, dtype=np.int64), seed=0)
+        with pytest.raises(ValueError, match="align"):
+            DistributedTrainer(corpus, cluster, TrainConfig(dim=4),
+                               walk_machines=[0])
+
+    def test_shard_rebalancing(self):
+        """Skewed walk placement gets rebalanced within ~10% by tokens."""
+        corpus = Corpus(10)
+        for _ in range(40):
+            corpus.add_walk([0, 1, 2, 3, 4])
+        machines = [0] * 36 + [1] * 4  # heavy skew to machine 0
+        cluster = Cluster(2, np.zeros(10, dtype=np.int64), seed=0)
+        trainer = DistributedTrainer(corpus, cluster, TrainConfig(dim=4),
+                                     walk_machines=machines)
+        shards = trainer._shards()
+        tokens = [sum(w.size for w in s) for s in shards]
+        assert max(tokens) <= 1.2 * min(tokens)
+
+    def test_unknown_learner(self):
+        corpus = self.make_corpus()
+        cluster = Cluster(1, np.zeros(30, dtype=np.int64), seed=0)
+        with pytest.raises(KeyError):
+            DistributedTrainer(corpus, cluster, learner="doc2vec")
+
+    def test_sync_traffic_recorded(self):
+        corpus = self.make_corpus()
+        cluster = Cluster(2, np.zeros(30, dtype=np.int64), seed=0)
+        cfg = TrainConfig(dim=8, window=2, negatives=2, epochs=1,
+                          sync_mode="full", sync_period_tokens=50)
+        DistributedTrainer(corpus, cluster, cfg).train()
+        assert cluster.metrics.sync_bytes > 0
+
+    def test_hotness_cheaper_than_full(self):
+        corpus = self.make_corpus()
+        results = {}
+        for mode in ("full", "hotness"):
+            cluster = Cluster(2, np.zeros(30, dtype=np.int64), seed=0)
+            cfg = TrainConfig(dim=8, window=2, negatives=2, epochs=1,
+                              sync_mode=mode, sync_period_tokens=50)
+            DistributedTrainer(corpus, cluster, cfg).train()
+            results[mode] = cluster.metrics.sync_bytes
+        assert results["hotness"] < results["full"]
+
+
+class TestSubsampling:
+    def test_disabled_by_default(self):
+        corpus = Corpus(5)
+        for _ in range(5):
+            corpus.add_walk([0, 1, 2, 3, 4])
+        cluster = Cluster(1, np.zeros(5, dtype=np.int64), seed=0)
+        cfg = TrainConfig(dim=4, window=2, negatives=1, epochs=1)
+        result = DistributedTrainer(corpus, cluster, cfg).train()
+        assert result.tokens_processed == corpus.total_tokens
+
+    def test_subsampling_drops_frequent_tokens(self):
+        corpus = Corpus(5)
+        # Node 0 dominates the corpus.
+        for _ in range(20):
+            corpus.add_walk([0, 0, 0, 0, 1, 2, 3, 4])
+        cluster = Cluster(1, np.zeros(5, dtype=np.int64), seed=0)
+        cfg = TrainConfig(dim=4, window=2, negatives=1, epochs=1,
+                          subsample=0.05)
+        result = DistributedTrainer(corpus, cluster, cfg).train()
+        assert 0 < result.tokens_processed < corpus.total_tokens
+
+    def test_keep_probabilities_shape(self):
+        corpus = Corpus(3)
+        corpus.add_walk([0, 0, 0, 1])
+        cluster = Cluster(1, np.zeros(3, dtype=np.int64), seed=0)
+        trainer = DistributedTrainer(
+            corpus, cluster, TrainConfig(dim=4, subsample=0.1)
+        )
+        keep = trainer._keep_probabilities()
+        assert keep.shape == (3,)
+        # The most frequent node has the lowest keep probability.
+        assert keep[0] == min(keep[0], keep[1])
+        assert np.all((0.0 <= keep) & (keep <= 1.0))
+
+    def test_invalid_subsample_rejected(self):
+        with pytest.raises(ValueError):
+            TrainConfig(subsample=-1.0)

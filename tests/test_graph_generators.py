@@ -1,0 +1,140 @@
+"""Tests for synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    barabasi_albert,
+    community_graph,
+    erdos_renyi,
+    multi_labels_from_communities,
+    path,
+    planted_partition,
+    power_law_exponent,
+    powerlaw_cluster,
+    ring_of_cliques,
+    rmat,
+    star,
+)
+from repro.graph.stats import connected_components
+
+
+class TestBasicGenerators:
+    def test_erdos_renyi_edge_count(self):
+        g = erdos_renyi(100, 300, seed=1)
+        assert g.num_nodes == 100
+        assert g.num_edges == 300
+
+    def test_erdos_renyi_caps_at_complete(self):
+        g = erdos_renyi(5, 100, seed=1)
+        assert g.num_edges == 10  # complete graph on 5 nodes
+
+    def test_barabasi_albert_properties(self):
+        g = barabasi_albert(300, attach=3, seed=2)
+        assert g.num_nodes == 300
+        # Preferential attachment: heavy-tailed degrees.
+        assert g.degrees.max() > 4 * g.degrees.mean()
+
+    def test_barabasi_albert_rejects_small_n(self):
+        with pytest.raises(ValueError, match="exceed"):
+            barabasi_albert(3, attach=3)
+
+    def test_rmat_shape(self):
+        g = rmat(scale=8, edge_factor=4, seed=3)
+        assert g.num_nodes == 256
+        assert g.num_edges > 0
+
+    def test_rmat_determinism(self):
+        a = rmat(scale=6, seed=7)
+        b = rmat(scale=6, seed=7)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_rmat_rejects_bad_probs(self):
+        with pytest.raises(ValueError):
+            rmat(scale=4, a=0.8, b=0.3, c=0.3)
+
+    def test_powerlaw_cluster(self):
+        g = powerlaw_cluster(200, attach=3, triangle_prob=0.5, seed=4)
+        assert g.num_nodes == 200
+        assert g.degrees.min() >= 1
+
+    def test_deterministic_structures(self):
+        assert ring_of_cliques(4, 5).num_nodes == 20
+        assert star(6).num_nodes == 7
+        assert star(6).degree(0) == 6
+        assert path(9).num_edges == 8
+
+
+class TestCommunityGraph:
+    def test_returns_communities(self):
+        g, comm = community_graph(200, 8, within_degree=8.0,
+                                  cross_degree=1.0, seed=5)
+        assert comm.shape == (200,)
+        assert comm.max() < 8
+
+    def test_cross_edge_fraction_controlled(self):
+        g, comm = community_graph(300, 10, within_degree=10.0,
+                                  cross_degree=1.0, seed=5)
+        edges = g.unique_edges()
+        cross = np.mean(comm[edges[:, 0]] != comm[edges[:, 1]])
+        # Expected ~1/11 ~= 0.09 cross edges.
+        assert cross < 0.2
+
+    def test_heavy_tail(self):
+        g, _ = community_graph(400, 10, within_degree=10.0,
+                               cross_degree=1.0, exponent=2.2, seed=6)
+        assert power_law_exponent(g) < 4.0
+        assert g.degrees.max() > 3 * g.degrees.mean()
+
+    def test_zero_cross_degree_allowed(self):
+        g, comm = community_graph(100, 4, within_degree=6.0,
+                                  cross_degree=0.0, seed=7)
+        edges = g.unique_edges()
+        assert np.all(comm[edges[:, 0]] == comm[edges[:, 1]])
+
+
+class TestPlantedPartition:
+    def test_shapes(self):
+        g, comm = planted_partition(120, 6, p_in=0.3, p_out=0.01, seed=8)
+        assert g.num_nodes == 120
+        assert comm.shape == (120,)
+
+    def test_in_density_exceeds_out(self):
+        g, comm = planted_partition(150, 5, p_in=0.4, p_out=0.01, seed=9)
+        edges = g.unique_edges()
+        same = comm[edges[:, 0]] == comm[edges[:, 1]]
+        assert same.mean() > 0.5
+
+
+class TestLabels:
+    def test_every_node_labelled(self):
+        comm = np.array([0, 0, 1, 1, 2])
+        labels = multi_labels_from_communities(comm, num_labels=6, seed=10)
+        assert labels.shape == (5, 6)
+        assert labels.any(axis=1).all()
+
+    def test_community_members_share_labels(self):
+        comm = np.repeat(np.arange(4), 25)
+        labels = multi_labels_from_communities(comm, num_labels=12,
+                                               noise=0.0, seed=11)
+        for c in range(4):
+            rows = labels[comm == c]
+            assert (rows == rows[0]).all()
+
+    def test_deterministic(self):
+        comm = np.repeat(np.arange(3), 10)
+        a = multi_labels_from_communities(comm, 8, seed=12)
+        b = multi_labels_from_communities(comm, 8, seed=12)
+        np.testing.assert_array_equal(a, b)
+
+
+class TestConnectivity:
+    def test_ring_of_cliques_connected(self):
+        g = ring_of_cliques(6, 4)
+        assert len(np.unique(connected_components(g))) == 1
+
+    def test_powerlaw_cluster_connected(self):
+        g = powerlaw_cluster(150, attach=3, triangle_prob=0.3, seed=13)
+        assert len(np.unique(connected_components(g))) == 1

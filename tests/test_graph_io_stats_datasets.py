@@ -1,0 +1,172 @@
+"""Tests for graph IO, statistics, and the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import (
+    ALL_DATASETS,
+    LABELLED_DATASETS,
+    CSRGraph,
+    average_degree,
+    clustering_coefficient,
+    connected_components,
+    degree_histogram,
+    density,
+    largest_component_nodes,
+    load,
+    load_embeddings,
+    load_suite,
+    power_law_exponent,
+    read_edge_list,
+    ring_of_cliques,
+    save_embeddings,
+    write_edge_list,
+)
+
+
+class TestIO:
+    def test_edge_list_roundtrip(self, tmp_path, medium_graph):
+        path = str(tmp_path / "g.txt")
+        write_edge_list(medium_graph, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert loaded.num_nodes == medium_graph.num_nodes
+        assert loaded.num_edges == medium_graph.num_edges
+        np.testing.assert_array_equal(loaded.indices, medium_graph.indices)
+
+    def test_weighted_roundtrip(self, tmp_path, weighted_triangle):
+        path = str(tmp_path / "w.txt")
+        write_edge_list(weighted_triangle, path)
+        loaded = read_edge_list(path, weighted=True)
+        assert loaded.edge_weight(1, 2) == pytest.approx(2.0)
+
+    def test_comments_and_blanks_skipped(self, tmp_path):
+        path = tmp_path / "c.txt"
+        path.write_text("# comment\n\n0 1\n1 2\n")
+        g = read_edge_list(str(path))
+        assert g.num_edges == 2
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0\n")
+        with pytest.raises(ValueError, match="columns"):
+            read_edge_list(str(path))
+
+    def test_missing_weight_rejected(self, tmp_path):
+        path = tmp_path / "bad.txt"
+        path.write_text("0 1\n")
+        with pytest.raises(ValueError, match="weight"):
+            read_edge_list(str(path), weighted=True)
+
+    def test_embedding_roundtrip(self, tmp_path, rng):
+        emb = rng.normal(size=(7, 4))
+        path = str(tmp_path / "emb.txt")
+        save_embeddings(path, emb)
+        loaded = load_embeddings(path)
+        np.testing.assert_allclose(loaded, emb, atol=1e-5)
+
+
+class TestStats:
+    def test_degree_histogram(self, star_graph):
+        hist = degree_histogram(star_graph)
+        assert hist[10] == 1  # the hub
+        assert hist[1] == 10  # the leaves
+
+    def test_average_degree(self, triangle):
+        assert average_degree(triangle) == pytest.approx(2.0)
+
+    def test_density(self, triangle):
+        assert density(triangle) == pytest.approx(1.0)
+
+    def test_connected_components(self):
+        g = CSRGraph.from_edges([(0, 1), (2, 3)], num_nodes=5)
+        comp = connected_components(g)
+        assert comp[0] == comp[1]
+        assert comp[2] == comp[3]
+        assert len({comp[0], comp[2], comp[4]}) == 3
+
+    def test_largest_component(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (3, 4)], num_nodes=5)
+        nodes = largest_component_nodes(g)
+        assert set(int(x) for x in nodes) == {0, 1, 2}
+
+    def test_clustering_coefficient_clique(self):
+        g = ring_of_cliques(1, 5)
+        assert clustering_coefficient(g) == pytest.approx(1.0)
+
+    def test_power_law_exponent_range(self, medium_graph):
+        alpha = power_law_exponent(medium_graph)
+        assert 1.5 < alpha < 5.0
+
+
+class TestDatasets:
+    def test_all_load(self):
+        for name in ALL_DATASETS:
+            ds = load(name, scale=0.3)
+            assert ds.graph.num_nodes > 0
+            assert ds.graph.num_edges > 0
+            assert ds.paper_nodes > ds.graph.num_nodes  # scaled down
+
+    def test_labelled_datasets_have_labels(self):
+        for name in LABELLED_DATASETS:
+            ds = load(name, scale=0.3)
+            assert ds.labels is not None
+            assert ds.labels.shape[0] == ds.graph.num_nodes
+            assert ds.labels.any(axis=1).all()
+
+    def test_relative_density_ordering(self):
+        """Table 2's shape: FL densest per node, YT sparsest."""
+        suite = {d.name: d for d in load_suite(scale=0.5)}
+        avg = {name: d.graph.degrees.mean() for name, d in suite.items()}
+        assert avg["FL"] == max(avg.values())
+        assert avg["YT"] == min(avg.values())
+
+    def test_twitter_is_largest(self):
+        suite = {d.name: d for d in load_suite(scale=0.5)}
+        assert suite["TW"].graph.num_nodes == max(
+            d.graph.num_nodes for d in suite.values()
+        )
+
+    def test_deterministic(self):
+        a = load("LJ", scale=0.3)
+        b = load("LJ", scale=0.3)
+        np.testing.assert_array_equal(a.graph.indices, b.graph.indices)
+
+    def test_seed_perturbs(self):
+        a = load("LJ", scale=0.3, seed=0)
+        b = load("LJ", scale=0.3, seed=1)
+        assert a.graph.num_stored_edges != b.graph.num_stored_edges or \
+            not np.array_equal(a.graph.indices, b.graph.indices)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(KeyError):
+            load("REDDIT")
+
+    def test_scale_changes_size(self):
+        small = load("FL", scale=0.3)
+        big = load("FL", scale=1.0)
+        assert small.graph.num_nodes < big.graph.num_nodes
+
+
+class TestNpzIO:
+    def test_roundtrip_unweighted(self, tmp_path, medium_graph):
+        from repro.graph import load_graph_npz, save_graph_npz
+        path = str(tmp_path / "g.npz")
+        save_graph_npz(medium_graph, path)
+        loaded = load_graph_npz(path)
+        import numpy as np
+        np.testing.assert_array_equal(loaded.indptr, medium_graph.indptr)
+        np.testing.assert_array_equal(loaded.indices, medium_graph.indices)
+        assert loaded.directed == medium_graph.directed
+        assert loaded.weights is None
+
+    def test_roundtrip_weighted_directed(self, tmp_path, weighted_triangle):
+        from repro.graph import load_graph_npz, save_graph_npz
+        import numpy as np
+        g = weighted_triangle.as_directed()
+        path = str(tmp_path / "w.npz")
+        save_graph_npz(g, path)
+        loaded = load_graph_npz(path)
+        assert loaded.directed
+        np.testing.assert_allclose(loaded.weights, g.weights)

@@ -1,0 +1,118 @@
+"""Tests for graph downsampling."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, powerlaw_cluster
+from repro.graph.sampling import (
+    sample_edges_uniform,
+    sample_nodes_uniform,
+    snowball_sample,
+)
+
+
+class TestNodeSampling:
+    def test_size_and_relabelling(self, medium_graph):
+        sub, old_ids = sample_nodes_uniform(medium_graph, 50, seed=0)
+        assert sub.num_nodes == 50
+        assert old_ids.size == 50
+        assert old_ids.max() < medium_graph.num_nodes
+
+    def test_edges_are_original_edges(self, medium_graph):
+        sub, old_ids = sample_nodes_uniform(medium_graph, 60, seed=1)
+        for u, v in sub.unique_edges()[:50]:
+            assert medium_graph.has_edge(int(old_ids[u]), int(old_ids[v]))
+
+    def test_deterministic(self, medium_graph):
+        a = sample_nodes_uniform(medium_graph, 30, seed=5)[1]
+        b = sample_nodes_uniform(medium_graph, 30, seed=5)[1]
+        assert np.array_equal(a, b)
+
+    def test_too_many_rejected(self, triangle):
+        with pytest.raises(ValueError, match="cannot sample"):
+            sample_nodes_uniform(triangle, 10)
+
+
+class TestEdgeSampling:
+    def test_node_set_unchanged(self, medium_graph):
+        sub = sample_edges_uniform(medium_graph, 0.5, seed=0)
+        assert sub.num_nodes == medium_graph.num_nodes
+
+    def test_fraction_approximate(self, medium_graph):
+        sub = sample_edges_uniform(medium_graph, 0.5, seed=0)
+        ratio = sub.num_edges / medium_graph.num_edges
+        assert 0.4 < ratio < 0.6
+
+    def test_extremes(self, medium_graph):
+        none = sample_edges_uniform(medium_graph, 0.0, seed=0)
+        assert none.num_edges == 0
+        # keep_fraction=1.0 keeps everything (rng.random() < 1.0 always).
+        full = sample_edges_uniform(medium_graph, 1.0, seed=0)
+        assert full.num_edges == medium_graph.num_edges
+
+    def test_weights_survive(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)],
+                                weights=[2.0, 4.0, 8.0])
+        sub = sample_edges_uniform(g, 1.0, seed=0)
+        assert sub.is_weighted
+        assert sub.edge_weight(1, 2) == pytest.approx(4.0)
+
+    def test_degree_proportions_roughly_preserved(self, medium_graph):
+        """Edge sampling thins every node's degree by the same factor."""
+        sub = sample_edges_uniform(medium_graph, 0.5, seed=3)
+        orig = medium_graph.degrees.astype(float)
+        new = sub.degrees.astype(float)
+        mask = orig >= 8  # enough degree for the ratio to concentrate
+        ratios = new[mask] / orig[mask]
+        assert 0.3 < ratios.mean() < 0.7
+
+
+class TestSnowballSampling:
+    def test_reaches_target(self, medium_graph):
+        sub, old_ids = snowball_sample(medium_graph, 80, seed=0)
+        assert sub.num_nodes == 80
+
+    def test_ball_is_locally_dense(self, medium_graph):
+        """BFS balls keep more internal edges than uniform node samples."""
+        ball, _ = snowball_sample(medium_graph, 80, seed=0)
+        uniform, _ = sample_nodes_uniform(medium_graph, 80, seed=0)
+        assert ball.num_edges > uniform.num_edges
+
+    def test_explicit_seeds_included(self, medium_graph):
+        sub, old_ids = snowball_sample(medium_graph, 40,
+                                       seeds=np.array([7]), seed=0)
+        assert 7 in old_ids
+
+    def test_disconnected_graph_draws_new_seeds(self):
+        # Two disjoint triangles; a ball from one must jump to the other.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)]
+        g = CSRGraph.from_edges(edges)
+        sub, old_ids = snowball_sample(g, 6, seeds=np.array([0]), seed=0)
+        assert sub.num_nodes == 6
+
+    def test_target_too_large(self, triangle):
+        with pytest.raises(ValueError, match="cannot sample"):
+            snowball_sample(triangle, 10)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=1000),
+    size=st.integers(min_value=5, max_value=35),
+)
+def test_property_samplers_produce_valid_graphs(seed, size):
+    """Every sampler yields a structurally valid compact graph."""
+    g = powerlaw_cluster(40, attach=2, seed=seed % 9)
+    for sub, ids in (
+        sample_nodes_uniform(g, size, seed=seed),
+        snowball_sample(g, size, seed=seed),
+    ):
+        assert sub.num_nodes == size
+        assert ids.size == size
+        assert len(set(ids.tolist())) == size
+        if sub.num_stored_edges:
+            assert sub.indices.max() < sub.num_nodes

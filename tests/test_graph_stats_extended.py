@@ -1,0 +1,123 @@
+"""Tests for the extended graph statistics (triangles, assortativity,
+approximate diameter, degree Gini)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    approximate_diameter,
+    degree_assortativity,
+    degree_gini,
+    path,
+    powerlaw_cluster,
+    ring_of_cliques,
+    star,
+    triangle_count,
+)
+
+
+class TestTriangleCount:
+    def test_triangle(self, triangle):
+        assert triangle_count(triangle) == 1
+
+    def test_path_has_none(self, path_graph):
+        assert triangle_count(path_graph) == 0
+
+    def test_star_has_none(self, star_graph):
+        assert triangle_count(star_graph) == 0
+
+    def test_clique(self):
+        g = ring_of_cliques(1, 5)  # K5: C(5,3) = 10 triangles
+        assert triangle_count(g) == 10
+
+    def test_ring_of_cliques(self):
+        # 3 K4s contribute 3 * C(4,3) = 12; with exactly 3 cliques the
+        # ring edges (0-4, 4-8, 8-0) close one extra triangle.
+        g = ring_of_cliques(3, 4)
+        assert triangle_count(g) == 13
+
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges([(0, 1)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            triangle_count(g)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_matches_trace_formula(self, seed):
+        """Triangles = trace(A³) / 6 on simple undirected graphs."""
+        g = powerlaw_cluster(30, attach=2, triangle_prob=0.6, seed=seed)
+        a = np.zeros((g.num_nodes, g.num_nodes))
+        arcs = g.edge_array()
+        a[arcs[:, 0], arcs[:, 1]] = 1.0
+        expected = int(round(np.trace(a @ a @ a) / 6.0))
+        assert triangle_count(g) == expected
+
+
+class TestDegreeAssortativity:
+    def test_star_is_disassortative(self, star_graph):
+        # Hubs connect only to leaves: perfect negative correlation.
+        assert degree_assortativity(star_graph) == pytest.approx(-1.0)
+
+    def test_regular_graph_is_zero(self, triangle):
+        assert degree_assortativity(triangle) == 0.0
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], num_nodes=3)
+        assert degree_assortativity(g) == 0.0
+
+    def test_bounded(self, medium_graph):
+        r = degree_assortativity(medium_graph)
+        assert -1.0 <= r <= 1.0
+
+
+class TestApproximateDiameter:
+    def test_path_graph_exact(self):
+        # BFS from enough sources on a 12-path finds the full length.
+        g = path(12)
+        assert approximate_diameter(g, num_sources=12, seed=0) == 11
+
+    def test_clique_is_one(self):
+        g = ring_of_cliques(1, 6)
+        assert approximate_diameter(g, num_sources=3, seed=0) == 1
+
+    def test_lower_bound_property(self, medium_graph):
+        few = approximate_diameter(medium_graph, num_sources=1, seed=0)
+        many = approximate_diameter(medium_graph, num_sources=16, seed=0)
+        assert few <= many
+
+    def test_isolated_only(self):
+        g = CSRGraph.from_edges([], num_nodes=5)
+        assert approximate_diameter(g) == 0
+
+    def test_ignores_smaller_components(self):
+        # A long path plus an isolated node: diameter of the path.
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 3)], num_nodes=6)
+        assert approximate_diameter(g, num_sources=4, seed=0) == 3
+
+
+class TestDegreeGini:
+    def test_regular_is_zero(self, triangle):
+        assert degree_gini(triangle) == pytest.approx(0.0, abs=1e-12)
+
+    def test_star_is_skewed(self):
+        g = star(30)
+        assert degree_gini(g) > 0.4
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], num_nodes=4)
+        assert degree_gini(g) == 0.0
+
+    def test_powerlaw_more_skewed_than_ring(self, medium_graph):
+        regularish = ring_of_cliques(5, 8)
+        assert degree_gini(medium_graph) > degree_gini(regularish)
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_bounded(self, seed):
+        g = powerlaw_cluster(40, attach=2, seed=seed)
+        assert 0.0 <= degree_gini(g) < 1.0

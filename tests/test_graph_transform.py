@@ -1,0 +1,125 @@
+"""Tests for graph transformations (induced subgraph, components, k-core)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    core_number,
+    induced_subgraph,
+    k_core,
+    largest_component_subgraph,
+    powerlaw_cluster,
+    ring_of_cliques,
+    star,
+)
+
+
+class TestInducedSubgraph:
+    def test_keeps_internal_edges_only(self):
+        g = ring_of_cliques(2, 4)  # two K4s, one bridge per ring step
+        sub, old_ids = induced_subgraph(g, np.arange(4))
+        assert sub.num_nodes == 4
+        assert sub.num_edges == 6  # the K4, bridge endpoints cut away
+        assert np.array_equal(old_ids, np.arange(4))
+
+    def test_relabelling_is_compact(self, medium_graph):
+        nodes = np.array([5, 50, 100, 150])
+        sub, old_ids = induced_subgraph(medium_graph, nodes)
+        assert sub.num_nodes == 4
+        assert np.array_equal(old_ids, nodes)
+
+    def test_weights_carried_over(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], weights=[5.0, 7.0])
+        sub, old_ids = induced_subgraph(g, np.array([1, 2]))
+        assert sub.is_weighted
+        assert sub.edge_weight(0, 1) == pytest.approx(7.0)
+
+    def test_duplicate_nodes_deduped(self, triangle):
+        sub, old_ids = induced_subgraph(triangle, np.array([0, 0, 1]))
+        assert sub.num_nodes == 2
+
+    def test_out_of_range_rejected(self, triangle):
+        with pytest.raises(ValueError, match="outside"):
+            induced_subgraph(triangle, np.array([9]))
+
+    def test_empty_selection(self, triangle):
+        sub, old_ids = induced_subgraph(triangle, np.empty(0, dtype=np.int64))
+        assert sub.num_nodes == 0
+        assert old_ids.size == 0
+
+
+class TestLargestComponent:
+    def test_extracts_largest(self):
+        # K4 plus a disjoint edge.
+        edges = [(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3), (4, 5)]
+        g = CSRGraph.from_edges(edges)
+        sub, old_ids = largest_component_subgraph(g)
+        assert sub.num_nodes == 4
+        assert set(old_ids.tolist()) == {0, 1, 2, 3}
+
+    def test_connected_graph_unchanged_sizes(self, small_graph):
+        sub, old_ids = largest_component_subgraph(small_graph)
+        assert sub.num_nodes == small_graph.num_nodes
+        assert sub.num_edges == small_graph.num_edges
+
+
+class TestKCore:
+    def test_star_one_core(self):
+        g = star(5)
+        core1, ids1 = k_core(g, 1)
+        assert core1.num_nodes == 6  # everything has degree >= 1
+        core2, ids2 = k_core(g, 2)
+        assert core2.num_nodes == 0  # leaves peel, then the hub
+
+    def test_clique_survives_its_core(self):
+        g = ring_of_cliques(3, 5)  # K5s: internal degree 4 (+ ring)
+        core4, ids = k_core(g, 4)
+        assert core4.num_nodes == 15  # all clique nodes survive
+        core5, _ = k_core(g, 5)
+        assert core5.num_nodes < 15
+
+    def test_core_property_holds(self, medium_graph):
+        for k in (2, 3, 4):
+            core, ids = k_core(medium_graph, k)
+            if core.num_nodes:
+                assert core.degrees.min() >= k
+
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges([(0, 1)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            k_core(g, 1)
+        with pytest.raises(ValueError, match="undirected"):
+            core_number(g)
+
+
+class TestCoreNumber:
+    def test_star(self):
+        assert core_number(star(4)).tolist() == [1, 1, 1, 1, 1]
+
+    def test_clique(self):
+        g = ring_of_cliques(1, 5)
+        assert np.all(core_number(g) == 4)
+
+    def test_isolated_zero(self):
+        g = CSRGraph.from_edges([(0, 1)], num_nodes=3)
+        assert core_number(g)[2] == 0
+
+    def test_consistent_with_k_core(self, medium_graph):
+        cores = core_number(medium_graph)
+        for k in (2, 3):
+            sub, ids = k_core(medium_graph, k)
+            assert set(ids.tolist()) == set(
+                np.flatnonzero(cores >= k).tolist())
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_property_core_bounded_by_degree(self, seed):
+        g = powerlaw_cluster(40, attach=2, seed=seed)
+        cores = core_number(g)
+        assert np.all(cores <= g.degrees)
+        assert np.all(cores >= 0)

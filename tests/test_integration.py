@@ -1,0 +1,150 @@
+"""Integration tests: the paper's cross-system shape claims, end to end.
+
+These are the assertions that make the reproduction a reproduction --
+each corresponds to a quantitative claim in the paper's evaluation (§6).
+They run on reduced-scale stand-ins to stay test-suite friendly; the full
+benchmark harness in benchmarks/ measures the same claims at full
+stand-in scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import load
+from repro.systems import DistGER, HuGED, KnightKing
+from repro.tasks import auc_from_split, split_edges
+
+
+@pytest.fixture(scope="module")
+def lj_split():
+    ds = load("LJ", scale=0.5)
+    split = split_edges(ds.graph, test_fraction=0.5, seed=0)
+    return split
+
+
+@pytest.fixture(scope="module")
+def system_results(lj_split):
+    """One run of each walk-based system on the same residual graph."""
+    results = {}
+    for cls in (DistGER, HuGED, KnightKing):
+        system = cls(num_machines=4, dim=32, epochs=4, seed=0)
+        results[cls.name] = system.embed(lj_split.train_graph)
+    return results
+
+
+class TestEfficiencyShapes:
+    def test_distger_faster_than_huged(self, system_results):
+        """Fig. 5: InCoM removes HuGE-D's quadratic measurement cost."""
+        assert system_results["DistGER"].wall_seconds < \
+            system_results["HuGE-D"].wall_seconds
+
+    def test_distger_faster_than_knightking(self, system_results):
+        """Fig. 5: information-oriented walks shrink sampling + training."""
+        assert system_results["DistGER"].wall_seconds < \
+            system_results["KnightKing"].wall_seconds
+
+    def test_distger_fewer_messages_than_huged(self, system_results):
+        """Fig. 10(c): MPGP keeps walkers local."""
+        assert system_results["DistGER"].metrics.messages_sent < \
+            system_results["HuGE-D"].metrics.messages_sent
+
+    def test_distger_message_bytes_constant_sized(self, system_results):
+        m = system_results["DistGER"].metrics
+        assert m.message_bytes == m.messages_sent * 80
+
+    def test_huged_messages_linear_in_path(self, system_results):
+        m = system_results["HuGE-D"].metrics
+        # Average message is strictly larger than the constant 80 bytes at
+        # the measured average walk length.
+        assert m.message_bytes / max(1, m.messages_sent) > 80
+
+    def test_walk_length_reduction_vs_routine(self, system_results):
+        """§6.5: information-oriented walks are much shorter than L=80."""
+        avg = system_results["DistGER"].stats["avg_walk_length"]
+        assert avg < 0.6 * 80
+
+    def test_corpus_reduction(self, system_results):
+        """Smaller corpus is the training-speed lever (17-28x in §6.5)."""
+        assert system_results["DistGER"].stats["corpus_tokens"] < \
+            0.5 * system_results["KnightKing"].stats["corpus_tokens"]
+
+    def test_sync_traffic_reduction(self, system_results):
+        """Improvement-III: hotness blocks vs full-model sync."""
+        d = system_results["DistGER"].metrics
+        k = system_results["KnightKing"].metrics
+        # Per sync message, DistGER ships fewer bytes.
+        d_per = d.sync_bytes / max(1, d.sync_messages)
+        k_per = k.sync_bytes / max(1, k.sync_messages)
+        assert d_per < k_per
+
+
+class TestEffectivenessShapes:
+    def test_distger_auc_competitive(self, system_results, lj_split):
+        """Table 4's headline: DistGER reaches the strongest AUC tier
+        while doing a fraction of the work."""
+        aucs = {
+            name: auc_from_split(res.embeddings, lj_split)
+            for name, res in system_results.items()
+        }
+        assert aucs["DistGER"] > 0.8
+        assert aucs["DistGER"] >= max(aucs.values()) - 0.05
+
+    def test_embeddings_cluster_communities(self):
+        """Nodes of one community embed closer than cross-community pairs."""
+        ds = load("FL", scale=0.5)
+        result = DistGER(num_machines=2, dim=32, epochs=2, seed=0).embed(ds.graph)
+        emb = result.embeddings
+        comm = ds.communities
+        rng = np.random.default_rng(0)
+        same, diff = [], []
+        for _ in range(300):
+            a, b = rng.integers(0, ds.graph.num_nodes, size=2)
+            if a == b:
+                continue
+            sim = float(emb[a] @ emb[b])
+            (same if comm[a] == comm[b] else diff).append(sim)
+        assert np.mean(same) > np.mean(diff)
+
+
+class TestInformationOrientedProperty:
+    def test_walk_lengths_adapt_to_structure(self):
+        """The heart of the paper: walk lengths are decided by information
+        convergence, so denser graphs (more structure to cover) get longer
+        walks than sparse ones under identical settings."""
+        from repro.partition import MPGPPartitioner
+        from repro.runtime import Cluster
+        from repro.walks import DistributedWalkEngine, WalkConfig
+
+        lengths = {}
+        for name in ("FL", "YT"):
+            ds = load(name, scale=0.5)
+            assignment = MPGPPartitioner().partition(ds.graph, 2).assignment
+            cluster = Cluster(2, assignment, seed=1)
+            cfg = WalkConfig.distger(max_rounds=1, min_rounds=1)
+            result = DistributedWalkEngine(ds.graph, cluster, cfg).run()
+            lengths[name] = result.stats.average_length
+        assert lengths["FL"] > lengths["YT"], (
+            "dense FL should walk longer than sparse YT under the "
+            "information-convergence rule"
+        )
+
+    def test_end_to_end_determinism(self):
+        ds = load("FL", scale=0.4)
+        runs = []
+        for _ in range(2):
+            res = DistGER(num_machines=2, dim=8, epochs=1, seed=5).embed(ds.graph)
+            runs.append(res.embeddings)
+        np.testing.assert_array_equal(runs[0], runs[1])
+
+
+class TestScalabilityShape:
+    def test_simulated_time_improves_with_machines(self):
+        """Fig. 6: the simulated makespan drops as machines are added."""
+        ds = load("LJ", scale=0.4)
+        times = {}
+        for m in (1, 4):
+            res = DistGER(num_machines=m, dim=16, epochs=1, seed=0).embed(ds.graph)
+            times[m] = res.simulated_seconds
+        assert times[4] < times[1]

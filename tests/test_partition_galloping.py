@@ -1,0 +1,71 @@
+"""Tests for galloping intersection (property-tested vs numpy)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.partition import (
+    galloping_intersect,
+    galloping_intersect_size,
+    intersect_with_membership,
+)
+
+sorted_unique = st.lists(
+    st.integers(min_value=0, max_value=200), max_size=60
+).map(lambda xs: np.array(sorted(set(xs)), dtype=np.int64))
+
+
+class TestGallopingIntersect:
+    @given(sorted_unique, sorted_unique)
+    @settings(max_examples=300, deadline=None)
+    def test_matches_numpy(self, a, b):
+        expected = np.intersect1d(a, b, assume_unique=True)
+        np.testing.assert_array_equal(galloping_intersect(a, b), expected)
+
+    @given(sorted_unique, sorted_unique)
+    @settings(max_examples=300, deadline=None)
+    def test_size_matches(self, a, b):
+        expected = np.intersect1d(a, b, assume_unique=True).size
+        assert galloping_intersect_size(a, b) == expected
+
+    def test_empty_operands(self):
+        empty = np.empty(0, dtype=np.int64)
+        some = np.array([1, 2, 3])
+        assert galloping_intersect(empty, some).size == 0
+        assert galloping_intersect_size(some, empty) == 0
+
+    def test_disjoint(self):
+        a = np.array([1, 3, 5])
+        b = np.array([2, 4, 6])
+        assert galloping_intersect_size(a, b) == 0
+
+    def test_identical(self):
+        a = np.array([1, 2, 3])
+        assert galloping_intersect_size(a, a) == 3
+
+    def test_very_asymmetric_sizes(self):
+        small = np.array([500, 900_000])
+        large = np.arange(1_000_000, dtype=np.int64)
+        np.testing.assert_array_equal(galloping_intersect(small, large), small)
+
+    def test_symmetry(self):
+        a = np.array([1, 5, 9, 12])
+        b = np.array([5, 12, 40])
+        np.testing.assert_array_equal(
+            galloping_intersect(a, b), galloping_intersect(b, a)
+        )
+
+
+class TestMembershipIntersect:
+    @given(sorted_unique)
+    @settings(max_examples=100, deadline=None)
+    def test_matches_boolean_filter(self, a):
+        mask = np.zeros(201, dtype=bool)
+        mask[::3] = True
+        expected = a[mask[a]] if a.size else a
+        np.testing.assert_array_equal(
+            intersect_with_membership(a, mask), expected
+        )

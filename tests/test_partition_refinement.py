@@ -1,0 +1,134 @@
+"""Tests for greedy boundary refinement of streaming partitions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, community_graph, powerlaw_cluster, ring_of_cliques
+from repro.partition import (
+    HashPartitioner,
+    MPGPPartitioner,
+    edge_cut,
+    node_balance,
+    refine_partition,
+    refine_result,
+)
+from repro.partition.refinement import RefinementStats
+
+
+class TestRefinePartition:
+    def test_repairs_a_scrambled_perfect_partition(self):
+        """Cliques assigned almost-correctly must be fully repaired."""
+        g = ring_of_cliques(4, 8)
+        truth = np.repeat(np.arange(4), 8)
+        scrambled = truth.copy()
+        rng = np.random.default_rng(0)
+        wrong = rng.choice(g.num_nodes, size=6, replace=False)
+        scrambled[wrong] = (truth[wrong] + 1) % 4
+        refined, stats = refine_partition(g, scrambled, 4, gamma=2.0)
+        assert edge_cut(g, refined) <= edge_cut(g, scrambled)
+        assert edge_cut(g, refined) <= edge_cut(g, truth) + 2
+        assert stats.moves >= 1
+
+    def test_never_increases_cut(self, medium_graph):
+        assignment = HashPartitioner().partition(medium_graph, 4).assignment
+        refined, stats = refine_partition(medium_graph, assignment, 4)
+        assert stats.cut_arcs_after <= stats.cut_arcs_before
+        assert edge_cut(medium_graph, refined) <= edge_cut(medium_graph,
+                                                           assignment)
+
+    def test_respects_gamma_capacity(self, medium_graph):
+        assignment = HashPartitioner().partition(medium_graph, 4).assignment
+        for gamma in (1.0, 1.5, 2.0):
+            refined, _ = refine_partition(medium_graph, assignment, 4,
+                                          gamma=gamma)
+            assert node_balance(refined, 4) <= gamma + 1e-9
+
+    def test_input_not_mutated(self, small_graph):
+        assignment = HashPartitioner().partition(small_graph, 2).assignment
+        before = assignment.copy()
+        refine_partition(small_graph, assignment, 2)
+        assert np.array_equal(assignment, before)
+
+    def test_stops_early_when_converged(self):
+        # A perfectly-partitioned disconnected graph needs zero moves.
+        g = ring_of_cliques(2, 5)
+        edges = g.unique_edges()
+        keep = [(int(u), int(v)) for u, v in edges
+                if (u < 5) == (v < 5)]
+        disconnected = CSRGraph.from_edges(keep, num_nodes=10)
+        truth = np.repeat([0, 1], 5)
+        refined, stats = refine_partition(disconnected, truth, 2,
+                                          max_passes=5)
+        assert stats.moves == 0
+        assert stats.passes == 1
+        assert np.array_equal(refined, truth)
+
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            refine_partition(g, np.zeros(3, dtype=np.int64), 2)
+
+    def test_validation(self, triangle):
+        with pytest.raises(ValueError, match="gamma"):
+            refine_partition(triangle, np.zeros(3, dtype=np.int64), 2,
+                             gamma=0.5)
+        with pytest.raises(ValueError, match="every node"):
+            refine_partition(triangle, np.zeros(2, dtype=np.int64), 2)
+
+    def test_stats_cut_reduction(self):
+        stats = RefinementStats(passes=1, moves=3, cut_arcs_before=10,
+                                cut_arcs_after=4, seconds=0.0)
+        assert stats.cut_reduction == pytest.approx(0.6)
+        zero = RefinementStats(passes=1, moves=0, cut_arcs_before=0,
+                               cut_arcs_after=0, seconds=0.0)
+        assert zero.cut_reduction == 0.0
+
+
+class TestRefineResult:
+    def test_wraps_partition_result(self, medium_graph):
+        base = MPGPPartitioner(seed=0).partition(medium_graph, 4)
+        refined = refine_result(medium_graph, base)
+        assert refined.method == f"{base.method}+refine"
+        assert refined.num_parts == 4
+        assert refined.seconds >= base.seconds
+        assert "refine_moves" in refined.extras
+        assert edge_cut(medium_graph, refined.assignment) <= \
+            edge_cut(medium_graph, base.assignment)
+
+    def test_improves_hash_partition_substantially(self):
+        graph, _ = community_graph(200, 4, within_degree=10.0,
+                                   cross_degree=0.4, seed=3)
+        base = HashPartitioner().partition(graph, 4)
+        refined = refine_result(graph, base, max_passes=5)
+        cut_before = edge_cut(graph, base.assignment)
+        cut_after = edge_cut(graph, refined.assignment)
+        # Hash ignores structure entirely; on a community graph refinement
+        # must recover a large share of the locality.
+        assert cut_after < 0.7 * cut_before
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    num_parts=st.integers(min_value=2, max_value=5),
+    gamma=st.floats(min_value=1.0, max_value=3.0),
+)
+def test_property_refinement_invariants(seed, num_parts, gamma):
+    """Refinement never increases the cut, keeps γ balance, reassigns only."""
+    g = powerlaw_cluster(60, attach=2, seed=seed % 11)
+    rng = np.random.default_rng(seed)
+    assignment = rng.integers(0, num_parts, size=g.num_nodes)
+    refined, stats = refine_partition(g, assignment, num_parts, gamma=gamma)
+    assert stats.cut_arcs_after <= stats.cut_arcs_before
+    assert refined.min() >= 0 and refined.max() < num_parts
+    capacity = gamma * g.num_nodes / num_parts
+    sizes = np.bincount(refined, minlength=num_parts)
+    # Parts that were already over capacity can only shrink; parts the
+    # refiner filled must respect the bound.
+    before_sizes = np.bincount(assignment, minlength=num_parts)
+    for part in range(num_parts):
+        assert sizes[part] <= max(capacity, before_sizes[part])

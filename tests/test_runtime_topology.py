@@ -1,0 +1,171 @@
+"""Tests for the message matrix and topology-aware cost models."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.runtime import (
+    ClusterMetrics,
+    CostModel,
+    HeterogeneousCostModel,
+    RackTopologyCostModel,
+    rack_assignment,
+)
+
+
+def _metrics_with_traffic() -> ClusterMetrics:
+    m = ClusterMetrics(4)
+    m.record_compute(0, 1000.0)
+    m.record_compute(1, 500.0)
+    m.record_message(80, src=0, dst=1)   # same rack under [0,0,1,1]
+    m.record_message(80, src=2, dst=3)   # same rack
+    m.record_message(80, src=0, dst=2)   # cross rack
+    m.record_message(80, src=3, dst=1)   # cross rack
+    return m
+
+
+class TestMessageMatrix:
+    def test_records_pairs(self):
+        m = _metrics_with_traffic()
+        assert m.message_byte_matrix[0][1] == 80
+        assert m.message_byte_matrix[0][2] == 80
+        assert m.message_byte_matrix[1][0] == 0
+        assert m.messages_sent == 4
+        assert m.message_bytes == 320
+
+    def test_endpoint_free_recording_still_counts(self):
+        m = ClusterMetrics(2)
+        m.record_message(64)
+        assert m.messages_sent == 1
+        assert m.message_bytes == 64
+        assert sum(sum(row) for row in m.message_byte_matrix) == 0
+
+    def test_merge_folds_matrix(self):
+        a = _metrics_with_traffic()
+        b = _metrics_with_traffic()
+        a.merge(b)
+        assert a.message_byte_matrix[0][1] == 160
+        assert a.message_bytes == 640
+
+    def test_bsp_engine_fills_matrix(self, small_graph):
+        from repro.runtime.cluster import Cluster
+        from repro.walks import DistributedWalkEngine, WalkConfig
+
+        assignment = np.arange(small_graph.num_nodes) % 2
+        cluster = Cluster(2, assignment, seed=0)
+        cfg = WalkConfig.routine(kernel="deepwalk", walk_length=10,
+                                 walks_per_node=1)
+        DistributedWalkEngine(small_graph, cluster, cfg).run()
+        matrix = cluster.metrics.message_byte_matrix
+        attributed = sum(sum(row) for row in matrix)
+        assert attributed == cluster.metrics.message_bytes
+        assert matrix[0][0] == 0 and matrix[1][1] == 0  # no self messages
+
+
+class TestRackAssignment:
+    def test_even_split(self):
+        assert rack_assignment(4, 2) == [0, 0, 1, 1]
+        assert rack_assignment(8, 4) == [0, 0, 1, 1, 2, 2, 3, 3]
+
+    def test_uneven_split(self):
+        racks = rack_assignment(5, 2)
+        assert sorted(set(racks)) == [0, 1]
+        assert racks == sorted(racks)
+
+    def test_one_rack(self):
+        assert rack_assignment(3, 1) == [0, 0, 0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            rack_assignment(0, 1)
+        with pytest.raises(ValueError):
+            rack_assignment(2, 3)
+
+
+class TestHeterogeneousCostModel:
+    def test_straggler_dominates(self):
+        m = ClusterMetrics(2)
+        m.record_compute(0, 1000.0)
+        m.record_compute(1, 1000.0)
+        uniform = HeterogeneousCostModel(speed_factors=(1.0, 1.0))
+        straggler = HeterogeneousCostModel(speed_factors=(1.0, 0.25))
+        assert straggler.makespan(m) == pytest.approx(4 * uniform.makespan(m))
+
+    def test_matches_base_model_when_uniform(self):
+        m = _metrics_with_traffic()
+        base = CostModel()
+        hetero = HeterogeneousCostModel(speed_factors=(1.0,) * 4)
+        assert hetero.makespan(m) == pytest.approx(base.makespan(m))
+
+    def test_balanced_work_on_imbalanced_cluster_straggles(self):
+        """Equal work is not optimal when speeds differ -- the motivation
+        for workload-aware placement."""
+        balanced = ClusterMetrics(2)
+        balanced.record_compute(0, 500.0)
+        balanced.record_compute(1, 500.0)
+        skewed = ClusterMetrics(2)
+        skewed.record_compute(0, 800.0)  # more work on the fast machine
+        skewed.record_compute(1, 200.0)
+        model = HeterogeneousCostModel(speed_factors=(4.0, 1.0))
+        assert model.makespan(skewed) < model.makespan(balanced)
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="every machine"):
+            HeterogeneousCostModel(speed_factors=())
+        with pytest.raises(ValueError, match="positive"):
+            HeterogeneousCostModel(speed_factors=(1.0, 0.0))
+        m = ClusterMetrics(3)
+        with pytest.raises(ValueError, match="machines"):
+            HeterogeneousCostModel(speed_factors=(1.0,)).makespan(m)
+
+
+class TestRackTopologyCostModel:
+    def test_split_bytes(self):
+        m = _metrics_with_traffic()
+        model = RackTopologyCostModel(racks=(0, 0, 1, 1),
+                                      oversubscription=4.0)
+        intra, inter = model.split_bytes(m)
+        assert intra == 160
+        assert inter == 160
+
+    def test_oversubscription_raises_cost(self):
+        m = _metrics_with_traffic()
+        flat = RackTopologyCostModel(racks=(0, 0, 1, 1), oversubscription=1.0)
+        tight = RackTopologyCostModel(racks=(0, 0, 1, 1), oversubscription=8.0)
+        assert tight.makespan(m) > flat.makespan(m)
+
+    def test_flat_oversubscription_matches_base(self):
+        m = _metrics_with_traffic()
+        base = CostModel()
+        flat = RackTopologyCostModel(racks=(0, 0, 1, 1), oversubscription=1.0)
+        assert flat.makespan(m) == pytest.approx(base.makespan(m))
+
+    def test_locality_pays_off(self):
+        """The same byte volume costs less when it stays inside racks."""
+        local = ClusterMetrics(4)
+        local.record_message(1000, src=0, dst=1)
+        local.record_message(1000, src=2, dst=3)
+        remote = ClusterMetrics(4)
+        remote.record_message(1000, src=0, dst=2)
+        remote.record_message(1000, src=1, dst=3)
+        model = RackTopologyCostModel(racks=(0, 0, 1, 1),
+                                      oversubscription=4.0)
+        assert model.makespan(local) < model.makespan(remote)
+
+    def test_unattributed_bytes_priced_as_inter_rack(self):
+        m = ClusterMetrics(2)
+        m.record_sync(5000)
+        model = RackTopologyCostModel(racks=(0, 1), oversubscription=2.0)
+        intra, inter = model.split_bytes(m)
+        assert intra == 0
+        assert inter == 5000
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="every machine"):
+            RackTopologyCostModel(racks=())
+        with pytest.raises(ValueError, match="oversubscription"):
+            RackTopologyCostModel(racks=(0, 1), oversubscription=0.5)
+        m = ClusterMetrics(3)
+        with pytest.raises(ValueError, match="machines"):
+            RackTopologyCostModel(racks=(0, 1)).split_bytes(m)

@@ -1,0 +1,148 @@
+"""Tests for the end-to-end systems and the public API.
+
+Heavier integration-style assertions (quality thresholds, cross-system
+shape claims) live in test_integration.py; these tests pin the contract of
+every system at small scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import available_methods, embed_graph
+from repro.graph import community_graph
+from repro.systems import (
+    DistDGL,
+    DistGER,
+    DistGERGPU,
+    GPUCostModel,
+    HuGED,
+    KnightKing,
+    PBG,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    g, _ = community_graph(120, 6, within_degree=8.0, cross_degree=0.8,
+                           seed=21)
+    return g
+
+
+FAST_KWARGS = dict(num_machines=2, dim=16, epochs=1, seed=0)
+
+
+def fast_system(cls, **extra):
+    return cls(**{**FAST_KWARGS, **extra})
+
+
+@pytest.mark.parametrize("cls", [DistGER, HuGED, KnightKing, PBG, DistDGL],
+                         ids=lambda c: c.name)
+class TestSystemContract:
+    def test_embed_shape_and_finiteness(self, cls, graph):
+        result = fast_system(cls).embed(graph)
+        assert result.embeddings.shape == (graph.num_nodes, 16)
+        assert np.all(np.isfinite(result.embeddings))
+
+    def test_result_reporting(self, cls, graph):
+        result = fast_system(cls).embed(graph)
+        assert result.system == cls.name
+        assert result.wall_seconds > 0
+        assert result.simulated_seconds > 0
+        assert result.peak_memory_bytes > 0
+        assert "partition_seconds" in result.stats
+
+    def test_invalid_machine_count(self, cls):
+        with pytest.raises(ValueError):
+            cls(num_machines=0)
+
+
+class TestWalkSystemSpecifics:
+    def test_distger_phases(self, graph):
+        result = fast_system(DistGER).embed(graph)
+        for phase in ("partition", "sampling", "training"):
+            assert result.phase(phase) > 0
+        assert result.stats["avg_walk_length"] > 1
+        assert result.stats["corpus_tokens"] > 0
+
+    def test_distger_smaller_corpus_than_knightking(self, graph):
+        d = fast_system(DistGER).embed(graph)
+        k = fast_system(KnightKing).embed(graph)
+        assert d.stats["corpus_tokens"] < k.stats["corpus_tokens"]
+
+    def test_kernel_generality(self, graph):
+        """§6.6: DeepWalk/node2vec kernels run under DistGER's
+        information-centric termination."""
+        for kernel in ("deepwalk", "node2vec", "huge+"):
+            result = fast_system(DistGER, kernel=kernel).embed(graph)
+            assert np.all(np.isfinite(result.embeddings))
+
+    def test_knightking_routine_lengths(self, graph):
+        sys = fast_system(KnightKing, walk_length=15, walks_per_node=2)
+        result = sys.embed(graph)
+        assert result.stats["avg_walk_length"] == pytest.approx(15.0, abs=1.0)
+        assert result.stats["rounds"] == 2
+
+
+class TestPBGSpecifics:
+    def test_bucket_count(self, graph):
+        result = fast_system(PBG).embed(graph)
+        assert 1 <= result.stats["buckets"] <= 4  # 2x2 machine buckets
+
+    def test_parameter_server_traffic(self, graph):
+        result = fast_system(PBG).embed(graph)
+        assert result.metrics.sync_bytes > 0
+
+
+class TestDistDGLSpecifics:
+    def test_sampling_time_reported(self, graph):
+        result = fast_system(DistDGL).embed(graph)
+        assert result.stats["sampling_seconds"] > 0
+        assert 0.0 <= result.stats["sampling_fraction"] <= 1.0
+
+    def test_gradient_sync_traffic(self, graph):
+        result = fast_system(DistDGL).embed(graph)
+        assert result.metrics.sync_bytes > 0
+
+
+class TestGPUVariant:
+    def test_speedup_when_fits(self, graph):
+        gpu = GPUCostModel(speedup=10.0, device_memory_bytes=1 << 40)
+        result = fast_system(DistGERGPU, gpu=gpu).embed(graph)
+        assert result.stats["gpu_training_seconds"] < \
+            result.stats["cpu_training_seconds"]
+        assert result.stats["device_spill_bytes"] == 0
+
+    def test_spill_erases_speedup(self, graph):
+        """Table 9's Twitter effect: state beyond device memory pays PCIe."""
+        gpu = GPUCostModel(speedup=10.0, device_memory_bytes=1,
+                           pcie_bandwidth=1e4)
+        result = fast_system(DistGERGPU, gpu=gpu).embed(graph)
+        assert result.stats["gpu_training_seconds"] > \
+            result.stats["cpu_training_seconds"]
+        assert result.stats["device_spill_bytes"] > 0
+
+
+class TestPublicAPI:
+    def test_methods_listed(self):
+        methods = available_methods()
+        assert "distger" in methods
+        assert len(methods) == 6
+
+    def test_embed_graph_runs(self, graph):
+        result = embed_graph(graph, method="distger", **FAST_KWARGS)
+        assert result.embeddings.shape[0] == graph.num_nodes
+
+    def test_embed_graph_kernel_passthrough(self, graph):
+        result = embed_graph(graph, method="knightking", kernel="deepwalk",
+                             **FAST_KWARGS)
+        assert result.system == "KnightKing"
+
+    def test_embed_graph_rejects_unknown(self, graph):
+        with pytest.raises(KeyError):
+            embed_graph(graph, method="gnn-magic")
+
+    def test_embed_graph_rejects_kernel_for_pbg(self, graph):
+        with pytest.raises(ValueError):
+            embed_graph(graph, method="pbg", kernel="huge")

@@ -1,0 +1,94 @@
+"""Tests for the side-by-side system comparison harness."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph import community_graph
+from repro.systems import SystemComparison, SystemComparisonRow, compare_systems
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return community_graph(120, 4, within_degree=8.0, cross_degree=0.5,
+                           seed=33)[0]
+
+
+@pytest.fixture(scope="module")
+def comparison(graph):
+    return compare_systems(
+        graph, methods=("distger", "knightking"),
+        num_machines=2, dim=16, epochs=1, seed=0,
+        task="link-prediction",
+    )
+
+
+class TestCompareSystems:
+    def test_one_row_per_method(self, comparison):
+        assert [r.method for r in comparison.rows] == \
+            ["distger", "knightking"]
+
+    def test_rows_carry_all_quantities(self, comparison):
+        for row in comparison.rows:
+            assert row.wall_seconds > 0
+            assert row.simulated_seconds > 0
+            assert row.walker_messages > 0
+            assert row.peak_memory_bytes > 0
+            assert row.corpus_tokens > 0
+            assert 0.0 <= row.auc <= 1.0
+
+    def test_distger_smaller_corpus(self, comparison):
+        """The information-oriented corpus is the efficiency mechanism."""
+        distger = comparison.row("distger")
+        knightking = comparison.row("knightking")
+        assert distger.corpus_tokens < knightking.corpus_tokens
+
+    def test_speedup(self, comparison):
+        s = comparison.speedup("distger", "knightking")
+        assert s == pytest.approx(
+            comparison.row("knightking").wall_seconds
+            / comparison.row("distger").wall_seconds)
+        assert comparison.speedup("distger", "knightking",
+                                  clock="simulated") > 0
+
+    def test_speedup_validates_clock(self, comparison):
+        with pytest.raises(ValueError, match="clock"):
+            comparison.speedup("distger", "knightking", clock="cpu")
+
+    def test_unknown_method_row(self, comparison):
+        with pytest.raises(KeyError, match="no row"):
+            comparison.row("pbg")
+
+    def test_formatted_table(self, comparison):
+        text = comparison.formatted()
+        assert "method" in text
+        assert "distger" in text
+        assert len(text.splitlines()) == 2 + len(comparison.rows)
+
+    def test_without_task(self, graph):
+        result = compare_systems(graph, methods=("distger",),
+                                 num_machines=2, dim=8, epochs=1, seed=0)
+        assert result.rows[0].auc is None
+
+    def test_unknown_task_rejected(self, graph):
+        with pytest.raises(ValueError, match="unknown task"):
+            compare_systems(graph, task="clustering")
+
+    def test_method_kwargs_forwarded(self, graph):
+        result = compare_systems(
+            graph, methods=("knightking",), num_machines=2, dim=8,
+            epochs=1, seed=0,
+            method_kwargs={"knightking": {"walk_length": 7,
+                                          "walks_per_node": 2}},
+        )
+        row = result.rows[0]
+        # 2 walks of 7 tokens per source node (every node has edges).
+        assert row.corpus_tokens == 2 * 7 * graph.num_nodes
+
+    def test_formatted_handles_missing_values(self):
+        comparison = SystemComparison(rows=[SystemComparisonRow(
+            method="x", wall_seconds=1.0, simulated_seconds=1.0,
+            walker_messages=0, walker_message_bytes=0, sync_bytes=0,
+            peak_memory_bytes=0, corpus_tokens=None, auc=None,
+        )])
+        assert "-" in comparison.formatted()

@@ -1,0 +1,193 @@
+"""Tests for k-means, NMI, modularity and the clustering harness."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import CSRGraph, community_graph, ring_of_cliques
+from repro.tasks import (
+    evaluate_clustering,
+    kmeans,
+    modularity,
+    normalized_mutual_information,
+)
+
+
+def _blobs(k: int, per_cluster: int, spread: float = 0.05,
+           seed: int = 0) -> tuple:
+    """Well-separated Gaussian blobs with ground-truth labels."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=5.0, size=(k, 4))
+    points = np.concatenate([
+        centers[c] + spread * rng.normal(size=(per_cluster, 4))
+        for c in range(k)
+    ])
+    labels = np.repeat(np.arange(k), per_cluster)
+    return points, labels
+
+
+class TestKMeans:
+    def test_recovers_separated_blobs(self):
+        points, truth = _blobs(3, 30)
+        labels, centroids, inertia = kmeans(points, 3, seed=1)
+        assert normalized_mutual_information(labels, truth) > 0.95
+        assert centroids.shape == (3, 4)
+        assert inertia < 10.0
+
+    def test_k_equals_n(self):
+        points = np.arange(8, dtype=float).reshape(4, 2)
+        labels, _, inertia = kmeans(points, 4, seed=0)
+        assert len(set(labels.tolist())) == 4
+        assert inertia == pytest.approx(0.0)
+
+    def test_k1_single_cluster(self):
+        points, _ = _blobs(2, 10)
+        labels, centroids, _ = kmeans(points, 1, seed=0)
+        assert np.all(labels == 0)
+        assert np.allclose(centroids[0], points.mean(axis=0))
+
+    def test_k_too_large_rejected(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            kmeans(np.zeros((3, 2)), 4)
+
+    def test_non_2d_rejected(self):
+        with pytest.raises(ValueError, match="2-D"):
+            kmeans(np.zeros(5), 2)
+
+    def test_deterministic_given_seed(self):
+        points, _ = _blobs(3, 20, seed=4)
+        a = kmeans(points, 3, seed=9)[0]
+        b = kmeans(points, 3, seed=9)[0]
+        assert np.array_equal(a, b)
+
+    def test_duplicate_points(self):
+        points = np.ones((10, 3))
+        labels, _, inertia = kmeans(points, 2, seed=0)
+        assert inertia == pytest.approx(0.0)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        k=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_property_inertia_matches_labels(self, k, seed):
+        """Returned inertia equals the sum of squared assigned distances."""
+        rng = np.random.default_rng(seed)
+        points = rng.normal(size=(25, 3))
+        labels, centroids, inertia = kmeans(points, k, seed=seed)
+        recomputed = float(np.sum((points - centroids[labels]) ** 2))
+        assert inertia == pytest.approx(recomputed, rel=1e-9, abs=1e-9)
+
+
+class TestNMI:
+    def test_identical_is_one(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+    def test_relabeling_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 7, 7])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=4000)
+        b = rng.integers(0, 4, size=4000)
+        assert normalized_mutual_information(a, b) < 0.02
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 3, size=100)
+        b = rng.integers(0, 5, size=100)
+        assert normalized_mutual_information(a, b) == pytest.approx(
+            normalized_mutual_information(b, a))
+
+    def test_single_cluster_degenerate(self):
+        ones = np.zeros(10)
+        varied = np.arange(10)
+        assert normalized_mutual_information(ones, ones) == 1.0
+        assert normalized_mutual_information(ones, varied) == 0.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError, match="identical shape"):
+            normalized_mutual_information(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            normalized_mutual_information(np.empty(0), np.empty(0))
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n=st.integers(min_value=2, max_value=60),
+    )
+    def test_property_bounded(self, seed, n):
+        rng = np.random.default_rng(seed)
+        a = rng.integers(0, 5, size=n)
+        b = rng.integers(0, 5, size=n)
+        nmi = normalized_mutual_information(a, b)
+        assert 0.0 <= nmi <= 1.0
+
+
+class TestModularity:
+    def test_perfect_communities(self):
+        # 3 disconnected triangles, labelled by triangle: Q = 1 - 1/3.
+        edges = []
+        for c in range(3):
+            base = 3 * c
+            edges += [(base, base + 1), (base + 1, base + 2), (base, base + 2)]
+        g = CSRGraph.from_edges(edges)
+        labels = np.repeat(np.arange(3), 3)
+        assert modularity(g, labels) == pytest.approx(2.0 / 3.0)
+
+    def test_single_cluster_zero(self, small_graph):
+        labels = np.zeros(small_graph.num_nodes)
+        assert modularity(small_graph, labels) == pytest.approx(0.0)
+
+    def test_ring_of_cliques_clique_labels_high(self):
+        g = ring_of_cliques(5, 6)
+        labels = np.repeat(np.arange(5), 6)
+        rng = np.random.default_rng(0)
+        random_labels = rng.integers(0, 5, size=g.num_nodes)
+        assert modularity(g, labels) > 0.6
+        assert modularity(g, labels) > modularity(g, random_labels) + 0.3
+
+    def test_label_size_mismatch(self, triangle):
+        with pytest.raises(ValueError, match="every node"):
+            modularity(triangle, np.zeros(2))
+
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges([(0, 1)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            modularity(g, np.zeros(2))
+
+    def test_empty_graph(self):
+        g = CSRGraph.from_edges([], num_nodes=4)
+        assert modularity(g, np.zeros(4)) == 0.0
+
+
+class TestEvaluateClustering:
+    def test_structured_embeddings_recover_communities(self):
+        graph, comm = community_graph(120, 4, within_degree=8.0,
+                                      cross_degree=0.3, seed=5)
+        # Idealised embedding: one-hot community membership plus noise.
+        rng = np.random.default_rng(5)
+        emb = np.eye(4)[comm] + 0.05 * rng.normal(size=(120, 4))
+        report = evaluate_clustering(graph, emb, k=4, ground_truth=comm,
+                                     seed=0)
+        assert report.nmi > 0.9
+        assert report.modularity > 0.3
+        assert report.labels.shape == (120,)
+
+    def test_without_ground_truth(self, small_graph, rng):
+        emb = rng.normal(size=(small_graph.num_nodes, 8))
+        report = evaluate_clustering(small_graph, emb, k=5, seed=0)
+        assert report.nmi is None
+        assert -0.5 <= report.modularity < 1.0
+
+    def test_embedding_size_mismatch(self, triangle):
+        with pytest.raises(ValueError, match="every node"):
+            evaluate_clustering(triangle, np.zeros((2, 4)), k=2)

@@ -1,0 +1,90 @@
+"""Tests for evaluation metrics: AUC, F1."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import auc_score, f1_binary, macro_f1, micro_f1
+
+scores = st.lists(st.floats(min_value=-10, max_value=10, allow_nan=False),
+                  min_size=1, max_size=30)
+
+
+def brute_force_auc(pos, neg):
+    """P(pos > neg) + 0.5 P(pos == neg) by enumeration."""
+    wins = ties = 0
+    for p in pos:
+        for n in neg:
+            if p > n:
+                wins += 1
+            elif p == n:
+                ties += 1
+    return (wins + 0.5 * ties) / (len(pos) * len(neg))
+
+
+class TestAUC:
+    def test_perfect_separation(self):
+        assert auc_score([2.0, 3.0], [0.0, 1.0]) == 1.0
+
+    def test_inverted(self):
+        assert auc_score([0.0], [1.0]) == 0.0
+
+    def test_random_overlap(self):
+        assert auc_score([1.0], [1.0]) == 0.5
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            auc_score([], [1.0])
+
+    @given(scores, scores)
+    @settings(max_examples=150, deadline=None)
+    def test_matches_brute_force(self, pos, neg):
+        assert auc_score(np.array(pos), np.array(neg)) == pytest.approx(
+            brute_force_auc(pos, neg), abs=1e-9
+        )
+
+    def test_tie_handling_mid_rank(self):
+        # pos = [1, 0], neg = [1]: one tie, one loss -> (0 + .5 + 0)/2.
+        assert auc_score([1.0, 0.0], [1.0]) == pytest.approx(0.25)
+
+
+class TestF1:
+    def test_perfect(self):
+        t = np.array([[True, False], [False, True]])
+        assert micro_f1(t, t) == 1.0
+        assert macro_f1(t, t) == 1.0
+
+    def test_all_wrong(self):
+        t = np.array([[True, False]])
+        p = np.array([[False, True]])
+        assert micro_f1(t, p) == 0.0
+        assert macro_f1(t, p) == 0.0
+
+    def test_binary_known_value(self):
+        # tp=1, fp=1, fn=1 -> F1 = 2/4.
+        true = np.array([True, True, False])
+        pred = np.array([True, False, True])
+        assert f1_binary(true, pred) == pytest.approx(0.5)
+
+    def test_micro_pools_macro_averages(self):
+        true = np.array([[True, False],
+                         [True, False],
+                         [True, True]])
+        pred = np.array([[True, False],
+                         [False, False],
+                         [True, True]])
+        # Label 0: tp=2, fn=1 -> F1 = 4/5.  Label 1: perfect -> 1.
+        assert macro_f1(true, pred) == pytest.approx((0.8 + 1.0) / 2)
+        # Pooled: tp=3, fn=1, fp=0 -> 6/7.
+        assert micro_f1(true, pred) == pytest.approx(6 / 7)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            micro_f1(np.zeros((2, 2), dtype=bool), np.zeros((2, 3), dtype=bool))
+
+    def test_degenerate_empty_predictions(self):
+        t = np.zeros((3, 2), dtype=bool)
+        assert micro_f1(t, t) == 0.0  # no positives anywhere

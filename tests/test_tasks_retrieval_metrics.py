@@ -1,0 +1,103 @@
+"""Tests for the retrieval metrics (average precision, precision@k)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.tasks import auc_score, average_precision, precision_at_k
+
+
+class TestAveragePrecision:
+    def test_perfect_ranking(self):
+        ap = average_precision(np.array([3.0, 2.0]), np.array([1.0, 0.5]))
+        assert ap == pytest.approx(1.0)
+
+    def test_worst_ranking(self):
+        # Both positives below both negatives: P@3 = 1/3, P@4 = 2/4.
+        ap = average_precision(np.array([0.1, 0.2]), np.array([0.8, 0.9]))
+        assert ap == pytest.approx((1 / 3 + 2 / 4) / 2)
+
+    def test_interleaved(self):
+        # Ranking: pos(4), neg(3), pos(2), neg(1) -> (1/1 + 2/3) / 2.
+        ap = average_precision(np.array([4.0, 2.0]), np.array([3.0, 1.0]))
+        assert ap == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_ties_pessimistic(self):
+        # One positive tied with one negative: negative ranks first.
+        ap = average_precision(np.array([1.0]), np.array([1.0]))
+        assert ap == pytest.approx(0.5)
+
+    def test_empty_class_rejected(self):
+        with pytest.raises(ValueError, match="at least one score"):
+            average_precision(np.array([]), np.array([1.0]))
+
+    def test_sensitive_to_imbalance_where_auc_is_not(self):
+        """AP drops with more negatives at equal AUC -- its point."""
+        rng = np.random.default_rng(0)
+        pos = rng.normal(1.0, 1.0, size=50)
+        few_neg = rng.normal(0.0, 1.0, size=50)
+        many_neg = rng.normal(0.0, 1.0, size=5000)
+        auc_few = auc_score(pos, few_neg)
+        auc_many = auc_score(pos, many_neg)
+        assert auc_many == pytest.approx(auc_few, abs=0.06)
+        assert average_precision(pos, many_neg) < \
+            average_precision(pos, few_neg) - 0.2
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10_000),
+        n_pos=st.integers(min_value=1, max_value=30),
+        n_neg=st.integers(min_value=1, max_value=30),
+    )
+    def test_property_bounded_and_floor(self, seed, n_pos, n_neg):
+        """AP lies in (0, 1] and never falls below the positive rate."""
+        rng = np.random.default_rng(seed)
+        pos = rng.normal(size=n_pos)
+        neg = rng.normal(size=n_neg)
+        ap = average_precision(pos, neg)
+        assert 0.0 < ap <= 1.0
+        # Random-ranking expectation is ~the positive prevalence; the
+        # exact floor (all positives last) is slightly below it.
+        floor = n_pos / (n_pos + n_neg)
+        worst = average_precision(np.full(n_pos, -1.0), np.zeros(n_neg))
+        assert ap >= worst
+        assert worst <= floor + 1e-9
+
+
+class TestPrecisionAtK:
+    def test_top_heavy_ranking(self):
+        pos = np.array([5.0, 4.0])
+        neg = np.array([3.0, 2.0, 1.0])
+        assert precision_at_k(pos, neg, 2) == pytest.approx(1.0)
+        assert precision_at_k(pos, neg, 4) == pytest.approx(0.5)
+
+    def test_k_capped(self):
+        pos = np.array([2.0])
+        neg = np.array([1.0])
+        assert precision_at_k(pos, neg, 100) == pytest.approx(0.5)
+
+    def test_ties_pessimistic(self):
+        assert precision_at_k(np.array([1.0]), np.array([1.0]), 1) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="positive"):
+            precision_at_k(np.array([1.0]), np.array([0.0]), 0)
+        with pytest.raises(ValueError, match="at least one"):
+            precision_at_k(np.array([]), np.array([0.0]), 1)
+
+    def test_on_link_prediction_split(self, medium_graph):
+        """End-to-end: P@k of a real embedding beats the prevalence."""
+        from repro.api import embed_graph
+        from repro.tasks import pair_scores, split_edges
+
+        split = split_edges(medium_graph, test_fraction=0.3, seed=0)
+        emb = embed_graph(split.train_graph, method="distger",
+                          num_machines=2, dim=16, epochs=2, seed=0).embeddings
+        pos = pair_scores(emb, split.test_positive)
+        neg = pair_scores(emb, split.test_negative)
+        prevalence = len(pos) / (len(pos) + len(neg))
+        assert precision_at_k(pos, neg, 20) > prevalence
+        assert average_precision(pos, neg) > prevalence

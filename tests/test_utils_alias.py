@@ -1,0 +1,73 @@
+"""Tests for the alias-method sampler."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.utils.alias import AliasTable
+
+
+class TestAliasTableConstruction:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            AliasTable(np.array([]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            AliasTable(np.array([1.0, -0.5]))
+
+    def test_rejects_all_zero(self):
+        with pytest.raises(ValueError, match="zero"):
+            AliasTable(np.array([0.0, 0.0]))
+
+    def test_rejects_nan(self):
+        with pytest.raises(ValueError, match="finite"):
+            AliasTable(np.array([1.0, np.nan]))
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError, match="1-D"):
+            AliasTable(np.ones((2, 2)))
+
+    def test_len(self):
+        assert len(AliasTable(np.array([1.0, 2.0, 3.0]))) == 3
+
+
+class TestAliasTableDistribution:
+    @given(st.lists(st.floats(min_value=0.0, max_value=100.0),
+                    min_size=1, max_size=20).filter(lambda w: sum(w) > 0))
+    @settings(max_examples=100, deadline=None)
+    def test_reconstructed_probabilities_match(self, weights):
+        """The alias structure encodes exactly the normalised weights."""
+        table = AliasTable(np.array(weights))
+        expected = np.array(weights) / np.sum(weights)
+        np.testing.assert_allclose(table.probabilities, expected, atol=1e-9)
+
+    def test_empirical_frequencies(self, rng):
+        weights = np.array([1.0, 2.0, 7.0])
+        table = AliasTable(weights)
+        samples = table.sample(rng, size=60_000)
+        freq = np.bincount(samples, minlength=3) / 60_000
+        np.testing.assert_allclose(freq, weights / 10.0, atol=0.02)
+
+    def test_scalar_sample(self, rng):
+        table = AliasTable(np.array([1.0, 1.0]))
+        s = table.sample(rng)
+        assert s in (0, 1)
+
+    def test_deterministic_given_seed(self):
+        table = AliasTable(np.array([3.0, 1.0, 2.0]))
+        a = table.sample(np.random.default_rng(5), size=100)
+        b = table.sample(np.random.default_rng(5), size=100)
+        np.testing.assert_array_equal(a, b)
+
+    def test_single_element(self, rng):
+        table = AliasTable(np.array([42.0]))
+        assert np.all(table.sample(rng, size=10) == 0)
+
+    def test_zero_weight_entries_never_sampled(self, rng):
+        table = AliasTable(np.array([0.0, 1.0, 0.0, 1.0]))
+        samples = table.sample(rng, size=5000)
+        assert set(np.unique(samples)) <= {1, 3}
