@@ -9,6 +9,16 @@ Most users want one call::
 ``method`` selects any of the reproduced systems; kernel and walk/train
 overrides expose the generic API of paper §6.6 (e.g. DeepWalk or node2vec
 walks with information-centric termination on DistGER).
+
+Walk-based methods accept every :class:`repro.walks.engine.WalkConfig`
+field as a flat keyword, including the execution knobs: ``backend``
+(``"auto"``/``"vectorized"``/``"loop"``; auto picks the batched NumPy
+engine wherever semantics match, i.e. the ``routine`` and ``incom``
+modes) and ``rng_protocol`` (``"walker"`` for scheduling-independent
+per-walker streams, ``"cluster"`` for the legacy per-machine generators).
+``embed_graph(g, backend="loop", rng_protocol="walker")`` therefore runs
+the reference loop engine on the same random streams the vectorized
+backend consumes -- producing the identical corpus, only slower.
 """
 
 from __future__ import annotations

@@ -14,7 +14,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.runtime.metrics import ClusterMetrics, CostModel
-from repro.utils.rng import SeedLike, spawn_rngs
+from repro.utils.rng import SeedLike, spawn_rngs, walker_seed_root
 
 
 class Cluster:
@@ -50,6 +50,10 @@ class Cluster:
         self.metrics = ClusterMetrics(num_machines)
         self.cost_model = cost_model or CostModel()
         self.rngs: List[np.random.Generator] = spawn_rngs(seed, num_machines)
+        # Root of the per-walker counter streams (the "walker" RNG protocol
+        # of repro.utils.rng).  Derived after spawn_rngs so Generator seeds
+        # keep producing the same per-machine streams as before.
+        self.walk_seed_root: int = walker_seed_root(seed)
 
     # ------------------------------------------------------------------ #
     # Placement queries

@@ -68,6 +68,20 @@ class ClusterMetrics:
         if src is not None and dst is not None:
             self.message_byte_matrix[src][dst] += n_bytes
 
+    def record_messages(self, count: int, total_bytes: int,
+                        src: int | None = None, dst: int | None = None) -> None:
+        """Batched form of :meth:`record_message`: ``count`` messages of
+        ``total_bytes`` combined size between one (src, dst) pair.
+
+        Lets the vectorized walk engine account a whole superstep's traffic
+        with one call per machine pair while producing counters identical
+        to per-message recording.
+        """
+        self.messages_sent += count
+        self.message_bytes += total_bytes
+        if src is not None and dst is not None:
+            self.message_byte_matrix[src][dst] += total_bytes
+
     def record_sync(self, n_bytes: int, n_messages: int = 1) -> None:
         """Count model-synchronisation traffic."""
         self.sync_messages += n_messages

@@ -22,6 +22,16 @@ embedded learner -- the paper couples them with Intel's Pword2vec (§6.1).
 kernel (``deepwalk``/``node2vec``/``huge``/``huge+``) can be combined with
 information-centric termination, which is how the Fig. 12 generality
 experiments deploy DeepWalk and node2vec on DistGER.
+
+Walk execution backend: all three systems inherit
+``WalkConfig.backend="auto"``, so DistGER and KnightKing sample through
+the batched :class:`repro.walks.vectorized.BatchWalkRunner` (lock-step
+NumPy supersteps, ~22x faster at 10^4 nodes) while HuGE-D keeps the
+per-walker loop -- its O(L)-per-step full-path measurement *is* the
+baseline cost being reproduced.  Pass
+``walk_overrides={"backend": "loop"}`` (and optionally
+``{"rng_protocol": "walker"}``) to force a specific engine; see
+:mod:`repro.walks.engine` for the parity guarantees.
 """
 
 from __future__ import annotations

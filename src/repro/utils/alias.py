@@ -43,7 +43,14 @@ class AliasTable:
             raise ValueError("weights must not all be zero")
 
         n = weights.size
-        prob = weights * (n / total)
+        scale = n / total
+        if np.isfinite(scale):
+            prob = weights * scale
+        else:
+            # Subnormal totals overflow ``n / total`` to inf (found by the
+            # property suite with weights like [0.0, 5e-324]); normalising
+            # before scaling stays finite for every valid input.
+            prob = (weights / total) * n
         alias = np.zeros(n, dtype=np.int64)
         accept = np.ones(n, dtype=np.float64)
 

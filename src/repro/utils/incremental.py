@@ -28,10 +28,19 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, Tuple
 
+import numpy as np
+
 
 def _xlog2x(n: float) -> float:
-    """Return ``n * log2(n)`` with the conventional ``0·log 0 = 0``."""
-    return 0.0 if n <= 0 else n * math.log2(n)
+    """Return ``n * log2(n)`` with the conventional ``0·log 0 = 0``.
+
+    Uses ``np.log2`` (not ``math.log2``): NumPy's scalar ufunc path is
+    bit-identical to its array path, so the vectorized walk engine's batch
+    entropy accumulators reproduce these scalar updates exactly -- libm's
+    ``math.log2`` differs from NumPy's in the last ulp on some platforms,
+    which would break the loop/vectorized reference-parity suite.
+    """
+    return 0.0 if n <= 0 else float(n * np.log2(n))
 
 
 @dataclass
@@ -62,7 +71,8 @@ class IncrementalEntropy:
         """Entropy (bits) of the sequence observed so far."""
         if self.length <= 0:
             return 0.0
-        return math.log2(self.length) - self._s / self.length
+        # np.log2 for bit-parity with the vectorized engine (see _xlog2x).
+        return float(np.log2(self.length) - self._s / self.length)
 
     def merge_count_state(self, length: int, s: float) -> None:
         """Adopt walker-carried ``(L, S)`` state (used after machine hops)."""
@@ -149,8 +159,11 @@ class IncrementalCorrelation:
         zero-variance series), matching HuGE's "keep walking" behaviour."""
         if self.count < 2:
             return 1.0
-        var_x = self.e_x2.value - self.e_x.value**2
-        var_y = self.e_y2.value - self.e_y.value**2
+        # Explicit multiplication rather than ``**2``: CPython's float pow
+        # rounds differently from NumPy's squaring in the last ulp, and the
+        # vectorized walk engine must reproduce these moments bit-exactly.
+        var_x = self.e_x2.value - self.e_x.value * self.e_x.value
+        var_y = self.e_y2.value - self.e_y.value * self.e_y.value
         if var_x <= 1e-15 or var_y <= 1e-15:
             return 1.0
         cov = self.e_xy.value - self.e_x.value * self.e_y.value

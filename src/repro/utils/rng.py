@@ -5,15 +5,39 @@ partitioner tie-breaks, dataset generators) receives an explicit
 :class:`numpy.random.Generator`.  Centralising construction here keeps all
 experiments reproducible: a single integer seed fans out into independent
 streams via :func:`spawn_rngs`.
+
+Per-walker counter streams (the shared seed protocol)
+-----------------------------------------------------
+The walk engines additionally need randomness that is *private to each
+walker* and *independent of scheduling*: the loop backend advances walkers
+in BSP queue order while the vectorized backend advances them in lock-step,
+and the two must still consume identical random sequences for the
+reference-parity suite to assert byte-identical corpora.  Stateful
+generators cannot provide that (draw order differs between backends), so
+walker randomness is **counter-based**: a walker's stream key is derived
+from ``(seed, walk_id)`` by :func:`walker_stream_keys` and its ``t``-th
+uniform is a pure function of ``(key, t)`` computed by
+:func:`stream_uniforms` -- the splitmix64 output function evaluated on
+``key + t·γ``.  Both backends call the same vectorised NumPy code (the loop
+backend on length-1 arrays via :class:`WalkerStream`), which guarantees
+bit-identical values regardless of batching, machine count, or superstep
+interleaving.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Optional, Tuple, Union
 
 import numpy as np
 
 SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+#: splitmix64's additive constant (the golden-ratio gamma).
+_SM64_GAMMA = np.uint64(0x9E3779B97F4A7C15)
+_SM64_MUL1 = np.uint64(0xBF58476D1CE4E5B9)
+_SM64_MUL2 = np.uint64(0x94D049BB133111EB)
+#: 2**-53: maps the top 53 bits of a uint64 onto [0, 1).
+_U53_INV = float(2.0 ** -53)
 
 
 def default_rng(seed: SeedLike = None) -> np.random.Generator:
@@ -42,6 +66,97 @@ def spawn_rngs(seed: SeedLike, count: int) -> List[np.random.Generator]:
         return [np.random.default_rng(int(s)) for s in seeds]
     seq = seed if isinstance(seed, np.random.SeedSequence) else np.random.SeedSequence(seed)
     return [np.random.default_rng(child) for child in seq.spawn(count)]
+
+
+def _mix64(z: np.ndarray) -> np.ndarray:
+    """splitmix64's output function on a ``uint64`` array (finalising mix)."""
+    z = (z ^ (z >> np.uint64(30))) * _SM64_MUL1
+    z = (z ^ (z >> np.uint64(27))) * _SM64_MUL2
+    return z ^ (z >> np.uint64(31))
+
+
+def walker_seed_root(seed: SeedLike) -> int:
+    """Canonical 64-bit root all per-walker streams derive from.
+
+    Deterministic for integer seeds and seed sequences; draws from the
+    generator's own bit stream for Generator inputs; fresh OS entropy for
+    ``None`` (so explicitly non-deterministic runs stay non-deterministic).
+    """
+    if isinstance(seed, np.random.Generator):
+        return int(seed.integers(0, 2**63 - 1))
+    if isinstance(seed, np.random.SeedSequence):
+        return int(seed.generate_state(1, np.uint64)[0])
+    return int(np.random.SeedSequence(seed).generate_state(1, np.uint64)[0])
+
+
+def walker_stream_keys(root: int, walk_ids: np.ndarray) -> np.ndarray:
+    """Stream key for every walker: ``mix64(root + (walk_id + 1)·γ)``.
+
+    ``walk_ids`` must be non-negative; the returned ``uint64`` array is the
+    counter-stream key each walker keeps for its whole life, including
+    across machine hops (the key, not a generator, is what a walker message
+    conceptually carries).
+    """
+    ids = np.asarray(walk_ids, dtype=np.uint64)
+    return _mix64(np.uint64(root) + _SM64_GAMMA * (ids + np.uint64(1)))
+
+
+def stream_uniforms(keys: np.ndarray, counters: np.ndarray) -> np.ndarray:
+    """The ``counters[i]``-th uniform of each stream ``keys[i]`` in [0, 1).
+
+    A pure function of ``(key, counter)`` -- evaluation order, batching and
+    interleaving across walkers cannot change any value, which is the
+    property the loop/vectorized parity protocol rests on.
+    """
+    keys = np.asarray(keys, dtype=np.uint64)
+    counters = np.asarray(counters, dtype=np.uint64)
+    z = _mix64(keys + _SM64_GAMMA * (counters + np.uint64(1)))
+    return (z >> np.uint64(11)).astype(np.float64) * _U53_INV
+
+
+#: Python-int mirrors of the uint64 constants (for the scalar fast path).
+_U64_MASK = (1 << 64) - 1
+_SM64_GAMMA_INT = int(_SM64_GAMMA)
+_SM64_MUL1_INT = int(_SM64_MUL1)
+_SM64_MUL2_INT = int(_SM64_MUL2)
+
+
+def _mix64_int(z: int) -> int:
+    """splitmix64 output function on a Python int (mod 2**64).
+
+    Unsigned 64-bit integer arithmetic is exact, so this is bit-identical
+    to :func:`_mix64` on uint64 arrays -- the scalar fast path the loop
+    backend uses per trial without paying NumPy array overhead.
+    """
+    z = ((z ^ (z >> 30)) * _SM64_MUL1_INT) & _U64_MASK
+    z = ((z ^ (z >> 27)) * _SM64_MUL2_INT) & _U64_MASK
+    return z ^ (z >> 31)
+
+
+class WalkerStream:
+    """Scalar view of one walker's counter stream (the loop backend's side).
+
+    Wraps ``(key, counter)`` and evaluates the same splitmix64 counter
+    function as :func:`stream_uniforms`, in plain integer arithmetic --
+    integer ops and the ``(z >> 11) * 2**-53`` conversion are exact, so
+    every value is bit-identical to what the vectorized backend computes
+    for the same walker at the same counter (property-tested in
+    ``tests/test_walks_vectorized_properties.py``).
+    """
+
+    __slots__ = ("key", "counter")
+
+    def __init__(self, key: int, counter: int = 0) -> None:
+        self.key = int(key)
+        self.counter = int(counter)
+
+    def next_pair(self) -> Tuple[float, float]:
+        """Consume and return the next two uniforms (one sampling trial)."""
+        c = self.counter
+        z1 = _mix64_int((self.key + _SM64_GAMMA_INT * (c + 1)) & _U64_MASK)
+        z2 = _mix64_int((self.key + _SM64_GAMMA_INT * (c + 2)) & _U64_MASK)
+        self.counter = c + 2
+        return (z1 >> 11) * _U53_INV, (z2 >> 11) * _U53_INV
 
 
 def derive_seed(seed: Optional[int], *salt: int) -> Optional[int]:

@@ -46,6 +46,7 @@ from repro.walks.reference import (
 )
 from repro.walks.termination import WalkCountRule, WalkLengthRule
 from repro.walks.vectorized import (
+    BatchWalkRunner,
     batch_walk_matrix,
     empirical_transition_matrix,
     vectorized_routine_corpus,
@@ -58,6 +59,7 @@ from repro.walks.walker import Walker, WalkStats
 KERNELS["node2vec-alias"] = Node2VecAliasKernel
 
 __all__ = [
+    "BatchWalkRunner",
     "Corpus",
     "CorpusQuality",
     "DeepWalkKernel",

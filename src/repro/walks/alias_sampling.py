@@ -46,12 +46,15 @@ def _build_alias_rows(
         if size <= 0:
             continue
         w = prob[start:end]
-        total = w.sum()
+        total = float(w.sum())
         if total <= 0:
             # Degenerate slice: treat as uniform.
             scaled = np.ones(size, dtype=np.float64)
         else:
-            scaled = w * (size / total)
+            scale = int(size) / total
+            # Subnormal totals overflow ``size / total``; normalise first
+            # instead (same guard as repro.utils.alias.AliasTable).
+            scaled = w * scale if np.isfinite(scale) else (w / total) * size
         small = [i for i in range(size) if scaled[i] < 1.0]
         large = [i for i in range(size) if scaled[i] >= 1.0]
         acc = np.ones(size, dtype=np.float64)
@@ -118,6 +121,23 @@ class FirstOrderAliasSampler:
 
     def sample_one(self, node: int, rng: SeedLike = None) -> int:
         return int(self.sample(np.array([node]), rng)[0])
+
+    def sample_one_with_uniforms(self, node: int, u1: float, u2: float) -> int:
+        """One draw from two walker-protocol uniforms (slot, alias flip).
+
+        Mirrors :meth:`sample` exactly -- ``u1`` picks the slot, ``u2``
+        takes the alias when ``u2 >= accept`` -- so the loop and batch
+        backends reading the same tables produce the same neighbour.
+        """
+        deg = self.graph.degree(node)
+        if deg == 0:
+            raise ValueError("cannot sample a neighbour of a degree-0 node")
+        start = int(self.graph.indptr[node])
+        slot = min(int(u1 * deg), deg - 1)
+        flat = start + slot
+        if u2 >= self._accept[flat]:
+            slot = int(self._alias_local[flat])
+        return int(self.graph.indices[start + slot])
 
     def memory_bytes(self) -> int:
         """Bytes held by the flat alias arrays."""
@@ -200,6 +220,23 @@ class SecondOrderAliasSampler:
             local = int(self._alias_local[start + local])
         return int(self.graph.neighbors(current)[local])
 
+    def sample_step_with_uniforms(self, current: int, previous: int,
+                                  u1: float, u2: float) -> int:
+        """Walker-protocol draw: ``u1`` picks the table slot, ``u2`` the
+        alias flip; first steps (``previous < 0``) fall back to the
+        first-order tables with the same two uniforms."""
+        if previous < 0:
+            return self._first_order.sample_one_with_uniforms(current, u1, u2)
+        arc = self.arc_index(previous, current)
+        start = int(self._table_offsets[arc])
+        size = int(self._table_offsets[arc + 1] - start)
+        if size == 0:
+            raise ValueError(f"node {current} has no neighbours to walk to")
+        local = min(int(u1 * size), size - 1)
+        if u2 >= self._accept[start + local]:
+            local = int(self._alias_local[start + local])
+        return int(self.graph.neighbors(current)[local])
+
     # ------------------------------------------------------------------ #
 
     @property
@@ -245,3 +282,8 @@ class Node2VecAliasKernel:
     def step(self, current: int, previous: int,
              rng: np.random.Generator) -> Optional[int]:
         return self.sampler.sample_step(current, previous, rng)
+
+    def step_with_uniforms(self, current: int, previous: int,
+                           u1: float, u2: float, forced: bool) -> Optional[int]:
+        # Alias tables never reject, so ``forced`` can never arise.
+        return self.sampler.sample_step_with_uniforms(current, previous, u1, u2)

@@ -16,6 +16,34 @@ Per-machine compute units are credited for every sampling trial and for
 every measurement at its mode-specific cost, so the simulated cost model
 reproduces the paper's complexity separations; the *wall-clock* separation
 is also real because the full-path mode genuinely recomputes from scratch.
+
+Backends and RNG protocols
+--------------------------
+``WalkConfig.backend`` selects how a round of walkers is executed:
+
+* ``"vectorized"`` -- all walkers advance in lock-step through
+  :class:`repro.walks.vectorized.BatchWalkRunner` (NumPy array ops, no
+  per-walker Python loop).  Supports every kernel in modes ``routine`` and
+  ``incom``; this is the fast path for DistGER/KnightKing-style sampling.
+* ``"loop"`` -- the per-walker BSP loop below.  Required for
+  ``fullpath`` (HuGE-D), whose O(L)-per-step recomputation is itself part
+  of what the benches measure.
+* ``"auto"`` (default) -- ``vectorized`` where semantics match
+  (``routine``/``incom``), ``loop`` for ``fullpath``.
+
+``WalkConfig.rng_protocol`` selects where walk randomness comes from:
+
+* ``"walker"`` -- each walker owns a counter-based stream derived from
+  ``(cluster seed, walk_id)`` via :mod:`repro.utils.rng`, consuming exactly
+  two uniforms per sampling trial.  Walks are then independent of
+  scheduling, batching and machine count, and the loop and vectorized
+  backends produce **byte-identical corpora** -- the reference-parity
+  guarantee.  This is the only protocol the vectorized backend supports.
+* ``"cluster"`` -- the legacy per-machine generator streams
+  (``cluster.rngs``); kept as the loop default for backward-compatible
+  seed behaviour.
+* ``"auto"`` (default) -- ``walker`` on the vectorized backend,
+  ``cluster`` on the loop backend.
 """
 
 from __future__ import annotations
@@ -29,11 +57,13 @@ from repro.graph.csr import CSRGraph
 from repro.runtime.bsp import BSPEngine, StepResult
 from repro.runtime.cluster import Cluster
 from repro.runtime.message import BYTES_PER_FIELD
+from repro.utils.rng import WalkerStream, walker_stream_keys
 from repro.utils.validation import check_positive
 from repro.walks.corpus import Corpus
 from repro.walks.incom import make_measure
 from repro.walks.kernels import make_kernel
 from repro.walks.termination import WalkCountRule, WalkLengthRule
+from repro.walks.vectorized import BatchWalkRunner
 from repro.walks.walker import Walker, WalkStats
 
 
@@ -63,11 +93,42 @@ class WalkConfig:
     max_trials_per_step: int = 32
     p: float = 1.0                  # node2vec return parameter
     q: float = 1.0                  # node2vec in-out parameter
+    #: "auto" | "vectorized" | "loop" -- see the module docstring.
+    backend: str = "auto"
+    #: "auto" | "walker" | "cluster" -- see the module docstring.
+    rng_protocol: str = "auto"
 
     def __post_init__(self) -> None:
         if self.mode not in ("incom", "fullpath", "routine"):
             raise ValueError(f"unknown mode {self.mode!r}")
+        if self.backend not in ("auto", "vectorized", "loop"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.rng_protocol not in ("auto", "walker", "cluster"):
+            raise ValueError(f"unknown rng_protocol {self.rng_protocol!r}")
+        if self.backend == "vectorized" and self.mode == "fullpath":
+            raise ValueError(
+                "mode='fullpath' cannot be vectorized: HuGE-D's O(L) "
+                "per-step recomputation is the baseline being measured; "
+                "use backend='auto' or 'loop'"
+            )
+        if self.backend == "vectorized" and self.rng_protocol == "cluster":
+            raise ValueError(
+                "the vectorized backend requires the 'walker' RNG protocol "
+                "(per-walker counter streams)"
+            )
         check_positive("max_trials_per_step", self.max_trials_per_step)
+
+    def resolved_backend(self) -> str:
+        """The backend ``"auto"`` resolves to for this mode."""
+        if self.backend != "auto":
+            return self.backend
+        return "loop" if self.mode == "fullpath" else "vectorized"
+
+    def resolved_rng_protocol(self) -> str:
+        """The RNG protocol ``"auto"`` resolves to for this backend."""
+        if self.rng_protocol != "auto":
+            return self.rng_protocol
+        return "walker" if self.resolved_backend() == "vectorized" else "cluster"
 
     @classmethod
     def distger(cls, **overrides) -> "WalkConfig":
@@ -114,6 +175,10 @@ class DistributedWalkEngine:
             kernel_kwargs = {"p": self.config.p, "q": self.config.q}
         self.kernel = make_kernel(self.config.kernel, graph, **kernel_kwargs)
         self._routine_message_bytes = self.kernel.message_fields * BYTES_PER_FIELD
+        #: Backend actually used for rounds (resolved from config).
+        self.backend = self.config.resolved_backend()
+        self.rng_protocol = self.config.resolved_rng_protocol()
+        self._batch_runner: Optional[BatchWalkRunner] = None
 
     # ------------------------------------------------------------------ #
     # Public API
@@ -157,10 +222,38 @@ class DistributedWalkEngine:
         return WalkResult(corpus=corpus, stats=stats, walk_machines=walk_machines)
 
     # ------------------------------------------------------------------ #
-    # One BSP round: a walk from every source
+    # One round: a walk from every source
     # ------------------------------------------------------------------ #
 
     def _run_round(
+        self,
+        sources: np.ndarray,
+        round_idx: int,
+        corpus: Corpus,
+        stats: WalkStats,
+        walk_machines: List[int],
+    ) -> None:
+        """Dispatch one round to the configured backend."""
+        if self.backend == "vectorized":
+            if self._batch_runner is None:
+                self._batch_runner = BatchWalkRunner(
+                    self.graph, self.cluster, self.config, self.kernel,
+                    self._routine_message_bytes,
+                )
+            self._batch_runner.run_round(sources, round_idx, corpus, stats,
+                                         walk_machines)
+        elif self.rng_protocol == "walker":
+            self._run_round_loop_walker(sources, round_idx, corpus, stats,
+                                        walk_machines)
+        else:
+            self._run_round_loop_cluster(sources, round_idx, corpus, stats,
+                                         walk_machines)
+
+    # ------------------------------------------------------------------ #
+    # Loop backend, legacy per-machine RNG streams (BSP superstep loop)
+    # ------------------------------------------------------------------ #
+
+    def _run_round_loop_cluster(
         self,
         sources: np.ndarray,
         round_idx: int,
@@ -229,6 +322,94 @@ class DistributedWalkEngine:
 
         engine = BSPEngine(cluster)
         engine.run(items, advance)
+
+    # ------------------------------------------------------------------ #
+    # Loop backend, walker RNG protocol (the parity reference)
+    # ------------------------------------------------------------------ #
+
+    def _run_round_loop_walker(
+        self,
+        sources: np.ndarray,
+        round_idx: int,
+        corpus: Corpus,
+        stats: WalkStats,
+        walk_machines: List[int],
+    ) -> None:
+        """Per-walker BSP loop drawing from private counter streams.
+
+        Functionally the reference implementation the vectorized backend is
+        verified against: same per-walker uniforms (two per trial), same
+        trial/termination schedule, same cost accounting -- only executed
+        one walker at a time.  Finished walks are emitted in walk-id order
+        (the protocol's canonical corpus order, independent of BSP
+        scheduling).
+        """
+        cfg = self.config
+        cluster = self.cluster
+        metrics = cluster.metrics
+        info_mode = cfg.mode != "routine"
+        length_rule = (
+            WalkLengthRule(mu=cfg.mu, min_length=cfg.min_length,
+                           max_length=cfg.max_length)
+            if info_mode
+            else None
+        )
+        n = len(sources)
+        keys = walker_stream_keys(
+            cluster.walk_seed_root,
+            round_idx * n + np.arange(n, dtype=np.int64),
+        )
+        finished: List[Optional[np.ndarray]] = [None] * n
+
+        items: List[Tuple[int, Tuple[Walker, object, WalkerStream]]] = []
+        for offset, source in enumerate(sources):
+            source = int(source)
+            walker = Walker.start(round_idx * n + offset, source)
+            measure = make_measure(cfg.mode) if info_mode else None
+            if measure is not None:
+                measure.observe(source)
+            items.append((cluster.machine_of(source),
+                          (walker, measure, WalkerStream(int(keys[offset])))))
+
+        def advance(machine: int,
+                    item: Tuple[Walker, object, WalkerStream]) -> StepResult:
+            walker, measure, stream = item
+            while True:
+                if self._walk_finished(walker, measure, length_rule):
+                    finished[walker.walk_id - round_idx * n] = \
+                        np.asarray(walker.path, dtype=np.int64)
+                    return None
+                forced = walker.trials_at_step >= cfg.max_trials_per_step
+                u1, u2 = stream.next_pair()
+                candidate = self.kernel.step_with_uniforms(
+                    walker.current, walker.previous, u1, u2, forced)
+                stats.total_trials += 1
+                metrics.record_compute(machine, 1.0)
+                if candidate is None:
+                    walker.trials_at_step += 1
+                    continue
+                walker.advance(int(candidate))
+                stats.total_steps += 1
+                metrics.record_local_step(machine)
+                if measure is not None:
+                    measure.observe(int(candidate))
+                    metrics.record_compute(machine, measure.step_cost())
+                dest = cluster.machine_of(int(candidate))
+                if dest != machine:
+                    n_bytes = (
+                        measure.message_bytes()
+                        if measure is not None
+                        else self._routine_message_bytes
+                    )
+                    return (dest, (walker, measure, stream), n_bytes)
+
+        BSPEngine(cluster).run(items, advance)
+
+        for offset, walk in enumerate(finished):
+            corpus.add_walk(walk)
+            stats.total_walks += 1
+            stats.walk_lengths.append(int(walk.size))
+            walk_machines.append(cluster.machine_of(int(sources[offset])))
 
     def _walk_finished(self, walker: Walker, measure, length_rule) -> bool:
         # Dead end (directed graphs / isolated nodes): stop where we stand.

@@ -10,13 +10,33 @@ The function contract returns the accepted node or ``None`` on rejection;
 engines count every call as one unit of per-machine compute, which is what
 makes the acceptance-rate differences between kernels visible in the
 simulated cost model.
+
+Two stepping interfaces coexist:
+
+* ``step(current, previous, rng)`` -- the legacy interface drawing from a
+  stateful per-machine :class:`numpy.random.Generator` (the "cluster" RNG
+  protocol of :class:`repro.walks.engine.WalkConfig`).
+* ``step_with_uniforms(current, previous, u1, u2, forced)`` -- the
+  scheduling-independent interface of the "walker" RNG protocol: the
+  engine supplies exactly two uniforms per trial from the walker's private
+  counter stream (``u1`` proposes, ``u2`` accepts), so the loop and
+  vectorized backends consume identical randomness and produce
+  byte-identical walks.  ``forced`` marks the unconditional hop applied
+  after ``max_trials_per_step`` rejections: the proposal is drawn the same
+  way and accepted outright.
+
+:func:`common_neighbor_counts_per_arc` and
+:meth:`HuGEKernel.arc_acceptance_table` precompute Eq. 3 for every stored
+arc in one pass; the vectorized engine looks acceptance probabilities up
+by flat arc index while the loop engine computes them on demand through
+the same (cache-shared) scalar code, keeping the two backends bit-equal.
 """
 
 from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 import numpy as np
 
@@ -47,6 +67,72 @@ def _weighted_choice(
     return int(nbrs[np.searchsorted(cumsum, x, side="right")])
 
 
+def propose_with_uniform(
+    graph: CSRGraph,
+    node: int,
+    u1: float,
+    cumsum_cache: Optional[Dict[int, np.ndarray]] = None,
+) -> Tuple[int, int]:
+    """Map one uniform onto a neighbour of ``node``: ``(candidate, k)``.
+
+    ``k`` is the candidate's index within ``node``'s adjacency slice (the
+    flat arc index is ``indptr[node] + k``), which the HuGE kernels use for
+    table lookups.  Unweighted: ``k = floor(u1 · deg)``; weighted: inverse
+    CDF over the per-node weight cumsum.  Both clamp to ``deg - 1`` so a
+    rounding artefact at ``u1 → 1`` cannot index out of range -- the batch
+    implementation applies the identical clamp.
+    """
+    deg = graph.degree(node)
+    if deg == 0:
+        raise ValueError(f"node {node} has no neighbours to walk to")
+    if not graph.is_weighted:
+        k = int(u1 * deg)
+    else:
+        if cumsum_cache is not None and node in cumsum_cache:
+            cumsum = cumsum_cache[node]
+        else:
+            cumsum = np.cumsum(graph.neighbor_weights(node))
+            if cumsum_cache is not None:
+                cumsum_cache[node] = cumsum
+        k = int(np.searchsorted(cumsum, u1 * cumsum[-1], side="right"))
+    if k >= deg:
+        k = deg - 1
+    return int(graph.indices[graph.indptr[node] + k]), k
+
+
+def common_neighbor_counts_per_arc(graph: CSRGraph) -> np.ndarray:
+    """``|N(u) ∩ N(v)|`` for every stored arc ``(u, v)``.
+
+    Vectorised per source node with a membership mask and segmented sums:
+    total work is ``Σ_{(u,v)} deg(v)`` array operations, versus one Python
+    galloping call per (cached) arc in the scalar path.  Results are exact
+    integer counts, identical to :func:`galloping_intersect_size`.
+    """
+    indptr, indices = graph.indptr, graph.indices
+    out = np.zeros(indices.size, dtype=np.int64)
+    mark = np.zeros(graph.num_nodes, dtype=bool)
+    for u in range(graph.num_nodes):
+        s, e = int(indptr[u]), int(indptr[u + 1])
+        if s == e:
+            continue
+        nbrs = indices[s:e]
+        mark[nbrs] = True
+        starts = indptr[nbrs]
+        sizes = indptr[nbrs + 1] - starts
+        total = int(sizes.sum())
+        seg = np.zeros(nbrs.size + 1, dtype=np.int64)
+        np.cumsum(sizes, out=seg[1:])
+        if total:
+            # Flat gather of every neighbour-of-neighbour id.
+            flat = np.repeat(starts - seg[:-1], sizes) + np.arange(total)
+            hits = mark[indices[flat]]
+            csum = np.zeros(total + 1, dtype=np.int64)
+            np.cumsum(hits, out=csum[1:])
+            out[s:e] = csum[seg[1:]] - csum[seg[:-1]]
+        mark[nbrs] = False
+    return out
+
+
 @dataclass
 class DeepWalkKernel:
     """First-order uniform walk (DeepWalk [42]); never rejects."""
@@ -61,6 +147,12 @@ class DeepWalkKernel:
 
     def step(self, current: int, previous: int, rng: np.random.Generator) -> Optional[int]:
         return _weighted_choice(self.graph, current, rng, self._cumsum_cache)
+
+    def step_with_uniforms(self, current: int, previous: int,
+                           u1: float, u2: float, forced: bool) -> Optional[int]:
+        candidate, _ = propose_with_uniform(self.graph, current, u1,
+                                            self._cumsum_cache)
+        return candidate  # first-order walks never reject
 
 
 @dataclass
@@ -103,6 +195,17 @@ class Node2VecKernel:
             return candidate
         return None
 
+    def step_with_uniforms(self, current: int, previous: int,
+                           u1: float, u2: float, forced: bool) -> Optional[int]:
+        candidate, _ = propose_with_uniform(self.graph, current, u1,
+                                            self._cumsum_cache)
+        if forced:
+            return candidate
+        y = u2 * self._envelope
+        if self._pi(previous, candidate) >= y:
+            return candidate
+        return None
+
 
 @dataclass
 class HuGEKernel:
@@ -125,6 +228,7 @@ class HuGEKernel:
         self._cumsum_cache: Dict[int, np.ndarray] = {}
         self._cm_cache: Dict[int, int] = {}
         self._n = self.graph.num_nodes
+        self._arc_acceptance: Optional[np.ndarray] = None
 
     def acceptance_probability(self, u: int, v: int) -> float:
         """``P(u, v)`` of Eq. 3 (public for tests and for HuGE-D)."""
@@ -154,6 +258,42 @@ class HuGEKernel:
         if rng.random() < self.acceptance_probability(current, candidate):
             return candidate
         return None
+
+    def step_with_uniforms(self, current: int, previous: int,
+                           u1: float, u2: float, forced: bool) -> Optional[int]:
+        candidate, _ = propose_with_uniform(self.graph, current, u1,
+                                            self._cumsum_cache)
+        if forced:
+            return candidate
+        if u2 < self.acceptance_probability(current, candidate):
+            return candidate
+        return None
+
+    def arc_acceptance_table(self) -> np.ndarray:
+        """``P(u, v)`` of Eq. 3 for every stored arc, by flat arc index.
+
+        Common-neighbour counts are produced by the vectorised
+        :func:`common_neighbor_counts_per_arc` pass and pre-seeded into the
+        scalar cache, then every probability is evaluated through
+        :meth:`acceptance_probability` itself -- so the table the batch
+        engine indexes is bit-identical to what the loop engine computes on
+        demand (HuGE+ overrides flow through automatically).  Cached on the
+        kernel after the first call.
+        """
+        if getattr(self, "_arc_acceptance", None) is None:
+            graph = self.graph
+            cm = common_neighbor_counts_per_arc(graph)
+            src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64),
+                            graph.degrees)
+            dst = graph.indices
+            keys = np.where(src < dst, src * self._n + dst,
+                            dst * self._n + src)
+            self._cm_cache.update(zip(keys.tolist(), cm.tolist()))
+            table = np.empty(graph.num_stored_edges, dtype=np.float64)
+            for arc, (u, v) in enumerate(zip(src.tolist(), dst.tolist())):
+                table[arc] = self.acceptance_probability(u, v)
+            self._arc_acceptance = table
+        return self._arc_acceptance
 
 
 @dataclass

@@ -54,6 +54,17 @@ class WalkLengthRule:
             return True
         return measure.should_terminate(self.mu, self.min_length)
 
+    def stop_mask(self, lengths: np.ndarray, r_squared: np.ndarray) -> np.ndarray:
+        """Batched :meth:`should_stop` over parallel walker-state arrays.
+
+        Same rule, same order: the max-length cap fires first, then
+        ``R² < μ`` gated by the minimum length -- so the vectorized engine
+        reaches the exact decisions the scalar path takes per walker.
+        """
+        return (lengths >= self.max_length) | (
+            (lengths >= self.min_length) & (r_squared < self.mu)
+        )
+
 
 @dataclass
 class WalkCountRule:

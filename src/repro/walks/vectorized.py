@@ -7,24 +7,60 @@ vectorisation: advance *all* walkers of a round simultaneously with array
 operations, which removes the interpreter constant per step and keeps the
 examples and scalability benches runnable at 10^4-10^5 nodes.
 
-This path intentionally covers the **routine** (first-order, fixed-length)
-configuration only -- DeepWalk walks and KnightKing-style corpora.  The
-information-oriented modes need per-walker termination state and stay on
-:class:`repro.walks.engine.DistributedWalkEngine`, whose per-step cost is
-itself part of what the benches measure.
+Two batch layers live here:
+
+* :func:`batch_walk_matrix` / :func:`vectorized_routine_corpus` -- the
+  original free-standing first-order helpers (DeepWalk walks, KnightKing
+  corpora) with no cluster accounting.
+
+* :class:`BatchWalkRunner` -- the engine backend behind
+  ``WalkConfig(backend="vectorized")``.  It generalises batching to
+  stateful, individually-terminating **information-oriented** walks: all
+  of a round's walkers advance in lock-step, with per-walker InCoM state
+  (the ``S = Σ n log₂ n`` entropy accumulator and the five regression
+  moments of Eq. 12/13) held as parallel NumPy arrays, termination
+  (``mu``/min/max-length and dead ends) applied through active masks,
+  second-order kernels (node2vec, HuGE, HuGE+) via batched rejection
+  sampling, and every superstep's compute/messages credited to the
+  simulated :class:`repro.runtime.cluster.Cluster` so the paper's cost
+  accounting is byte-identical to the loop engine's.
+
+  Randomness follows the **walker RNG protocol** of
+  :mod:`repro.utils.rng`: each walker consumes its private counter-based
+  stream (two uniforms per trial), so this backend produces *the same
+  corpus, walk lengths, termination decisions and metrics* as
+  :class:`repro.walks.engine.DistributedWalkEngine` running the loop
+  backend under the same protocol -- the property the reference-parity
+  suite (``tests/test_walks_vectorized_parity.py``) pins down.
+
+  Covered: kernels ``deepwalk``/``node2vec``/``node2vec-alias``/``huge``/
+  ``huge+`` in modes ``routine`` and ``incom``.  The ``fullpath`` mode is
+  deliberately *not* vectorised: HuGE-D's from-scratch O(L) recomputation
+  per step is the baseline cost the benchmarks measure, so it stays on
+  the loop engine (``backend="auto"`` resolves it there).
 """
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.utils.rng import SeedLike, default_rng
+from repro.runtime.message import BYTES_PER_FIELD, IncrementalMessage
+from repro.utils.rng import (
+    SeedLike,
+    default_rng,
+    stream_uniforms,
+    walker_stream_keys,
+)
 from repro.utils.validation import check_positive
 from repro.walks.alias_sampling import FirstOrderAliasSampler
 from repro.walks.corpus import Corpus
+from repro.walks.termination import WalkLengthRule
+
+#: Constant InCoM walker-message size (80 bytes, paper §3.1).
+_INCOM_MESSAGE_BYTES = IncrementalMessage(0, 0, 0).byte_size()
 
 
 def batch_walk_matrix(
@@ -138,3 +174,370 @@ def empirical_transition_matrix(
     row_sums = counts.sum(axis=1, keepdims=True)
     np.divide(counts, row_sums, out=counts, where=row_sums > 0)
     return counts
+
+
+# ---------------------------------------------------------------------- #
+# Batched information-oriented engine (WalkConfig backend "vectorized")
+# ---------------------------------------------------------------------- #
+
+
+def _xlog2x_batch(v: np.ndarray) -> np.ndarray:
+    """``v · log₂ v`` elementwise with ``0·log 0 = 0`` (float64 in/out).
+
+    The array twin of :func:`repro.utils.incremental._xlog2x`; NumPy's
+    scalar and array ufunc paths are bit-identical, which keeps the batch
+    entropy accumulator equal to the scalar one.
+    """
+    out = np.zeros_like(v)
+    nz = v > 0
+    out[nz] = v[nz] * np.log2(v[nz])
+    return out
+
+
+def _bisect_rows(
+    values: np.ndarray,
+    base: np.ndarray,
+    sizes: np.ndarray,
+    x: np.ndarray,
+    right: bool,
+) -> np.ndarray:
+    """Per-row binary search over slices of a flat sorted array.
+
+    Returns, for every ``i``, ``np.searchsorted(values[base[i]:base[i] +
+    sizes[i]], x[i], side="right" if right else "left")`` as a vectorised
+    bisection -- performing the exact ``a[mid] <= x`` (right) or
+    ``a[mid] < x`` (left) comparisons of NumPy's scalar binary search, so
+    the weighted cumsum draws and arc lookups match the scalar kernels
+    bit-for-bit.
+    """
+    lo = np.zeros(x.size, dtype=np.int64)
+    hi = sizes.astype(np.int64).copy()
+    while True:
+        open_ = lo < hi
+        if not open_.any():
+            return lo
+        mid = (lo + hi) >> 1
+        descend = np.zeros(x.size, dtype=bool)
+        sel = np.flatnonzero(open_)
+        probe = values[base[sel] + mid[sel]]
+        descend[sel] = probe <= x[sel] if right else probe < x[sel]
+        lo = np.where(open_ & descend, mid + 1, lo)
+        hi = np.where(open_ & ~descend, mid, hi)
+
+
+def _locate_in_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray, values: np.ndarray
+) -> np.ndarray:
+    """Bisect-left position of ``values[i]`` inside the sorted adjacency
+    slice of ``rows[i]`` (may equal the row degree when absent)."""
+    base = indptr[rows]
+    return _bisect_rows(indices, base, indptr[rows + 1] - base, values,
+                        right=False)
+
+
+def _has_edges_batch(
+    indptr: np.ndarray, indices: np.ndarray, us: np.ndarray, vs: np.ndarray
+) -> np.ndarray:
+    """Vectorised ``graph.has_edge(us[i], vs[i])`` (all ``us`` must have
+    degree > 0)."""
+    pos = _locate_in_rows(indptr, indices, us, vs)
+    deg = (indptr[us + 1] - indptr[us]).astype(np.int64)
+    inside = pos < deg
+    probe = indptr[us] + np.minimum(pos, np.maximum(deg - 1, 0))
+    return inside & (indices[probe] == vs)
+
+
+class BatchWalkRunner:
+    """Lock-step walker batch for one :class:`DistributedWalkEngine`.
+
+    Owns the per-graph precomputations (flat weight cumsums, per-arc HuGE
+    acceptance table, alias tables via the kernel) and runs one round of
+    walks per :meth:`run_round` call, mutating the same ``corpus``/
+    ``stats``/``walk_machines`` structures the loop backend fills -- the
+    engine treats both backends interchangeably.
+    """
+
+    def __init__(self, graph: CSRGraph, cluster, config, kernel,
+                 routine_message_bytes: int) -> None:
+        if config.mode == "fullpath":
+            raise ValueError(
+                "the fullpath (HuGE-D) measurement is deliberately O(L) per "
+                "step and stays on the loop backend; use backend='auto' or "
+                "'loop' for mode='fullpath'"
+            )
+        self.graph = graph
+        self.cluster = cluster
+        self.config = config
+        self.kernel = kernel
+        self.kind = kernel.name
+        self.info_mode = config.mode != "routine"
+        self.length_rule = (
+            WalkLengthRule(mu=config.mu, min_length=config.min_length,
+                           max_length=config.max_length)
+            if self.info_mode else None
+        )
+        self.message_bytes = (
+            _INCOM_MESSAGE_BYTES if self.info_mode else routine_message_bytes
+        )
+        self._indptr = graph.indptr
+        self._indices = graph.indices
+        self._degrees = graph.degrees
+        self._assignment = cluster.assignment
+
+        # Kernel-specific tables.  All values are produced by (or shared
+        # with) the scalar kernel code, keeping the two backends bit-equal.
+        self._row_cumsum: Optional[np.ndarray] = None
+        if graph.is_weighted and self.kind != "node2vec-alias":
+            cum = np.empty(graph.num_stored_edges, dtype=np.float64)
+            for u in range(graph.num_nodes):
+                s, e = int(self._indptr[u]), int(self._indptr[u + 1])
+                if s != e:
+                    # Per-row cumsum, matching the kernels' per-node caches.
+                    cum[s:e] = np.cumsum(graph.weights[s:e])
+            self._row_cumsum = cum
+        if self.kind in ("huge", "huge+"):
+            self._arc_accept = kernel.arc_acceptance_table()
+        elif self.kind == "node2vec-alias":
+            sampler = kernel.sampler
+            fo = sampler._first_order
+            self._fo_accept = fo._accept
+            self._fo_alias = fo._alias_local
+            self._so_offsets = sampler._table_offsets
+            self._so_accept = sampler._accept
+            self._so_alias = sampler._alias_local
+
+    # ------------------------------------------------------------------ #
+    # InCoM batch state helpers
+    # ------------------------------------------------------------------ #
+
+    def _observe(self, idx: np.ndarray, prior: np.ndarray,
+                 lengths_after: np.ndarray) -> None:
+        """Batch twin of ``IncrementalWalkMeasure.observe``.
+
+        ``prior`` is each walker's occurrence count of the appended node
+        *before* the append; ``lengths_after`` the token count including
+        it (== every accumulator's observation count).
+        """
+        pn = prior.astype(np.float64)
+        self._S[idx] += _xlog2x_batch(pn + 1.0) - _xlog2x_batch(pn)
+        lf = lengths_after.astype(np.float64)
+        h = np.log2(lf) - self._S[idx] / lf
+        for arr, x in (
+            (self._e_h, h),
+            (self._e_l, lf),
+            (self._e_hl, h * lf),
+            (self._e_h2, h * h),
+            (self._e_l2, lf * lf),
+        ):
+            arr[idx] += (x - arr[idx]) / lf
+
+    def _r_squared(self, idx: np.ndarray, counts: np.ndarray) -> np.ndarray:
+        """Batch twin of ``IncrementalCorrelation.r_squared`` (same guards,
+        same arithmetic, same clipping)."""
+        var_x = self._e_h2[idx] - self._e_h[idx] * self._e_h[idx]
+        var_y = self._e_l2[idx] - self._e_l[idx] * self._e_l[idx]
+        cov = self._e_hl[idx] - self._e_h[idx] * self._e_l[idx]
+        r = np.ones(idx.size, dtype=np.float64)
+        ok = (counts >= 2) & (var_x > 1e-15) & (var_y > 1e-15)
+        r[ok] = cov[ok] / np.sqrt(var_x[ok] * var_y[ok])
+        np.clip(r, -1.0, 1.0, out=r)
+        return r * r
+
+    # ------------------------------------------------------------------ #
+    # Kernel batch steps
+    # ------------------------------------------------------------------ #
+
+    def _propose(self, cur: np.ndarray, u1: np.ndarray):
+        """Uniform→candidate map shared by the rejection kernels; returns
+        ``(candidate, local_index)`` exactly like ``propose_with_uniform``."""
+        deg = self._degrees[cur]
+        if self._row_cumsum is None:
+            k = (u1 * deg).astype(np.int64)
+        else:
+            starts = self._indptr[cur]
+            totals = self._row_cumsum[self._indptr[cur + 1] - 1]
+            k = _bisect_rows(self._row_cumsum, starts, deg, u1 * totals,
+                             right=True)
+        np.minimum(k, deg - 1, out=k)
+        return self._indices[self._indptr[cur] + k], k
+
+    def _trial(self, cur: np.ndarray, prev: np.ndarray, u1: np.ndarray,
+               u2: np.ndarray, forced: np.ndarray):
+        """One batched sampling trial: ``(candidates, accepted_mask)``."""
+        if self.kind == "node2vec-alias":
+            return self._trial_alias(cur, prev, u1, u2)
+        cand, k = self._propose(cur, u1)
+        if self.kind == "deepwalk":
+            return cand, np.ones(cur.size, dtype=bool)
+        if self.kind in ("huge", "huge+"):
+            p_acc = self._arc_accept[self._indptr[cur] + k]
+            return cand, (u2 < p_acc) | forced
+        # node2vec: KnightKing's rejection envelope, batched.
+        kernel = self.kernel
+        first = prev < 0
+        adjacent = np.zeros(cur.size, dtype=bool)
+        second = np.flatnonzero(~first)
+        if second.size:
+            adjacent[second] = _has_edges_batch(
+                self._indptr, self._indices, prev[second], cand[second]
+            )
+        pi = np.where(
+            first, 1.0,
+            np.where(cand == prev, 1.0 / kernel.p,
+                     np.where(adjacent, 1.0, 1.0 / kernel.q)),
+        )
+        y = u2 * kernel._envelope
+        return cand, (pi >= y) | forced
+
+    def _trial_alias(self, cur: np.ndarray, prev: np.ndarray,
+                     u1: np.ndarray, u2: np.ndarray):
+        """Batched alias-table draw (never rejects)."""
+        cand = np.empty(cur.size, dtype=np.int64)
+        first = prev < 0
+        fo = np.flatnonzero(first)
+        if fo.size:
+            deg = self._degrees[cur[fo]]
+            slot = np.minimum((u1[fo] * deg).astype(np.int64), deg - 1)
+            flat = self._indptr[cur[fo]] + slot
+            use_alias = u2[fo] >= self._fo_accept[flat]
+            slot = np.where(use_alias, self._fo_alias[flat], slot)
+            cand[fo] = self._indices[self._indptr[cur[fo]] + slot]
+        so = np.flatnonzero(~first)
+        if so.size:
+            # Flat index of arc (prev, cur): position of cur within N(prev).
+            pos = _locate_in_rows(self._indptr, self._indices,
+                                  prev[so], cur[so])
+            arc = self._indptr[prev[so]] + pos
+            t_start = self._so_offsets[arc]
+            size = (self._so_offsets[arc + 1] - t_start).astype(np.int64)
+            slot = np.minimum((u1[so] * size).astype(np.int64), size - 1)
+            use_alias = u2[so] >= self._so_accept[t_start + slot]
+            slot = np.where(use_alias, self._so_alias[t_start + slot], slot)
+            cand[so] = self._indices[self._indptr[cur[so]] + slot]
+        return cand, np.ones(cur.size, dtype=bool)
+
+    # ------------------------------------------------------------------ #
+    # One round
+    # ------------------------------------------------------------------ #
+
+    def run_round(self, sources: np.ndarray, round_idx: int, corpus,
+                  stats, walk_machines: List[int]) -> None:
+        """Walk every source once, lock-step, with full cost accounting."""
+        cfg = self.config
+        cluster = self.cluster
+        metrics = cluster.metrics
+        num_machines = cluster.num_machines
+        n = sources.size
+        if n == 0:
+            return
+        cap = cfg.max_length if self.info_mode else cfg.walk_length
+
+        walk_ids = round_idx * n + np.arange(n, dtype=np.int64)
+        keys = walker_stream_keys(cluster.walk_seed_root, walk_ids)
+        counters = np.zeros(n, dtype=np.uint64)
+        paths = np.full((n, cap), -1, dtype=np.int64)
+        paths[:, 0] = sources
+        lengths = np.ones(n, dtype=np.int64)
+        current = sources.astype(np.int64).copy()
+        previous = np.full(n, -1, dtype=np.int64)
+        trials_at_step = np.zeros(n, dtype=np.int64)
+        active = np.ones(n, dtype=bool)
+        if self.info_mode:
+            self._S = np.zeros(n, dtype=np.float64)
+            self._e_h = np.zeros(n, dtype=np.float64)
+            self._e_l = np.zeros(n, dtype=np.float64)
+            self._e_hl = np.zeros(n, dtype=np.float64)
+            self._e_h2 = np.zeros(n, dtype=np.float64)
+            self._e_l2 = np.zeros(n, dtype=np.float64)
+            # observe(source): prior count 0, one token on the path.
+            self._observe(np.arange(n), np.zeros(n, dtype=np.int64), lengths)
+
+        max_iters = cap * (cfg.max_trials_per_step + 2) + 8
+        for _ in range(max_iters):
+            alive = np.flatnonzero(active)
+            if alive.size == 0:
+                break
+            # 1) Termination sweep -- same decision order as the loop
+            #    engine's _walk_finished: dead end, then the length rule.
+            done = self._degrees[current[alive]] == 0
+            if self.info_mode:
+                r2 = self._r_squared(alive, lengths[alive])
+                done |= self.length_rule.stop_mask(lengths[alive], r2)
+            else:
+                done |= lengths[alive] >= cfg.walk_length
+            if done.any():
+                active[alive[done]] = False
+                alive = alive[~done]
+            if alive.size == 0:
+                continue
+
+            # 2) One trial per remaining walker: two stream uniforms each.
+            u1 = stream_uniforms(keys[alive], counters[alive])
+            u2 = stream_uniforms(keys[alive], counters[alive] + np.uint64(1))
+            counters[alive] += np.uint64(2)
+            forced = trials_at_step[alive] >= cfg.max_trials_per_step
+            cand, accepted = self._trial(current[alive], previous[alive],
+                                         u1, u2, forced)
+
+            stats.total_trials += int(alive.size)
+            trial_machines = self._assignment[current[alive]]
+            counts = np.bincount(trial_machines, minlength=num_machines)
+            for m in np.flatnonzero(counts):
+                metrics.record_compute(int(m), float(counts[m]))
+
+            rejected = alive[~accepted]
+            trials_at_step[rejected] += 1
+
+            idx = alive[accepted]
+            if idx.size == 0:
+                continue
+            hop = cand[accepted]
+            src_m = trial_machines[accepted]
+            # Occurrences of the accepted node on the path so far: the
+            # batch form of InCoM's per-walker visit counters.  This scan
+            # is O(current length) per step -- bounded by max_length (80
+            # at paper scale), where one vectorised comparison row beats
+            # any per-walker hash structure; the simulated cost model
+            # still credits the paper's O(1) InCoM update, which the
+            # scalar backend's dict counters realise literally.
+            prior = (paths[idx, :int(lengths[idx].max())]
+                     == hop[:, None]).sum(axis=1)
+            previous[idx] = current[idx]
+            current[idx] = hop
+            paths[idx, lengths[idx]] = hop
+            lengths[idx] += 1
+            trials_at_step[idx] = 0
+            stats.total_steps += int(idx.size)
+            step_counts = np.bincount(src_m, minlength=num_machines)
+            for m in np.flatnonzero(step_counts):
+                metrics.record_local_step(int(m), int(step_counts[m]))
+            if self.info_mode:
+                self._observe(idx, prior, lengths[idx])
+                # InCoM measurement cost: O(1) per accepted step.
+                for m in np.flatnonzero(step_counts):
+                    metrics.record_compute(int(m), float(step_counts[m]))
+            dst_m = self._assignment[hop]
+            crossing = src_m != dst_m
+            if crossing.any():
+                pair = src_m[crossing] * num_machines + dst_m[crossing]
+                pair_counts = np.bincount(
+                    pair, minlength=num_machines * num_machines)
+                for p in np.flatnonzero(pair_counts):
+                    c = int(pair_counts[p])
+                    metrics.record_messages(
+                        c, c * self.message_bytes,
+                        src=int(p // num_machines), dst=int(p % num_machines),
+                    )
+        else:
+            raise RuntimeError(
+                f"batched walk round did not converge in {max_iters} trials"
+            )
+
+        # 3) Flush in walk-id order (the canonical order of the walker
+        #    protocol; the loop backend emits the same order).
+        for i in range(n):
+            walk_len = int(lengths[i])
+            corpus.add_walk(paths[i, :walk_len].copy())
+            stats.total_walks += 1
+            stats.walk_lengths.append(walk_len)
+            walk_machines.append(int(self._assignment[sources[i]]))

@@ -137,6 +137,104 @@ class TestHubGraph:
         assert vocab.row_to_node[0] == 0  # the hub is the hottest row
 
 
+class TestVectorizedEngineEdges:
+    """Degenerate inputs through the batched InCoM backend (and, where the
+    behaviour must match, through the loop backend too)."""
+
+    @staticmethod
+    def _run(graph, cfg, machines=1, seed=0, sources=None):
+        cluster = Cluster(
+            machines,
+            np.arange(graph.num_nodes, dtype=np.int64) % machines,
+            seed=seed,
+        )
+        return DistributedWalkEngine(graph, cluster, cfg).run(sources=sources)
+
+    def test_isolated_vertices_skipped_by_default(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], num_nodes=6)  # 3..5 isolated
+        result = self._run(g, WalkConfig.distger(max_rounds=1, min_rounds=1))
+        starts = {int(w[0]) for w in result.corpus.walks}
+        assert starts == {0, 1, 2}
+
+    def test_isolated_vertex_as_explicit_source(self):
+        """An explicitly requested dead source yields a length-1 walk in
+        both backends (the walker dies where it stands)."""
+        g = CSRGraph.from_edges([(0, 1)], num_nodes=3)  # node 2 isolated
+        for backend in ("loop", "vectorized"):
+            cfg = WalkConfig.distger(max_rounds=1, min_rounds=1,
+                                     backend=backend, rng_protocol="walker")
+            result = self._run(g, cfg, sources=np.array([2, 0]))
+            assert [len(w) for w in result.corpus.walks][0] == 1
+            assert int(result.corpus.walks[0][0]) == 2
+
+    def test_single_node_graph(self):
+        g = CSRGraph.from_edges([], num_nodes=1)
+        result = self._run(g, WalkConfig.distger())
+        assert result.corpus.num_walks == 0
+        assert result.stats.total_walks == 0
+
+    def test_empty_graph_routine(self):
+        g = CSRGraph.from_edges([], num_nodes=4)
+        result = self._run(g, WalkConfig.routine("deepwalk"))
+        assert result.corpus.num_walks == 0
+
+    def test_self_loop_graph(self):
+        """A raw CSR self-loop pins the walker to one node: zero entropy
+        growth keeps R² degenerate at 1, so the walk runs to max_length --
+        identically in both backends."""
+        indptr = np.array([0, 1], dtype=np.int64)
+        indices = np.array([0], dtype=np.int64)  # 0 -> 0
+        g = CSRGraph(indptr, indices, directed=True)
+        walks = {}
+        for backend in ("loop", "vectorized"):
+            cfg = WalkConfig.distger(max_rounds=1, min_rounds=1,
+                                     max_length=12, backend=backend,
+                                     rng_protocol="walker")
+            result = self._run(g, cfg)
+            assert result.stats.walk_lengths == [12]
+            walks[backend] = [tuple(int(v) for v in w)
+                              for w in result.corpus.walks]
+        assert walks["loop"] == walks["vectorized"]
+        assert walks["loop"][0] == (0,) * 12
+
+    def test_mu_zero_every_walker_hits_max_length(self, small_graph):
+        """mu = 0 disables the R² rule (R² < 0 is impossible), so every
+        walk on a dead-end-free graph runs to max_length exactly."""
+        cfg = WalkConfig.distger(mu=0.0, max_length=17, max_rounds=1,
+                                 min_rounds=1)
+        result = self._run(small_graph, cfg)
+        assert result.stats.walk_lengths == [17] * small_graph.num_nodes
+
+    def test_mu_one_stops_at_min_length(self, small_graph):
+        """mu = 1 stops as soon as the length floor admits any non-perfect
+        R²; no walk may exceed a perfectly-linear entropy ramp's length."""
+        cfg = WalkConfig.distger(mu=1.0, min_length=4, max_length=40,
+                                 max_rounds=1, min_rounds=1)
+        result = self._run(small_graph, cfg)
+        assert all(l >= 4 for l in result.stats.walk_lengths)
+        # R² of a 4-token walk is almost never exactly 1.0: the bulk must
+        # stop right at the floor.
+        assert np.median(result.stats.walk_lengths) == 4
+
+    def test_mu_extremes_parity(self, small_graph):
+        for mu in (0.0, 1.0):
+            runs = []
+            for backend in ("loop", "vectorized"):
+                cfg = WalkConfig.distger(mu=mu, max_rounds=1, min_rounds=1,
+                                         backend=backend,
+                                         rng_protocol="walker")
+                result = self._run(small_graph, cfg, machines=2, seed=5)
+                runs.append([tuple(int(v) for v in w)
+                             for w in result.corpus.walks])
+            assert runs[0] == runs[1]
+
+    def test_min_walk_length_one_routine(self, triangle):
+        cfg = WalkConfig.routine("deepwalk", walk_length=1, walks_per_node=2)
+        result = self._run(triangle, cfg)
+        assert all(l == 1 for l in result.stats.walk_lengths)
+        assert result.corpus.num_walks == 2 * triangle.num_nodes
+
+
 class TestSingleMachineEquivalence:
     def test_one_machine_sync_modes_agree(self):
         """With one machine every sync strategy is a no-op: identical

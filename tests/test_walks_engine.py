@@ -243,3 +243,35 @@ class TestEngine:
             r = DistributedWalkEngine(small_graph, cluster, cfg).run()
             results.append([tuple(w) for w in r.corpus.walks])
         assert results[0] == results[1]
+
+    def test_deterministic_given_seed_all_backend_protocols(self, small_graph):
+        """Byte-identical corpora for the same seed under every
+        backend × protocol combination the config admits."""
+        combos = (
+            ("vectorized", "walker"),
+            ("loop", "walker"),
+            ("loop", "cluster"),
+        )
+        for backend, protocol in combos:
+            results = []
+            for _ in range(2):
+                cluster = make_cluster(small_graph, machines=2, seed=9)
+                cfg = WalkConfig.distger(max_rounds=1, min_rounds=1,
+                                         backend=backend,
+                                         rng_protocol=protocol)
+                r = DistributedWalkEngine(small_graph, cluster, cfg).run()
+                results.append([w.tobytes() for w in r.corpus.walks])
+            assert results[0] == results[1], (backend, protocol)
+
+    def test_default_backend_is_vectorized_for_incom(self, small_graph):
+        cluster = make_cluster(small_graph)
+        engine = DistributedWalkEngine(small_graph, cluster,
+                                       WalkConfig.distger())
+        assert engine.backend == "vectorized"
+        assert engine.rng_protocol == "walker"
+
+    def test_fullpath_stays_on_loop_backend(self, small_graph):
+        cluster = make_cluster(small_graph)
+        engine = DistributedWalkEngine(small_graph, cluster,
+                                       WalkConfig.huge_d())
+        assert engine.backend == "loop"
