@@ -14,11 +14,21 @@ Walk-based methods accept every :class:`repro.walks.engine.WalkConfig`
 field as a flat keyword, including the execution knobs: ``backend``
 (``"auto"``/``"vectorized"``/``"loop"``; auto picks the batched NumPy
 engine wherever semantics match, i.e. the ``routine`` and ``incom``
-modes) and ``rng_protocol`` (``"walker"`` for scheduling-independent
-per-walker streams, ``"cluster"`` for the legacy per-machine generators).
-``embed_graph(g, backend="loop", rng_protocol="walker")`` therefore runs
-the reference loop engine on the same random streams the vectorized
+modes) and ``rng_protocol`` (``"walker"``, the default, for
+scheduling-independent per-walker streams; ``"cluster"`` for the legacy
+per-machine generators).  ``embed_graph(g, backend="loop")`` therefore
+runs the reference loop engine on the same random streams the vectorized
 backend consumes -- producing the identical corpus, only slower.
+
+The trainer's and partitioner's execution backends are exposed the same
+way under prefixed names (the bare names address the walk engine):
+``train_backend`` / ``train_rng_protocol`` map onto
+:class:`repro.embedding.model.TrainConfig` (loop vs batched learners,
+shared counter-based negative streams) and ``partition_backend`` onto
+DistGER's MPGP partitioner (on-demand galloping vs the precomputed
+per-arc common-neighbour table).  Each phase's loop/vectorized pair is
+result-identical under its parity protocol, so these knobs trade speed
+only.
 """
 
 from __future__ import annotations
@@ -45,37 +55,70 @@ _METHODS = {
 }
 
 _WALK_METHODS = ("distger", "huge-d", "knightking", "distger-gpu")
+#: Methods whose partitioner is MPGP (accepts ``partition_overrides``).
+_MPGP_METHODS = ("distger", "distger-gpu")
 # Flat hyper-parameter names accepted by embed_graph for the walk-based
 # systems and routed into their train/walk override dicts, so callers (and
 # grid searches) can write embed_graph(g, lr=0.05, mu=0.9) directly.
+# ``backend``/``rng_protocol`` exist on both WalkConfig and TrainConfig:
+# the bare names keep addressing the walk engine (historical behaviour),
+# while the prefixed aliases below address the trainer and partitioner.
 _TRAIN_FIELDS = frozenset(
     f.name for f in dataclasses.fields(TrainConfig)
-) - {"dim", "epochs", "seed"}
+) - {"dim", "epochs", "seed", "backend", "rng_protocol"}
 _WALK_FIELDS = frozenset(
     f.name for f in dataclasses.fields(WalkConfig)
 ) - {"kernel", "mode"}
+#: Prefixed execution-knob aliases: flat name -> (override dict, field).
+_PREFIXED_FIELDS = {
+    "train_backend": ("train_overrides", "backend"),
+    "train_rng_protocol": ("train_overrides", "rng_protocol"),
+    "partition_backend": ("partition_overrides", "backend"),
+}
 
 
 def _route_overrides(key: str, kwargs: dict) -> dict:
     """Move flat TrainConfig/WalkConfig fields into the override dicts."""
     if key not in _WALK_METHODS:
+        # Fail with a clear message instead of the constructor's TypeError
+        # when an execution-backend knob reaches a non-walk system.
+        rejected = [name for name in ("backend", "rng_protocol",
+                                      *_PREFIXED_FIELDS) if name in kwargs]
+        if rejected:
+            raise ValueError(
+                f"method {key!r} has no loop/vectorized execution "
+                f"backends; {', '.join(rejected)} applies to walk-based "
+                f"methods only ({', '.join(_WALK_METHODS)})"
+            )
         return kwargs
-    train = dict(kwargs.pop("train_overrides", {}) or {})
-    walk = dict(kwargs.pop("walk_overrides", {}) or {})
+    overrides = {
+        "train_overrides": dict(kwargs.pop("train_overrides", {}) or {}),
+        "walk_overrides": dict(kwargs.pop("walk_overrides", {}) or {}),
+        "partition_overrides": dict(
+            kwargs.pop("partition_overrides", {}) or {}),
+    }
     for name in list(kwargs):
-        if name in _TRAIN_FIELDS:
-            train[name] = kwargs.pop(name)
+        if name in _PREFIXED_FIELDS:
+            dest, field = _PREFIXED_FIELDS[name]
+            overrides[dest][field] = kwargs.pop(name)
+        elif name in _TRAIN_FIELDS:
+            overrides["train_overrides"][name] = kwargs.pop(name)
         elif name in _WALK_FIELDS:
             # KnightKing's walk knobs (walk_length, walks_per_node, p, q)
             # are real constructor arguments; leave those in place.
             if key == "knightking" and name in (
                     "walk_length", "walks_per_node", "p", "q"):
                 continue
-            walk[name] = kwargs.pop(name)
-    if train:
-        kwargs["train_overrides"] = train
-    if walk:
-        kwargs["walk_overrides"] = walk
+            overrides["walk_overrides"][name] = kwargs.pop(name)
+    if overrides["partition_overrides"] and key not in _MPGP_METHODS:
+        raise ValueError(
+            f"method {key!r} uses a workload-balancing partitioner; "
+            "partition_backend/partition_overrides apply to MPGP methods "
+            f"only ({', '.join(_MPGP_METHODS)})"
+        )
+    for name, value in overrides.items():
+        if value:
+            kwargs[name] = value
     return kwargs
 
 

@@ -68,6 +68,9 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
                         help="read a third edge-weight column")
 
 
+_BACKEND_CHOICES = ["auto", "vectorized", "loop"]
+
+
 def _add_system_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--method", choices=available_methods(),
                         default="distger")
@@ -77,6 +80,28 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--kernel", default=None, choices=_KERNEL_CHOICES,
                         help="walk kernel for walk-based methods (§6.6)")
+    parser.add_argument("--walk-backend", default=None,
+                        choices=_BACKEND_CHOICES,
+                        help="walk engine execution backend (default: auto)")
+    parser.add_argument("--train-backend", default=None,
+                        choices=_BACKEND_CHOICES,
+                        help="trainer execution backend (default: auto)")
+    parser.add_argument("--partition-backend", default=None,
+                        choices=_BACKEND_CHOICES,
+                        help="MPGP partitioner backend; DistGER methods "
+                             "only (default: auto)")
+
+
+def _backend_kwargs(args) -> dict:
+    """Flat embed_graph kwargs for the backend flags that were given."""
+    kwargs = {}
+    if getattr(args, "walk_backend", None):
+        kwargs["backend"] = args.walk_backend
+    if getattr(args, "train_backend", None):
+        kwargs["train_backend"] = args.train_backend
+    if getattr(args, "partition_backend", None):
+        kwargs["partition_backend"] = args.partition_backend
+    return kwargs
 
 
 def cmd_embed(args) -> int:
@@ -86,7 +111,7 @@ def cmd_embed(args) -> int:
     result = embed_graph(graph, method=args.method,
                          num_machines=args.machines, dim=args.dim,
                          epochs=args.epochs, seed=args.seed,
-                         kernel=args.kernel)
+                         kernel=args.kernel, **_backend_kwargs(args))
     print(f"done in {result.wall_seconds:.2f}s wall "
           f"({result.simulated_seconds:.3f}s simulated); "
           f"{result.metrics.messages_sent} walker messages, "
@@ -104,7 +129,8 @@ def cmd_evaluate(args) -> int:
         return embed_graph(train_graph, method=args.method,
                            num_machines=args.machines, dim=args.dim,
                            epochs=args.epochs, seed=args.seed,
-                           kernel=args.kernel).embeddings
+                           kernel=args.kernel,
+                           **_backend_kwargs(args)).embeddings
 
     print(f"Link prediction with {args.method} "
           f"({args.trials} trials, 50% edges held out) ...")
@@ -125,13 +151,27 @@ _PARTITIONERS = {
 }
 
 
+#: Schemes that accept the ``backend`` knob (the baselines have nothing
+#: to vectorize differently).
+_BACKEND_SCHEMES = ("mpgp", "mpgp-parallel")
+
+
 def cmd_partition(args) -> int:
     graph = _load_graph(args)
     schemes = args.schemes or list(_PARTITIONERS)
+    if args.backend:
+        skipped = [n for n in schemes if n not in _BACKEND_SCHEMES]
+        if skipped:
+            print(f"note: --backend={args.backend} applies to "
+                  f"{'/'.join(_BACKEND_SCHEMES)} only; ignored for "
+                  f"{', '.join(skipped)}")
     print(f"{'scheme':20s} {'seconds':>8s} {'cut%':>7s} {'balance':>8s} "
           f"{'walk locality':>13s}")
     for name in schemes:
-        partitioner = _PARTITIONERS[name]()
+        if args.backend and name in _BACKEND_SCHEMES:
+            partitioner = _PARTITIONERS[name](backend=args.backend)
+        else:
+            partitioner = _PARTITIONERS[name]()
         result = partitioner.partition(graph, args.machines)
         quality = evaluate_partition(graph, result.assignment, args.machines)
         print(f"{name:20s} {result.seconds:8.3f} "
@@ -144,7 +184,8 @@ def _embed_for_args(graph: CSRGraph, args):
     return embed_graph(graph, method=args.method,
                        num_machines=args.machines, dim=args.dim,
                        epochs=args.epochs, seed=args.seed,
-                       kernel=args.kernel).embeddings
+                       kernel=args.kernel,
+                       **_backend_kwargs(args)).embeddings
 
 
 def cmd_cluster(args) -> int:
@@ -251,6 +292,8 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument("--machines", type=int, default=4)
     p_part.add_argument("--schemes", nargs="*",
                         choices=list(_PARTITIONERS), default=None)
+    p_part.add_argument("--backend", default=None, choices=_BACKEND_CHOICES,
+                        help="MPGP scoring backend (default: auto)")
     p_part.set_defaults(func=cmd_partition)
 
     p_cluster = sub.add_parser("cluster",

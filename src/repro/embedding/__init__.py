@@ -4,6 +4,13 @@ Implements DSGL -- frequency-ordered global matrices with local buffers,
 multi-window shared negative sampling, and hotness-block synchronisation --
 alongside the baselines it is measured against: vanilla SGNS, Intel's
 Pword2vec, and pSGNScc.
+
+Every learner (except the inherently sequential pSGNScc) runs on two
+execution backends selected by ``TrainConfig.backend``: the per-window
+``"loop"`` reference and the batched ``"vectorized"`` engine of
+:mod:`repro.embedding.vectorized`, which produce bit-identical embeddings
+under the shared counter-based negative-sampling protocol
+(``TrainConfig.rng_protocol="shared"``).
 """
 
 from repro.embedding.checkpoint import load_model, save_model
@@ -56,6 +63,12 @@ from repro.embedding.trainer import (
     DistributedTrainer,
     TrainResult,
 )
+from repro.embedding.vectorized import (
+    VECTORIZED_LEARNERS,
+    VectorizedDSGLLearner,
+    VectorizedPword2vecLearner,
+    VectorizedSGNSLearner,
+)
 from repro.embedding.vocab import Vocabulary
 from repro.embedding.windows import count_windows, iter_windows, window_batches
 
@@ -82,6 +95,10 @@ __all__ = [
     "SyncStrategy",
     "TrainConfig",
     "TrainResult",
+    "VECTORIZED_LEARNERS",
+    "VectorizedDSGLLearner",
+    "VectorizedPword2vecLearner",
+    "VectorizedSGNSLearner",
     "Vocabulary",
     "analogy",
     "average_models",

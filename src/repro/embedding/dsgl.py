@@ -22,6 +22,22 @@ DSGL combines three improvements, all implemented here:
 * **Improvement-III -- hotness-block synchronisation** lives in
   :mod:`repro.embedding.sync`; DSGL's frequency-ordered rows make the
   blocks contiguous.
+
+Two execution paths coexist, keyed on the negative-draw protocol:
+
+* **cluster protocol** (``neg_stream is None``): the legacy sequential
+  serialisation -- lifetimes are processed one after another, each seeing
+  the previous one's write-backs.  Kept bit-compatible with historical
+  seeds.
+* **shared protocol** (counter-based ``neg_stream``): the paper's actual
+  concurrency model, executed deterministically -- ``dsgl_threads``
+  lifetimes form a cohort, every lifetime of a cohort gathers its buffers
+  from the cohort-start matrices, lifetimes run independently (this class
+  processes them depth-first, one at a time -- the loop reference), and
+  per-row deltas are summed at cohort end.  The schedule, step kernel and
+  write-back live in :mod:`repro.embedding.vectorized` and are shared
+  with the lock-step backend, which is what makes ``backend="loop"`` and
+  ``backend="vectorized"`` bit-identical under this protocol.
 """
 
 from __future__ import annotations
@@ -58,6 +74,60 @@ class DSGLLearner(BaseLearner):
                 yield batch
 
     def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        if self.neg_stream is not None:
+            return self._train_walks_shared(walks, lr)
+        return self._train_walks_cluster(walks, lr)
+
+    def _train_walks_shared(self, walks: Sequence[np.ndarray],
+                            lr: float) -> int:
+        """Concurrent-lifetime reference: one lifetime at a time.
+
+        Plans each lifetime on demand (mirroring how the loop walk engine
+        computes acceptance probabilities on demand while the batch engine
+        precomputes the whole table), runs its multi-window batches
+        sequentially through the shared step kernel, and stashes the
+        buffer deltas; the slice ends with the same
+        :func:`~repro.embedding.vectorized.merge_deltas` reconciliation
+        the lock-step backend applies, so the result is bit-identical.
+        """
+        from repro.embedding.vectorized import merge_deltas, plan_dsgl_slice
+
+        cfg = self.config
+        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        cohort_walks = cfg.dsgl_threads * cfg.multi_windows
+        tokens = 0
+        for c_start in range(0, len(walks), cohort_walks):
+            cohort = walks[c_start:c_start + cohort_walks]
+            ctx_rows: List[np.ndarray] = []
+            ctx_deltas: List[np.ndarray] = []
+            out_rows: List[np.ndarray] = []
+            out_deltas: List[np.ndarray] = []
+            for start in range(0, len(cohort), cfg.multi_windows):
+                chunk_tokens, plan = plan_dsgl_slice(
+                    self, cohort[start:start + cfg.multi_windows])
+                tokens += chunk_tokens
+                if plan is None:
+                    continue
+                ctx_mega, ctx_start, out_mega, out_start = plan.gather(
+                    phi_in, phi_out)
+                for t in range(plan.num_steps):
+                    plan.run_step(t, 1, ctx_mega, out_mega, lr)
+                ctx_mega -= ctx_start
+                out_mega -= out_start
+                ctx_rows.append(plan.ctx_gather)
+                ctx_deltas.append(ctx_mega[:-1])
+                out_rows.append(plan.out_gather)
+                out_deltas.append(out_mega[:-1])
+            if ctx_rows:
+                merge_deltas(phi_in, np.concatenate(ctx_rows),
+                             np.concatenate(ctx_deltas))
+                merge_deltas(phi_out, np.concatenate(out_rows),
+                             np.concatenate(out_deltas))
+        return tokens
+
+    def _train_walks_cluster(self, walks: Sequence[np.ndarray],
+                             lr: float) -> int:
+        """Legacy sequential-lifetime path (stateful per-machine RNG)."""
         cfg = self.config
         phi_in, phi_out = self.model.phi_in, self.model.phi_out
         k = cfg.negatives
@@ -76,7 +146,7 @@ class DSGLLearner(BaseLearner):
             ctx_buffer = phi_in[ctx_rows].copy()
             # Negative buffer: K negatives per walk position, pre-sampled
             # for the whole lifetime ("K x L negative samples", §4.2).
-            neg_pool = self.sampler.sample_rows(k * chunk_tokens, self.rng)
+            neg_pool = self._negatives(k * chunk_tokens)
             out_rows = np.unique(np.concatenate([chunk_concat, neg_pool]))
             out_buffer = phi_out[out_rows].copy()
             pool_pos = 0

@@ -20,6 +20,13 @@ from repro.utils.rng import SeedLike, default_rng
 from repro.utils.validation import check_positive
 
 
+#: Learners whose update schedule cannot be batched: pSGNScc's partner
+#: lookup consults an inverted index that mutates as windows are consumed,
+#: so (like the walk engine's ``fullpath`` mode) it stays on the loop
+#: backend and its index overhead remains measurable.
+LOOP_ONLY_LEARNERS = frozenset({"psgnscc"})
+
+
 @dataclass
 class TrainConfig:
     """Hyper-parameters of the feature-learning phase.
@@ -28,6 +35,24 @@ class TrainConfig:
     window ``w = 10``, ``K = 5`` negative samples, 2 multi-windows, with a
     token-based synchronisation period replacing the paper's 0.1-second
     wall-clock period (deterministic at any machine speed).
+
+    Execution knobs mirror :class:`repro.walks.engine.WalkConfig`:
+
+    * ``backend`` selects how a machine's slice of walks is trained:
+      ``"vectorized"`` runs the batched learners of
+      :mod:`repro.embedding.vectorized` (window extraction, buffer
+      indexing and negative draws hoisted into NumPy precomputation,
+      update math unchanged to the bit); ``"loop"`` runs the per-window
+      reference learners; ``"auto"`` (default) picks vectorized wherever
+      semantics match (``sgns``/``pword2vec``/``dsgl``) and loop for
+      ``psgnscc``.
+    * ``rng_protocol`` selects where negative-sample randomness comes
+      from: ``"shared"`` (counter-based per-machine streams from
+      :mod:`repro.utils.rng` -- draws are independent of batching, which
+      is the trainer parity guarantee and the documented default for new
+      code paths) or ``"cluster"`` (the legacy stateful per-machine
+      generators; loop backend only).  ``"auto"`` resolves to
+      ``"shared"``.
     """
 
     dim: int = 64
@@ -51,6 +76,17 @@ class TrainConfig:
     # subsample; exposed as a standard word2vec option).
     subsample: float = 0.0
     seed: int = 0
+    #: "auto" | "vectorized" | "loop" -- see the class docstring.
+    backend: str = "auto"
+    #: "auto" | "shared" | "cluster" -- see the class docstring.
+    rng_protocol: str = "auto"
+    #: Simulated Hogwild thread-pool width of DSGL's shared-protocol
+    #: execution: lifetimes run concurrently (slice-start buffer gathers,
+    #: delta-sum reconciliation) in cohorts of this many lifetimes, and
+    #: cohorts are sequential.  Models the paper's per-machine thread
+    #: count; wider cohorts batch better but leave hot rows updated from
+    #: staler state, exactly like adding Hogwild threads does.
+    dsgl_threads: int = 8
 
     def __post_init__(self) -> None:
         check_positive("dim", self.dim)
@@ -68,6 +104,44 @@ class TrainConfig:
             )
         if self.subsample < 0:
             raise ValueError(f"subsample must be >= 0, got {self.subsample}")
+        check_positive("dsgl_threads", self.dsgl_threads)
+        if self.backend not in ("auto", "vectorized", "loop"):
+            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.rng_protocol not in ("auto", "shared", "cluster"):
+            raise ValueError(f"unknown rng_protocol {self.rng_protocol!r}")
+        if self.backend == "vectorized" and self.rng_protocol == "cluster":
+            raise ValueError(
+                "the vectorized backend requires the 'shared' RNG protocol "
+                "(counter-based per-machine negative streams)"
+            )
+
+    def resolved_backend(self, learner: str = "dsgl") -> str:
+        """The backend ``"auto"`` resolves to for ``learner``.
+
+        Raises for combinations that cannot hold the parity contract:
+        pSGNScc's mutable inverted-index lookup is inherently sequential
+        (its overhead is part of what §4.1 measures), so it cannot be
+        vectorized -- exactly like the walk engine's ``fullpath`` mode.
+        """
+        if self.backend == "vectorized" and learner in LOOP_ONLY_LEARNERS:
+            raise ValueError(
+                f"learner {learner!r} cannot be vectorized: its per-window "
+                "partner lookup mutates state between windows; use "
+                "backend='auto' or 'loop'"
+            )
+        if self.backend != "auto":
+            return self.backend
+        if learner in LOOP_ONLY_LEARNERS:
+            return "loop"
+        # The legacy generator protocol cannot feed the batched learners
+        # (draw chunking would change the stream), so auto falls back.
+        return "loop" if self.resolved_rng_protocol() == "cluster" else "vectorized"
+
+    def resolved_rng_protocol(self) -> str:
+        """The RNG protocol ``"auto"`` resolves to (``"shared"``)."""
+        if self.rng_protocol != "auto":
+            return self.rng_protocol
+        return "shared"
 
 
 class EmbeddingModel:

@@ -5,6 +5,18 @@ occurrences -- the distribution the Skip-Gram objective (Eq. 2) takes its
 expectation under.  Sampling is O(1) via the alias method, and samples are
 drawn in *row space* (frequency order) so learners can index the global
 matrices directly.
+
+Two draw paths coexist, mirroring the walk engine's RNG protocols:
+
+* :meth:`NegativeSampler.sample_rows` -- the legacy path drawing from a
+  stateful per-machine :class:`numpy.random.Generator` (the "cluster"
+  protocol).
+* :meth:`NegativeSampler.sample_rows_stream` -- the shared-draw path of
+  the "shared" protocol: uniforms come from a counter-based
+  :class:`repro.utils.rng.CounterStream` and are mapped through the alias
+  table as a pure function, so the ``i``-th negative of a machine's stream
+  has the same value no matter how draws are batched.  This is what makes
+  the loop and vectorized trainers consume identical negative samples.
 """
 
 from __future__ import annotations
@@ -13,6 +25,7 @@ import numpy as np
 
 from repro.embedding.vocab import Vocabulary
 from repro.utils.alias import AliasTable
+from repro.utils.rng import CounterStream
 
 
 class NegativeSampler:
@@ -33,6 +46,15 @@ class NegativeSampler:
     def sample_rows(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """``count`` negative rows (indices into the global matrices)."""
         return self._table.sample(rng, size=count)
+
+    def sample_rows_stream(self, count: int, stream: CounterStream) -> np.ndarray:
+        """``count`` negative rows drawn from a counter-based stream.
+
+        One uniform is consumed per negative; values depend only on the
+        stream's ``(key, counter)`` state, never on how the draws are
+        chunked into calls.
+        """
+        return self._table.sample_with_uniforms(stream.uniforms(count))
 
     def sample_nodes(self, count: int, rng: np.random.Generator) -> np.ndarray:
         """``count`` negative node ids (for API symmetry / tests)."""

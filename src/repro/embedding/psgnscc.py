@@ -45,7 +45,7 @@ class PSGNSccLearner(BaseLearner):
                 if processed[w_id]:
                     continue
                 processed[w_id] = True
-                neg_rows = self.sampler.sample_rows(k, self.rng)
+                neg_rows = self._negatives(k)
                 # Lookup: a yet-unprocessed window whose target is one of
                 # our negatives contributes its contexts to the batch.
                 partner_id = -1

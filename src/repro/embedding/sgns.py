@@ -16,17 +16,25 @@ write wins), exactly like the lock-free implementations they model.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.embedding.model import EmbeddingModel, TrainConfig, sigmoid
 from repro.embedding.negative import NegativeSampler
 from repro.embedding.windows import iter_windows
+from repro.utils.rng import CounterStream
 
 
 class BaseLearner:
-    """Common state for all learners."""
+    """Common state for all learners.
+
+    ``neg_stream`` selects the negative-draw protocol: when a
+    :class:`repro.utils.rng.CounterStream` is supplied (the "shared"
+    protocol), negatives are a pure function of the stream's counter and
+    are identical no matter how draws are batched; when ``None`` (the
+    legacy "cluster" protocol), negatives come from the stateful ``rng``.
+    """
 
     name = "base"
 
@@ -36,11 +44,13 @@ class BaseLearner:
         sampler: NegativeSampler,
         config: TrainConfig,
         rng: np.random.Generator,
+        neg_stream: Optional[CounterStream] = None,
     ) -> None:
         self.model = model
         self.sampler = sampler
         self.config = config
         self.rng = rng
+        self.neg_stream = neg_stream
 
     def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
         """Train on ``walks`` at learning rate ``lr``; return tokens used."""
@@ -50,6 +60,12 @@ class BaseLearner:
 
     def _rows(self, nodes: np.ndarray) -> np.ndarray:
         return self.model.vocab.rows_of(nodes)
+
+    def _negatives(self, count: int) -> np.ndarray:
+        """``count`` negative rows under the configured draw protocol."""
+        if self.neg_stream is not None:
+            return self.sampler.sample_rows_stream(count, self.neg_stream)
+        return self.sampler.sample_rows(count, self.rng)
 
 
 class SGNSLearner(BaseLearner):
@@ -66,7 +82,7 @@ class SGNSLearner(BaseLearner):
             rows = self._rows(walk)
             for target, contexts in iter_windows(rows, self.config.window):
                 for c_row in contexts:
-                    neg_rows = self.sampler.sample_rows(k, self.rng)
+                    neg_rows = self._negatives(k)
                     out_rows = np.concatenate([[target], neg_rows])
                     x = phi_in[c_row]
                     outs = phi_out[out_rows]
@@ -93,7 +109,7 @@ class Pword2vecLearner(BaseLearner):
             tokens += int(walk.size)
             rows = self._rows(walk)
             for target, contexts in iter_windows(rows, self.config.window):
-                neg_rows = self.sampler.sample_rows(k, self.rng)
+                neg_rows = self._negatives(k)
                 out_rows = np.concatenate([[target], neg_rows])
                 ctx = phi_in[contexts]                     # (m, d)
                 outs = phi_out[out_rows]                   # (k+1, d)

@@ -11,6 +11,23 @@ average produces the published embeddings.
 Learner selection covers every trainer the paper measures: ``sgns``
 (original word2vec), ``pword2vec`` [22], ``psgnscc`` [45] and ``dsgl``
 (DistGER's own, §4.2).
+
+Backends and RNG protocols
+--------------------------
+``TrainConfig.backend`` selects how each machine executes its slice
+(mirroring :class:`repro.walks.engine.WalkConfig`): ``"vectorized"`` runs
+the batched learners of :mod:`repro.embedding.vectorized`, ``"loop"`` the
+per-window reference learners, and ``"auto"`` (default) picks vectorized
+wherever semantics match (everything except ``psgnscc``).  Under
+``TrainConfig.rng_protocol="shared"`` (the default via ``"auto"``) each
+machine's negative samples come from a counter-based stream derived from
+``(train seed, machine)``, so the two backends consume identical
+randomness and produce bit-identical embeddings --
+``tests/test_embedding_vectorized_parity.py`` is the reference-parity
+suite.  ``"cluster"`` keeps the legacy per-machine generator draws for
+backward-compatible seeds (loop backend only).  Per-superstep compute and
+sync-message accounting is charged identically for every backend, so the
+simulated cluster metrics stay comparable across them.
 """
 
 from __future__ import annotations
@@ -28,9 +45,16 @@ from repro.embedding.psgnscc import PSGNSccLearner
 from repro.embedding.schedules import make_schedule
 from repro.embedding.sgns import BaseLearner, Pword2vecLearner, SGNSLearner
 from repro.embedding.sync import make_sync
+from repro.embedding.vectorized import VECTORIZED_LEARNERS
 from repro.embedding.vocab import Vocabulary
 from repro.runtime.cluster import Cluster
-from repro.utils.rng import spawn_rngs
+from repro.utils.rng import (
+    CounterStream,
+    derive_seed,
+    spawn_rngs,
+    walker_seed_root,
+    walker_stream_keys,
+)
 from repro.walks.corpus import Corpus
 
 LEARNERS: Dict[str, Type[BaseLearner]] = {
@@ -39,6 +63,9 @@ LEARNERS: Dict[str, Type[BaseLearner]] = {
     "psgnscc": PSGNSccLearner,
     "dsgl": DSGLLearner,
 }
+
+#: Salt separating the negative-stream root from the walk-stream root.
+_NEGATIVE_STREAM_SALT = 3
 
 
 @dataclass
@@ -78,6 +105,10 @@ class DistributedTrainer:
         self.cluster = cluster
         self.config = config or TrainConfig()
         self.learner_name = learner
+        #: Backend / RNG protocol actually used (resolved from config;
+        #: raises here for invalid combinations, e.g. vectorized psgnscc).
+        self.backend = self.config.resolved_backend(learner)
+        self.rng_protocol = self.config.resolved_rng_protocol()
         self.walk_machines = (
             list(walk_machines) if walk_machines is not None else None
         )
@@ -149,9 +180,23 @@ class DistributedTrainer:
                     for i in range(m)]
         rngs = spawn_rngs(cfg.seed, m + 1)
         sync_rng = rngs[-1]
-        learner_cls = LEARNERS[self.learner_name]
+        if self.rng_protocol == "shared":
+            # Counter-based per-machine negative streams: draws become a
+            # pure function of (train seed, machine, draw index), so the
+            # loop and vectorized backends consume identical negatives.
+            root = walker_seed_root(derive_seed(cfg.seed,
+                                                _NEGATIVE_STREAM_SALT))
+            keys = walker_stream_keys(root, np.arange(m, dtype=np.int64))
+            neg_streams = [CounterStream(int(key)) for key in keys]
+        else:
+            neg_streams = [None] * m
+        learner_registry = (VECTORIZED_LEARNERS if self.backend == "vectorized"
+                            else LEARNERS)
+        learner_cls = learner_registry[self.learner_name]
         learners = [
-            learner_cls(replicas[i], sampler, cfg, rngs[i]) for i in range(m)
+            learner_cls(replicas[i], sampler, cfg, rngs[i],
+                        neg_stream=neg_streams[i])
+            for i in range(m)
         ]
         sync = make_sync(cfg.sync_mode)
         sync.start(replicas)

@@ -1,0 +1,601 @@
+"""Batched Skip-Gram learners: the trainer's ``vectorized`` backend.
+
+The loop learners in :mod:`repro.embedding.sgns` / :mod:`~.dsgl` spend most
+of their time *around* the update math: ``iter_windows`` concatenates two
+walk slices per window, every window re-runs ``searchsorted`` over the
+lifetime buffers, negatives are drawn a handful at a time, and DSGL's
+lock-step batching advances Python generators.  The learners here hoist all
+of that bookkeeping out of the inner loop -- window layouts, buffer
+indices, label coordinates and the whole negative pool are precomputed as
+flat NumPy arrays per walk (SGNS/Pword2vec) or per lifetime chunk (DSGL) --
+while the update math itself is kept operation-for-operation identical.
+
+That identity is the backend contract (the trainer analogue of the walk
+engine's loop/vectorized parity): under the ``shared`` RNG protocol both
+backends feed the same counter-based negative streams through
+:meth:`repro.embedding.negative.NegativeSampler.sample_rows_stream`, and
+every gather, matmul, ``sigmoid`` and scatter runs on bit-identical
+operands in the same order, so the final embeddings agree to the last bit
+-- ``tests/test_embedding_vectorized_parity.py`` pins this down at
+``atol=1e-10`` (far below float32 resolution).
+
+SGD is order-sensitive, so SGNS stays a per-pair update (its level-1
+structure is the baseline being measured) and Pword2vec a per-window
+update: their speedup is pure bookkeeping elimination.
+
+DSGL goes further.  In the real system (§4.2, Fig. 4) the lifetimes --
+``multi_windows``-walk chunks with private local buffers -- are processed
+by *parallel threads* whose lock-free updates race on the global matrices;
+the sequential chunk loop of :class:`repro.embedding.dsgl.DSGLLearner`'s
+legacy path is only a deterministic serialisation of that.  Under the
+shared protocol both backends instead execute the paper's concurrency
+model deterministically: ``TrainConfig.dsgl_threads`` lifetimes form a
+*cohort* (the simulated thread pool), every lifetime of a cohort gathers
+its buffers from the cohort-start matrices, lifetimes are mutually
+independent while they run (their batches stay strictly sequential
+*within* each lifetime -- Improvement-II is untouched), and at cohort end
+each row receives the **sum of the per-lifetime deltas** (the same
+delta-sum rule :mod:`repro.embedding.sync` applies across machines, here
+applied across threads); cohorts are sequential, bounding staleness the
+way a bounded thread count does on real hardware.  Independence is what
+the vectorized backend exploits: all lifetimes of a cohort advance in
+lock-step, so one step processes every lifetime's current multi-window
+batch as a single stacked ``(chunks, ctx, dim) @ (chunks, dim, outs)``
+matrix multiplication.  The loop backend executes the *same* plans one
+lifetime at a time through the same step kernel, which keeps the two
+backends bit-identical while leaving the per-lifetime reference honestly
+sequential.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple, Type
+
+import numpy as np
+
+from repro.embedding.model import sigmoid
+from repro.embedding.sgns import BaseLearner
+
+__all__ = [
+    "VECTORIZED_LEARNERS",
+    "VectorizedDSGLLearner",
+    "VectorizedPword2vecLearner",
+    "VectorizedSGNSLearner",
+    "window_context_layout",
+]
+
+
+def window_context_layout(length: int, window: int) -> Tuple[np.ndarray, np.ndarray]:
+    """Flat context layout of every window of a length-``length`` walk.
+
+    Returns ``(positions, sizes)``: ``sizes[t]`` is the context size of the
+    window at position ``t`` and ``positions`` indexes into the walk,
+    concatenating every window's contexts in walk order -- left neighbours
+    then right, exactly the order ``iter_windows`` materialises them in.
+    """
+    t = np.arange(length, dtype=np.int64)
+    lo = np.maximum(0, t - window)
+    hi = np.minimum(length, t + window + 1)
+    left = t - lo
+    right = hi - t - 1
+    # Two segments per window (left of the target, right of the target).
+    starts = np.empty(2 * length, dtype=np.int64)
+    lengths = np.empty(2 * length, dtype=np.int64)
+    starts[0::2] = lo
+    lengths[0::2] = left
+    starts[1::2] = t + 1
+    lengths[1::2] = right
+    total = int(lengths.sum())
+    offsets = np.zeros(2 * length, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=offsets[1:])
+    positions = (np.arange(total, dtype=np.int64)
+                 - np.repeat(offsets, lengths) + np.repeat(starts, lengths))
+    return positions, left + right
+
+
+class VectorizedSGNSLearner(BaseLearner):
+    """Per-pair SGNS with precomputed windows and pooled negative draws."""
+
+    name = "sgns"
+
+    def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        k = self.config.negatives
+        tokens = 0
+        out_rows = np.empty(k + 1, dtype=np.int64)
+        for walk in walks:
+            tokens += int(walk.size)
+            if walk.size <= 1:
+                continue
+            rows = self._rows(walk)
+            positions, sizes = window_context_layout(rows.size, self.config.window)
+            pair_ctx = rows[positions]                    # (P,) pair order
+            pair_tgt = np.repeat(rows, sizes)             # (P,)
+            # One pooled draw; under the shared protocol the p-th pair's
+            # negatives equal the loop backend's p-th per-pair draw.
+            negs = self._negatives(k * pair_ctx.size).reshape(-1, k)
+            for p in range(pair_ctx.size):
+                c_row = pair_ctx[p]
+                out_rows[0] = pair_tgt[p]
+                out_rows[1:] = negs[p]
+                x = phi_in[c_row]
+                outs = phi_out[out_rows]
+                scores = sigmoid(outs @ x)
+                grad = np.zeros(k + 1, dtype=np.float32)
+                grad[0] = 1.0
+                grad -= scores
+                grad *= lr
+                phi_in[c_row] = x + grad @ outs
+                phi_out[out_rows] = outs + np.outer(grad, x)
+        return tokens
+
+
+class VectorizedPword2vecLearner(BaseLearner):
+    """Per-window Pword2vec with precomputed windows and pooled negatives."""
+
+    name = "pword2vec"
+
+    def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        k = self.config.negatives
+        tokens = 0
+        out_rows = np.empty(k + 1, dtype=np.int64)
+        for walk in walks:
+            tokens += int(walk.size)
+            if walk.size <= 1:
+                continue
+            rows = self._rows(walk)
+            positions, sizes = window_context_layout(rows.size, self.config.window)
+            ctx_flat = rows[positions]
+            offs = np.zeros(rows.size + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offs[1:])
+            negs = self._negatives(k * rows.size).reshape(-1, k)
+            for t in range(rows.size):
+                contexts = ctx_flat[offs[t]:offs[t + 1]]
+                out_rows[0] = rows[t]
+                out_rows[1:] = negs[t]
+                ctx = phi_in[contexts]                     # (m, d)
+                outs = phi_out[out_rows]                   # (k+1, d)
+                scores = sigmoid(ctx @ outs.T)             # (m, k+1)
+                labels = np.zeros_like(scores)
+                labels[:, 0] = 1.0
+                grad = (labels - scores) * lr              # (m, k+1)
+                phi_in[contexts] = ctx + grad @ outs
+                phi_out[out_rows] = outs + grad.T @ ctx
+        return tokens
+
+
+# --------------------------------------------------------------------- #
+# DSGL: concurrent-lifetime slice plan shared by both backends
+# --------------------------------------------------------------------- #
+
+
+class DSGLSlicePlan:
+    """Precomputed schedule of one training slice's DSGL lifetimes.
+
+    Built once per ``train_walks`` call (the deterministic stand-in for one
+    sync period's worth of parallel thread work, §4.2/Fig. 4).  The plan
+    owns everything both executors need:
+
+    * per-lifetime local-buffer row sets, negative pools and lock-step
+      batch schedules (batches within a lifetime stay strictly
+      sequential);
+    * rectangular gather/scatter index tensors ``cidx``/``oidx`` of shape
+      ``(steps, lifetimes, Mmax)`` / ``(steps, lifetimes, Bmax)``, padded
+      with a scratch row that is kept at zero by the gradient masks;
+    * label coordinates grouped by ``(step, lifetime)`` and validity
+      masks, so a step's labels/gradients are pure slicing.
+
+    Lifetimes are ordered by descending step count so the lock-step
+    executor's active set is always a prefix; negative pools are drawn and
+    deltas merged (:func:`merge_deltas`) in *original* lifetime order,
+    keeping the stream consumption and the writeback arithmetic
+    backend-independent.  Step tensors are padded to the *structural*
+    maxima ``(multi_windows·2·window, multi_windows+negatives)``, so a
+    plan covering a single lifetime runs the exact same matrix shapes as
+    a whole-slice plan -- the loop reference exploits this by planning one
+    lifetime at a time and still matching the lock-step executor bit for
+    bit.
+    """
+
+    __slots__ = (
+        "tokens", "num_chunks", "num_steps", "m_max", "b_max",
+        "ctx_size", "out_size", "ctx_gather", "out_gather",
+        "cidx", "oidx", "row_mask", "col_mask",
+        "label_flat", "label_offsets", "active_counts", "steps_per_chunk",
+        "_buffers",
+    )
+
+    # ------------------------------------------------------------------ #
+
+    def gather(self, phi_in: np.ndarray, phi_out: np.ndarray):
+        """Slice-start local buffers of every lifetime, plus a zero scratch
+        row at the end (index ``ctx_size``/``out_size``)."""
+        d = phi_in.shape[1]
+        ctx_mega = np.empty((self.ctx_size + 1, d), dtype=phi_in.dtype)
+        ctx_mega[:-1] = phi_in[self.ctx_gather]
+        ctx_mega[-1] = 0.0
+        out_mega = np.empty((self.out_size + 1, d), dtype=phi_out.dtype)
+        out_mega[:-1] = phi_out[self.out_gather]
+        out_mega[-1] = 0.0
+        # Reusable step workspaces, sized for the widest step: the step
+        # kernel writes into views of these instead of allocating.
+        c_top = int(self.active_counts[0])
+        self._buffers = (
+            np.empty((c_top, self.m_max, d), dtype=phi_in.dtype),
+            np.empty((c_top, self.b_max, d), dtype=phi_out.dtype),
+            np.empty((c_top, self.m_max, self.b_max), dtype=phi_in.dtype),
+            np.empty((c_top, self.m_max, self.b_max), dtype=phi_in.dtype),
+            np.empty((c_top, self.m_max, d), dtype=phi_in.dtype),
+            np.empty((c_top, self.b_max, d), dtype=phi_out.dtype),
+        )
+        return ctx_mega, ctx_mega.copy(), out_mega, out_mega.copy()
+
+    def run_step(self, t: int, c: int,
+                 ctx_mega: np.ndarray, out_mega: np.ndarray,
+                 lr: float) -> None:
+        """One lock-step batch update for the first ``c`` lifetime slots.
+
+        The shared step kernel: the loop backend calls it on one-lifetime
+        plans (``c=1``), the vectorized backend with the whole active
+        prefix.  Per-slice matmul results are identical either way (the
+        stacked form loops the same GEMM over slices), which is what makes
+        the two executors bit-equal.
+        """
+        buf_ctx, buf_out, buf_sc, buf_gr, buf_cd, buf_od = self._buffers
+        cidx = self.cidx[t, :c]                          # (C, Mmax)
+        oidx = self.oidx[t, :c]                          # (C, Bmax)
+        ctx_vecs = buf_ctx[:c]                           # (C, Mmax, d)
+        np.take(ctx_mega, cidx, axis=0, out=ctx_vecs)
+        out_vecs = buf_out[:c]                           # (C, Bmax, d)
+        np.take(out_mega, oidx, axis=0, out=out_vecs)
+        # In-place sigmoid (same elementwise ops as model.sigmoid).
+        scores = buf_sc[:c]                              # (C, Mmax, Bmax)
+        np.matmul(ctx_vecs, out_vecs.transpose(0, 2, 1), out=scores)
+        np.clip(scores, -6.0, 6.0, out=scores)
+        np.negative(scores, out=scores)
+        np.exp(scores, out=scores)
+        scores += 1.0
+        np.divide(1.0, scores, out=scores)
+        grad = buf_gr[:c]                                # (C, Mmax, Bmax)
+        grad[...] = 0.0
+        positions = self.label_flat[self.label_offsets[t, 0]:
+                                    self.label_offsets[t, c]]
+        grad.reshape(-1)[positions] = 1.0
+        np.subtract(grad, scores, out=grad)              # labels - scores
+        grad *= lr
+        # Zero the padding lanes so scratch-row garbage never leaks into a
+        # valid row (and the scratch row itself stays zero: its updates
+        # reduce to scratch + 0).  Valid lanes multiply by 1.0 -- exact.
+        grad *= self.row_mask[t, :c, :, None]
+        grad *= self.col_mask[t, :c, None, :]
+        ctx_delta = buf_cd[:c]
+        np.matmul(grad, out_vecs, out=ctx_delta)
+        out_delta = buf_od[:c]
+        np.matmul(grad.transpose(0, 2, 1), ctx_vecs, out=out_delta)
+        ctx_vecs += ctx_delta
+        out_vecs += out_delta
+        ctx_mega[cidx] = ctx_vecs
+        out_mega[oidx] = out_vecs
+
+    def apply_writeback(self, phi_in: np.ndarray, phi_out: np.ndarray,
+                        ctx_mega: np.ndarray, ctx_start: np.ndarray,
+                        out_mega: np.ndarray, out_start: np.ndarray) -> None:
+        """Delta-sum every lifetime's buffer back into the global matrices."""
+        ctx_mega -= ctx_start        # buffers are dead after the writeback
+        out_mega -= out_start
+        merge_deltas(phi_in, self.ctx_gather, ctx_mega[:-1])
+        merge_deltas(phi_out, self.out_gather, out_mega[:-1])
+
+
+def merge_deltas(phi: np.ndarray, rows: np.ndarray,
+                 deltas: np.ndarray) -> None:
+    """``phi[row] += Σ_lifetimes delta`` for concatenated lifetime deltas.
+
+    ``rows``/``deltas`` concatenate every lifetime's buffer rows in
+    original lifetime order; per-row deltas are summed in that order
+    (``reduceat`` over the row-sorted layout) -- the thread-level analogue
+    of the cross-machine delta reconciliation in
+    :mod:`repro.embedding.sync`.  Shared by both executors, which makes
+    the reconciliation arithmetic backend-independent.
+    """
+    if not rows.size:
+        return
+    order = np.argsort(rows, kind="stable")
+    rows_sorted = rows[order]
+    new = np.empty(rows.size, dtype=bool)
+    new[0] = True
+    np.not_equal(rows_sorted[1:], rows_sorted[:-1], out=new[1:])
+    starts = np.flatnonzero(new)
+    deltas = deltas[order]
+    sizes = np.empty(starts.size, dtype=np.int64)
+    sizes[:-1] = starts[1:] - starts[:-1]
+    sizes[-1] = deltas.shape[0] - starts[-1]
+    merged = np.empty((starts.size, deltas.shape[1]), dtype=deltas.dtype)
+    single = sizes == 1
+    # Rows touched by one lifetime (the common case) copy straight
+    # through; only contested rows pay the segmented reduction.
+    merged[single] = deltas[starts[single]]
+    multi = np.flatnonzero(~single)
+    if multi.size:
+        seg_starts = starts[multi]
+        seg_sizes = sizes[multi]
+        excl = np.zeros(multi.size, dtype=np.int64)
+        np.cumsum(seg_sizes[:-1], out=excl[1:])
+        gather = (np.arange(int(seg_sizes.sum()), dtype=np.int64)
+                  - np.repeat(excl, seg_sizes)
+                  + np.repeat(seg_starts, seg_sizes))
+        merged[multi] = np.add.reduceat(deltas[gather], excl, axis=0)
+    phi[rows_sorted[starts]] += merged
+
+
+def _chunk_ranks(values: np.ndarray, segment_of: np.ndarray,
+                 num_segments: int):
+    """Per-segment sorted-unique values and each element's global slot.
+
+    One ``lexsort`` over the whole slice replaces a per-chunk
+    ``np.unique`` + ``searchsorted`` pair: ``uniques`` concatenates every
+    segment's sorted unique values (the lifetime buffer layout) and
+    ``slots[i]`` is element ``i``'s row in that concatenation.
+    """
+    order = np.lexsort((values, segment_of))
+    sv = values[order]
+    sc = segment_of[order]
+    new = np.empty(values.size, dtype=bool)
+    new[0] = True
+    new[1:] = (sv[1:] != sv[:-1]) | (sc[1:] != sc[:-1])
+    gid = np.cumsum(new) - 1
+    slots = np.empty(values.size, dtype=np.int64)
+    slots[order] = gid
+    return sv[new], np.bincount(sc[new], minlength=num_segments), slots
+
+
+def plan_dsgl_slice(learner: BaseLearner,
+                    walks: Sequence[np.ndarray]) -> Tuple[int, "DSGLSlicePlan"]:
+    """Build the concurrent-lifetime plan for one cohort of walks.
+
+    Negative pools are drawn from ``learner``'s stream in original chunk
+    order, so loop and vectorized backends consume identical randomness.
+    Construction is itself vectorized over the whole cohort -- window
+    grids, buffer slots, batch offsets and label coordinates are all
+    slice-global array computations; no per-chunk schedule objects exist.
+    Returns ``(tokens, plan)``; ``plan`` is ``None`` when the cohort holds
+    no trainable window.
+    """
+    cfg = learner.config
+    k, group, window = cfg.negatives, cfg.multi_windows, cfg.window
+    layout_cache = learner.__dict__.setdefault("_window_layout_cache", {})
+
+    # Row-map walks, split into lifetime chunks, index eligible walks.
+    chunks: List[List[np.ndarray]] = []
+    chunk_tokens: List[int] = []
+    tokens = 0
+    for start in range(0, len(walks), group):
+        chunk = [learner._rows(w) for w in walks[start:start + group]]
+        n_tokens = int(sum(w.size for w in chunk))
+        if n_tokens == 0:
+            continue
+        tokens += n_tokens
+        chunks.append(chunk)
+        chunk_tokens.append(n_tokens)
+    if not chunks:
+        return tokens, None
+    # One pooled negative draw (counter-based draws are invariant to
+    # batching, so the per-chunk split equals per-chunk draws).
+    pool_all = learner._negatives(k * tokens)
+    chunk_sizes = np.asarray(chunk_tokens, dtype=np.int64)
+    n_chunks = len(chunks)
+    toff = np.zeros(n_chunks + 1, dtype=np.int64)
+    np.cumsum(chunk_sizes, out=toff[1:])
+    poff = np.zeros(n_chunks + 1, dtype=np.int64)
+    np.cumsum(chunk_sizes * k, out=poff[1:])
+
+    # Slice-global buffer layout: one lexsort pass assigns every token (and
+    # pool entry) its slot in the concatenation of per-lifetime sorted
+    # unique row sets -- replacing a per-chunk unique+searchsorted pair.
+    tok = np.concatenate([rows for chunk in chunks for rows in chunk])
+    tok_chunk = np.repeat(np.arange(n_chunks), chunk_sizes)
+    ctx_gather, _ctx_counts, ctx_slots = _chunk_ranks(tok, tok_chunk,
+                                                      n_chunks)
+    ext = np.concatenate([tok, pool_all])
+    ext_chunk = np.concatenate(
+        [tok_chunk, np.repeat(np.arange(n_chunks), chunk_sizes * k)])
+    out_gather, _out_counts, ext_slots = _chunk_ranks(ext, ext_chunk,
+                                                      n_chunks)
+    tgt_slots = ext_slots[:tok.size]
+    neg_slots = ext_slots[tok.size:]
+
+    # Eligible walks (>= 2 tokens), in (chunk, within-chunk) order.
+    wl_len: List[int] = []         # walk length
+    wl_chunk: List[int] = []       # owning lifetime
+    wl_base: List[int] = []        # first token's global index
+    wl_layout: List[Tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+    for ci, chunk in enumerate(chunks):
+        base = int(toff[ci])
+        for rows in chunk:
+            if rows.size > 1:
+                layout = layout_cache.get(rows.size)
+                if layout is None:
+                    positions, sizes = window_context_layout(rows.size,
+                                                             window)
+                    offs = np.zeros(rows.size, dtype=np.int64)
+                    np.cumsum(sizes[:-1], out=offs[1:])
+                    layout = (positions, sizes, offs)
+                    layout_cache[rows.size] = layout
+                wl_len.append(rows.size)
+                wl_chunk.append(ci)
+                wl_base.append(base)
+                wl_layout.append(layout)
+            base += rows.size
+    if not wl_len:
+        return tokens, None
+    n_walks = len(wl_len)
+    wl_len_arr = np.asarray(wl_len, dtype=np.int64)
+    wl_chunk_arr = np.asarray(wl_chunk, dtype=np.int64)
+    wl_base_arr = np.asarray(wl_base, dtype=np.int64)
+
+    plan = DSGLSlicePlan()
+    plan.tokens = tokens
+    plan.ctx_gather = ctx_gather
+    plan.out_gather = out_gather
+    plan.ctx_size = int(ctx_gather.size)
+    plan.out_size = int(out_gather.size)
+
+    # Execution order: descending step count, so the lock-step executor's
+    # active lifetimes are always the prefix [0, active_counts[t]).
+    chunk_steps = np.zeros(n_chunks, dtype=np.int64)
+    np.maximum.at(chunk_steps, wl_chunk_arr, wl_len_arr)
+    exec_order = np.argsort(-chunk_steps, kind="stable")
+    cpos_of_chunk = np.empty(n_chunks, dtype=np.int64)
+    cpos_of_chunk[exec_order] = np.arange(n_chunks)
+    steps_sorted = chunk_steps[exec_order]
+    num_steps = int(steps_sorted[0])
+    plan.num_chunks = n_chunks
+    plan.num_steps = num_steps
+    plan.steps_per_chunk = steps_sorted
+    plan.active_counts = (steps_sorted[None, :]
+                          > np.arange(num_steps)[:, None]).sum(axis=1)
+    m_max = group * 2 * window
+    b_max = group + k
+    plan.m_max, plan.b_max = m_max, b_max
+
+    # Window grids: one column per eligible walk (chunk-major), one row
+    # per lock-step batch.  Grouped cumsums along the walk axis give each
+    # window its within-batch row offset and label column.
+    wl_cpos = cpos_of_chunk[wl_chunk_arr]
+    t_rows = np.arange(num_steps, dtype=np.int64)[:, None]
+    valid = t_rows < wl_len_arr[None, :]                   # (T, W)
+    size_grid = np.zeros((num_steps, n_walks), dtype=np.int64)
+    for j in range(n_walks):
+        size_grid[:wl_len[j], j] = wl_layout[j][1]
+    first_col = np.full(n_chunks, n_walks, dtype=np.int64)
+    np.minimum.at(first_col, wl_chunk_arr,
+                  np.arange(n_walks, dtype=np.int64))
+    padded = np.zeros((num_steps, n_walks + 1), dtype=np.int64)
+    np.cumsum(size_grid, axis=1, out=padded[:, 1:])
+    woff_grid = padded[:, :-1] - padded[:, first_col[wl_chunk_arr]]
+    padded_v = np.zeros((num_steps, n_walks + 1), dtype=np.int64)
+    np.cumsum(valid, axis=1, out=padded_v[:, 1:])
+    ord_grid = padded_v[:, :-1] - padded_v[:, first_col[wl_chunk_arr]]
+
+    # Per-window flat arrays in walk-major order.
+    vm = valid.T.ravel()                                    # walk-major
+    win_t = np.tile(np.arange(num_steps, dtype=np.int64), n_walks)[vm]
+    win_walk = np.repeat(np.arange(n_walks, dtype=np.int64), num_steps)[vm]
+    win_size = size_grid.T.ravel()[vm]
+    win_woff = woff_grid.T.ravel()[vm]
+    win_ord = ord_grid.T.ravel()[vm]
+    win_cpos = wl_cpos[win_walk]
+
+    # Gather/scatter index tensors, padded with the scratch row.
+    cidx = np.full((num_steps, n_chunks, m_max), plan.ctx_size,
+                   dtype=np.int64)
+    oidx = np.full((num_steps, n_chunks, b_max), plan.out_size,
+                   dtype=np.int64)
+
+    # Context elements: every window's contexts, walk-major; the element's
+    # global buffer slot comes straight from the token ranks.
+    elem_positions = np.concatenate(
+        [wl_layout[j][0] + wl_base[j] for j in range(n_walks)])
+    ctx_elems = ctx_slots[elem_positions]
+    elem_t = np.repeat(win_t, win_size)
+    elem_cpos = np.repeat(win_cpos, win_size)
+    excl = np.zeros(win_size.size, dtype=np.int64)
+    np.cumsum(win_size[:-1], out=excl[1:])
+    elem_row = (np.repeat(win_woff, win_size)
+                + np.arange(int(ctx_elems.size), dtype=np.int64)
+                - np.repeat(excl, win_size))
+    cidx.reshape(-1)[(elem_t * n_chunks + elem_cpos) * m_max + elem_row] = \
+        ctx_elems
+
+    # Output rows: each batch's targets (walk order) then its k negatives.
+    win_tgt = tgt_slots[wl_base_arr[win_walk] + win_t]
+    oidx.reshape(-1)[(win_t * n_chunks + win_cpos) * b_max + win_ord] = \
+        win_tgt
+    wins_grid = np.zeros((num_steps, n_chunks), dtype=np.int64)
+    np.add.at(wins_grid, (win_t, win_cpos), 1)
+    pair_c = np.repeat(np.arange(n_chunks, dtype=np.int64), chunk_steps)
+    steps_excl = np.zeros(n_chunks, dtype=np.int64)
+    np.cumsum(chunk_steps[:-1], out=steps_excl[1:])
+    pair_t = (np.arange(int(chunk_steps.sum()), dtype=np.int64)
+              - np.repeat(steps_excl, chunk_steps))
+    neg_src = (np.repeat(poff[pair_c] + pair_t * k, k)
+               + np.tile(np.arange(k, dtype=np.int64), pair_t.size))
+    pair_cpos = cpos_of_chunk[pair_c]
+    neg_dest = (np.repeat((pair_t * n_chunks + pair_cpos) * b_max
+                          + wins_grid[pair_t, pair_cpos], k)
+                + np.tile(np.arange(k, dtype=np.int64), pair_t.size))
+    oidx.reshape(-1)[neg_dest] = neg_slots[neg_src]
+    plan.cidx, plan.oidx = cidx, oidx
+
+    # Validity masks (padding lanes multiply gradients by zero).
+    m_counts = np.zeros((num_steps, n_chunks), dtype=np.int64)
+    np.add.at(m_counts, (win_t, win_cpos), win_size)
+    o_counts = wins_grid + np.where(
+        np.arange(num_steps)[:, None] < chunk_steps[exec_order][None, :],
+        k, 0)
+    plan.row_mask = (np.arange(m_max)[None, None, :]
+                     < m_counts[:, :, None]).astype(np.float32)
+    plan.col_mask = (np.arange(b_max)[None, None, :]
+                     < o_counts[:, :, None]).astype(np.float32)
+
+    # Label positions grouped by (step, lifetime slot): within a group the
+    # elements keep their batch row order, so a direct scatter places them.
+    lab_vals = (elem_cpos * m_max + elem_row) * b_max \
+        + np.repeat(win_ord, win_size)
+    off_flat = np.zeros(num_steps * n_chunks + 1, dtype=np.int64)
+    np.cumsum(m_counts.reshape(-1), out=off_flat[1:])
+    label_flat = np.empty(lab_vals.size, dtype=np.int64)
+    label_flat[off_flat[elem_t * n_chunks + elem_cpos] + elem_row] = lab_vals
+    plan.label_flat = label_flat
+    plan.label_offsets = off_flat[
+        np.arange(num_steps)[:, None] * n_chunks
+        + np.arange(n_chunks + 1)[None, :]]
+    return tokens, plan
+
+
+class VectorizedDSGLLearner(BaseLearner):
+    """Lock-step DSGL: all lifetimes of a slice advance together.
+
+    Executes the :class:`DSGLSlicePlan` breadth-first -- step ``t``
+    processes the ``t``-th multi-window batch of every still-active
+    lifetime as one stacked matrix multiplication -- which amortises the
+    per-batch dispatch cost over every concurrent lifetime, exactly like
+    the walk engine's lock-step supersteps.  Bit-identical to the loop
+    backend's depth-first execution of the same plan (lifetimes are
+    independent until the shared delta-merge writeback).
+    """
+
+    name = "dsgl"
+
+    def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        tokens = 0
+        for start in range(0, len(walks), self._cohort_walks()):
+            cohort_tokens, plan = plan_dsgl_slice(
+                self, walks[start:start + self._cohort_walks()])
+            tokens += cohort_tokens
+            if plan is None:
+                continue
+            ctx_mega, ctx_start, out_mega, out_start = plan.gather(phi_in,
+                                                                   phi_out)
+            for t in range(plan.num_steps):
+                plan.run_step(t, int(plan.active_counts[t]),
+                              ctx_mega, out_mega, lr)
+            plan.apply_writeback(phi_in, phi_out, ctx_mega, ctx_start,
+                                 out_mega, out_start)
+        return tokens
+
+    def _cohort_walks(self) -> int:
+        """Walks per thread cohort (``dsgl_threads`` lifetimes)."""
+        return self.config.dsgl_threads * self.config.multi_windows
+
+
+#: Batched counterpart of :data:`repro.embedding.trainer.LEARNERS`.
+#: ``psgnscc`` is deliberately absent -- see
+#: :data:`repro.embedding.model.LOOP_ONLY_LEARNERS`.
+VECTORIZED_LEARNERS: Dict[str, Type[BaseLearner]] = {
+    "sgns": VectorizedSGNSLearner,
+    "pword2vec": VectorizedPword2vecLearner,
+    "dsgl": VectorizedDSGLLearner,
+}

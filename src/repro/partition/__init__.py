@@ -8,7 +8,7 @@ partition quality metrics.
 """
 
 from repro.partition.balance import WorkloadBalancePartitioner
-from repro.partition.base import Partitioner, PartitionResult
+from repro.partition.base import PartitionConfig, Partitioner, PartitionResult
 from repro.partition.fennel import FennelPartitioner
 from repro.partition.galloping import (
     galloping_intersect,
@@ -51,6 +51,7 @@ __all__ = [
     "MPGPPartitioner",
     "MetisLikePartitioner",
     "ParallelMPGPPartitioner",
+    "PartitionConfig",
     "PartitionQuality",
     "PartitionResult",
     "Partitioner",

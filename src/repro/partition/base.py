@@ -16,6 +16,51 @@ from typing import Dict
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.utils.rng import SeedLike
+from repro.utils.validation import check_positive
+
+
+def resolve_backend(backend: str) -> str:
+    """Validate a partitioner backend name; resolve ``"auto"``.
+
+    Shared by :class:`PartitionConfig` and the MPGP partitioners so the
+    accepted names live in one place.  ``"auto"`` resolves to
+    ``"vectorized"`` (the backends are assignment-identical, so auto can
+    always take the fast path).
+    """
+    if backend not in ("auto", "vectorized", "loop"):
+        raise ValueError(f"unknown backend {backend!r}")
+    return "vectorized" if backend == "auto" else backend
+
+
+@dataclass
+class PartitionConfig:
+    """Knobs of the MPGP partitioners, mirroring ``WalkConfig``.
+
+    ``backend`` selects how per-node scores are computed: ``"vectorized"``
+    precomputes the per-arc common-neighbour table (the same pass behind
+    ``HuGEKernel.arc_acceptance_table``) so each streamed node's
+    second-order proximity is a pure array gather; ``"loop"`` is the
+    per-neighbour galloping reference; ``"auto"`` (default) picks
+    vectorized.  Both backends produce **byte-identical assignments** --
+    ``tests/test_partition_mpgp_parity.py`` is the parity suite.
+    """
+
+    gamma: float = 2.0
+    order: str = "dfs+degree"
+    num_segments: int = 4          # parallel variant only
+    #: "auto" | "vectorized" | "loop" -- see the class docstring.
+    backend: str = "auto"
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        check_positive("gamma", self.gamma)
+        check_positive("num_segments", self.num_segments)
+        resolve_backend(self.backend)
+
+    def resolved_backend(self) -> str:
+        """The backend ``"auto"`` resolves to (``"vectorized"``)."""
+        return resolve_backend(self.backend)
 
 
 @dataclass

@@ -28,6 +28,23 @@ Optimisations from the paper, all implemented here:
 4. a parallel variant (:class:`ParallelMPGPPartitioner`) splits the stream
    into segments partitioned independently and merged, defaulting to
    **BFS+degree** as the paper recommends.
+
+Backends
+--------
+``PartitionConfig.backend`` (also a constructor kwarg) selects how PF2 is
+computed, mirroring the walk engine's backend knob:
+
+* ``"vectorized"`` -- the per-arc common-neighbour table is precomputed by
+  :func:`repro.walks.kernels.common_neighbor_counts_per_arc`, the exact
+  pass ``HuGEKernel.arc_acceptance_table`` is built from (the ROADMAP's
+  suggested sharing: MPGP's second-order proximity *is* the quantity
+  HuGE's transition probability rewards).  Each streamed node then scores
+  all partitions with pure array ops -- no per-neighbour Python loop.
+* ``"loop"`` -- the on-demand galloping reference below.
+
+Both backends place every node identically (the score arithmetic is the
+same float64 operations in the same order), so assignments are
+byte-identical; only the wall time differs.
 """
 
 from __future__ import annotations
@@ -38,11 +55,25 @@ from typing import List, Optional
 import numpy as np
 
 from repro.graph.csr import CSRGraph
-from repro.partition.base import Partitioner
+from repro.partition.base import (
+    PartitionConfig,
+    Partitioner,
+    resolve_backend,
+)
 from repro.partition.galloping import galloping_intersect_size
 from repro.partition.streaming_orders import get_order
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive
+
+
+def _arc_common_neighbors(graph: CSRGraph) -> np.ndarray:
+    """Per-arc ``|N(u) ∩ N(v)|`` table (vectorized backend precompute)."""
+    # Imported lazily: walks.kernels itself imports partition.galloping,
+    # and a module-level import here would close that cycle during
+    # package initialisation.
+    from repro.walks.kernels import common_neighbor_counts_per_arc
+
+    return common_neighbor_counts_per_arc(graph)
 
 
 def _mpgp_stream(
@@ -52,11 +83,16 @@ def _mpgp_stream(
     gamma: float,
     part_of: Optional[np.ndarray] = None,
     sizes: Optional[np.ndarray] = None,
+    arc_cm: Optional[np.ndarray] = None,
 ) -> np.ndarray:
     """Core streaming loop shared by sequential and parallel MPGP.
 
     ``part_of``/``sizes`` allow a caller to continue from a partial
-    assignment (used when merging parallel segments).
+    assignment (used when merging parallel segments).  ``arc_cm`` is the
+    precomputed per-arc common-neighbour table (vectorized backend); when
+    ``None`` counts are galloped on demand (loop backend).  The float64
+    accumulation order is identical either way, so both backends place
+    every node on the same partition.
     """
     n = graph.num_nodes
     if part_of is None:
@@ -65,6 +101,7 @@ def _mpgp_stream(
         sizes = np.zeros(num_parts, dtype=np.int64)
     member_of_part = part_of  # alias for readability
     weighted = graph.is_weighted
+    indptr = graph.indptr
 
     for v in stream:
         v = int(v)
@@ -83,12 +120,23 @@ def _mpgp_stream(
             else:
                 np.add.at(pf1, parts, 1.0)
             # Second-order proximity, restricted to partitioned neighbours
-            # (optimisation 2): common neighbours via galloping.
-            for idx, u in enumerate(placed_nbrs):
-                cm = galloping_intersect_size(nbrs, graph.neighbors(int(u)))
-                if cm:
-                    contrib = cm * (nbr_weights[placed_mask][idx] if weighted else 1.0)
-                    pf2[parts[idx]] += contrib
+            # (optimisation 2).
+            if arc_cm is not None:
+                # Vectorized: gather the placed arcs' precomputed counts
+                # and accumulate per partition in one pass.  np.add.at
+                # adds in index order, matching the loop below (zero
+                # counts add +0.0 exactly).
+                cm_placed = arc_cm[indptr[v]:indptr[v + 1]][placed_mask]
+                contrib = (cm_placed * nbr_weights[placed_mask] if weighted
+                           else cm_placed.astype(np.float64))
+                np.add.at(pf2, parts, contrib)
+            else:
+                # Loop reference: gallop each placed neighbour on demand.
+                for idx, u in enumerate(placed_nbrs):
+                    cm = galloping_intersect_size(nbrs, graph.neighbors(int(u)))
+                    if cm:
+                        contrib = cm * (nbr_weights[placed_mask][idx] if weighted else 1.0)
+                        pf2[parts[idx]] += contrib
 
         total_assigned = int(sizes.sum())
         if total_assigned == 0:
@@ -121,15 +169,28 @@ class MPGPPartitioner(Partitioner):
     name = "mpgp"
 
     def __init__(self, gamma: float = 2.0, order: str = "dfs+degree",
-                 seed: SeedLike = 0) -> None:
+                 seed: SeedLike = 0, backend: str = "auto") -> None:
         check_positive("gamma", gamma)
+        resolve_backend(backend)
         self.gamma = gamma
         self.order = order
         self.seed = seed
+        self.backend = backend
+
+    @classmethod
+    def from_config(cls, config: PartitionConfig) -> "MPGPPartitioner":
+        return cls(gamma=config.gamma, order=config.order, seed=config.seed,
+                   backend=config.backend)
+
+    def resolved_backend(self) -> str:
+        return resolve_backend(self.backend)
 
     def _assign(self, graph: CSRGraph, num_parts: int) -> np.ndarray:
         stream = get_order(self.order, graph, self.seed)
-        return _mpgp_stream(graph, stream, num_parts, self.gamma)
+        arc_cm = (_arc_common_neighbors(graph)
+                  if self.resolved_backend() == "vectorized" else None)
+        return _mpgp_stream(graph, stream, num_parts, self.gamma,
+                            arc_cm=arc_cm)
 
 
 class ParallelMPGPPartitioner(Partitioner):
@@ -146,26 +207,42 @@ class ParallelMPGPPartitioner(Partitioner):
 
     def __init__(self, gamma: float = 2.0, order: str = "bfs+degree",
                  num_segments: int = 4, seed: SeedLike = 0,
-                 use_threads: bool = False) -> None:
+                 use_threads: bool = False, backend: str = "auto") -> None:
         # ``use_threads`` exists for fidelity with the paper's parallel
         # implementation; under the CPython GIL the independent-segment
         # structure (less PF2 work per segment) is what delivers the
         # speed-up, so plain sequential segment processing is the default.
         check_positive("gamma", gamma)
         check_positive("num_segments", num_segments)
+        resolve_backend(backend)
         self.gamma = gamma
         self.order = order
         self.num_segments = num_segments
         self.seed = seed
         self.use_threads = use_threads
+        self.backend = backend
+
+    @classmethod
+    def from_config(cls, config: PartitionConfig) -> "ParallelMPGPPartitioner":
+        return cls(gamma=config.gamma, order=config.order,
+                   num_segments=config.num_segments, seed=config.seed,
+                   backend=config.backend)
+
+    def resolved_backend(self) -> str:
+        return resolve_backend(self.backend)
 
     def _assign(self, graph: CSRGraph, num_parts: int) -> np.ndarray:
         stream = get_order(self.order, graph, self.seed)
         segments = np.array_split(stream, self.num_segments)
         segments = [s for s in segments if s.size]
+        # One table shared by every segment (and, conceptually, with the
+        # HuGE kernel's acceptance precompute on the same graph).
+        arc_cm = (_arc_common_neighbors(graph)
+                  if self.resolved_backend() == "vectorized" else None)
 
         def run_segment(segment: np.ndarray) -> np.ndarray:
-            return _mpgp_stream(graph, segment, num_parts, self.gamma)
+            return _mpgp_stream(graph, segment, num_parts, self.gamma,
+                                arc_cm=arc_cm)
 
         if self.use_threads and len(segments) > 1:
             with ThreadPoolExecutor(max_workers=len(segments)) as pool:

@@ -29,9 +29,15 @@ the batched :class:`repro.walks.vectorized.BatchWalkRunner` (lock-step
 NumPy supersteps, ~22x faster at 10^4 nodes) while HuGE-D keeps the
 per-walker loop -- its O(L)-per-step full-path measurement *is* the
 baseline cost being reproduced.  Pass
-``walk_overrides={"backend": "loop"}`` (and optionally
-``{"rng_protocol": "walker"}``) to force a specific engine; see
+``walk_overrides={"backend": "loop"}`` to force a specific engine; see
 :mod:`repro.walks.engine` for the parity guarantees.
+
+The same backend pattern covers the other two pipeline phases: the
+trainer (``train_overrides={"backend": ..., "rng_protocol": ...}``, see
+:mod:`repro.embedding.trainer`) and DistGER's MPGP partitioner
+(``partition_overrides={"backend": ...}``, see
+:mod:`repro.partition.mpgp`), each with its own loop reference and parity
+suite.
 """
 
 from __future__ import annotations
@@ -44,7 +50,7 @@ from repro.embedding.model import TrainConfig
 from repro.embedding.trainer import DistributedTrainer
 from repro.graph.csr import CSRGraph
 from repro.partition.balance import WorkloadBalancePartitioner
-from repro.partition.base import Partitioner
+from repro.partition.base import PartitionConfig, Partitioner
 from repro.partition.mpgp import MPGPPartitioner
 from repro.runtime.cluster import Cluster
 from repro.systems.base import EmbeddingSystem, SystemResult
@@ -127,7 +133,8 @@ class DistGER(RandomWalkSystem):
     def __init__(self, num_machines: int = 4, dim: int = 64, epochs: int = 5,
                  seed: int = 0, kernel: str = "huge",
                  walk_overrides: Optional[dict] = None,
-                 train_overrides: Optional[dict] = None) -> None:
+                 train_overrides: Optional[dict] = None,
+                 partition_overrides: Optional[dict] = None) -> None:
         walk_kwargs = {"mode": "incom", "kernel": kernel,
                        **(walk_overrides or {})}
         walk_kwargs["mode"] = "incom"  # InCoM is what makes it DistGER
@@ -136,7 +143,10 @@ class DistGER(RandomWalkSystem):
             "seed": derive_seed(seed, 2) or 0, **(train_overrides or {}),
         }
         super().__init__(
-            partitioner=MPGPPartitioner(seed=seed),
+            # Route through PartitionConfig so the overrides are validated
+            # as one unit (it is the config surface PartitionConfig owns).
+            partitioner=MPGPPartitioner.from_config(PartitionConfig(
+                seed=seed, **(partition_overrides or {}))),
             walk_config=WalkConfig(**walk_kwargs),
             train_config=TrainConfig(**train_kwargs),
             learner="dsgl",

@@ -94,6 +94,21 @@ class AliasTable:
         out = np.where(use_alias, self._alias[idx], idx)
         return out.astype(np.int64)
 
+    def sample_with_uniforms(self, uniforms: np.ndarray) -> np.ndarray:
+        """Map uniforms in [0, 1) onto indices: one uniform per draw.
+
+        The classic one-uniform alias draw: ``x = u·n`` selects the slot
+        ``⌊x⌋`` and its fractional part plays the accept/alias coin.  A pure
+        function of the input (no generator state), so callers that feed it
+        counter-based streams (:class:`repro.utils.rng.CounterStream`) get
+        draws that are independent of batching and evaluation order -- the
+        trainer parity protocol rests on this.
+        """
+        x = np.asarray(uniforms, dtype=np.float64) * self._n
+        idx = np.minimum(x.astype(np.int64), self._n - 1)
+        use_alias = (x - idx) >= self._accept[idx]
+        return np.where(use_alias, self._alias[idx], idx).astype(np.int64)
+
     @property
     def probabilities(self) -> np.ndarray:
         """Reconstruct the normalised sampling distribution (for tests)."""

@@ -159,6 +159,35 @@ class WalkerStream:
         return (z1 >> 11) * _U53_INV, (z2 >> 11) * _U53_INV
 
 
+class CounterStream:
+    """Vector view of one counter-based stream (the shared-draw protocol).
+
+    Where :class:`WalkerStream` serves the walk engines one scalar pair at a
+    time, :class:`CounterStream` hands out *arrays* of uniforms for the
+    training side: negative sampling draws batches of many values at once.
+    Because every value is the pure function :func:`stream_uniforms` of
+    ``(key, counter)``, the batching is irrelevant -- drawing ``3`` then
+    ``5`` uniforms yields exactly the same eight values as drawing ``8`` in
+    one call, which is what lets the loop and vectorized trainers consume
+    identical negative samples while batching their draws differently.
+    """
+
+    __slots__ = ("key", "counter")
+
+    def __init__(self, key: int, counter: int = 0) -> None:
+        self.key = int(key)
+        self.counter = int(counter)
+
+    def uniforms(self, count: int) -> np.ndarray:
+        """Consume and return the next ``count`` uniforms in [0, 1)."""
+        if count < 0:
+            raise ValueError(f"count must be non-negative, got {count}")
+        counters = np.arange(self.counter, self.counter + count,
+                             dtype=np.uint64)
+        self.counter += count
+        return stream_uniforms(np.uint64(self.key), counters)
+
+
 def derive_seed(seed: Optional[int], *salt: int) -> Optional[int]:
     """Combine ``seed`` with integer ``salt`` values into a new seed.
 

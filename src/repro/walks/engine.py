@@ -40,10 +40,13 @@ Backends and RNG protocols
   backends produce **byte-identical corpora** -- the reference-parity
   guarantee.  This is the only protocol the vectorized backend supports.
 * ``"cluster"`` -- the legacy per-machine generator streams
-  (``cluster.rngs``); kept as the loop default for backward-compatible
-  seed behaviour.
-* ``"auto"`` (default) -- ``walker`` on the vectorized backend,
-  ``cluster`` on the loop backend.
+  (``cluster.rngs``); kept for backward-compatible seed behaviour, opt-in
+  only.
+* ``"auto"`` (default) -- ``walker`` on every backend.  Walker streams
+  are the documented default for all new code paths: they make corpora
+  independent of machine count, batching and scheduling, which the
+  corpus/embedding machine-count invariance suite
+  (``tests/test_golden_pipeline.py``) relies on.
 """
 
 from __future__ import annotations
@@ -125,10 +128,14 @@ class WalkConfig:
         return "loop" if self.mode == "fullpath" else "vectorized"
 
     def resolved_rng_protocol(self) -> str:
-        """The RNG protocol ``"auto"`` resolves to for this backend."""
+        """The RNG protocol ``"auto"`` resolves to (``"walker"``).
+
+        Counter-based walker streams are the default for every backend;
+        the legacy ``"cluster"`` generator streams are opt-in only.
+        """
         if self.rng_protocol != "auto":
             return self.rng_protocol
-        return "walker" if self.resolved_backend() == "vectorized" else "cluster"
+        return "walker"
 
     @classmethod
     def distger(cls, **overrides) -> "WalkConfig":

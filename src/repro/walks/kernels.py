@@ -107,7 +107,15 @@ def common_neighbor_counts_per_arc(graph: CSRGraph) -> np.ndarray:
     total work is ``Σ_{(u,v)} deg(v)`` array operations, versus one Python
     galloping call per (cached) arc in the scalar path.  Results are exact
     integer counts, identical to :func:`galloping_intersect_size`.
+
+    The table is memoised on the (immutable) graph: MPGP's second-order
+    proximity and the HuGE kernels' acceptance precompute consume the same
+    quantity, and a DistGER run needs it in both the partition and the
+    walk phase -- one pass serves both.
     """
+    cached = graph.__dict__.get("_arc_common_neighbors")
+    if cached is not None:
+        return cached
     indptr, indices = graph.indptr, graph.indices
     out = np.zeros(indices.size, dtype=np.int64)
     mark = np.zeros(graph.num_nodes, dtype=bool)
@@ -130,6 +138,10 @@ def common_neighbor_counts_per_arc(graph: CSRGraph) -> np.ndarray:
             np.cumsum(hits, out=csum[1:])
             out[s:e] = csum[seg[1:]] - csum[seg[:-1]]
         mark[nbrs] = False
+    # The cached array is handed to every consumer; freeze it so an
+    # accidental in-place edit raises instead of poisoning later runs.
+    out.setflags(write=False)
+    graph.__dict__["_arc_common_neighbors"] = out
     return out
 
 

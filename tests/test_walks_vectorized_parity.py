@@ -129,7 +129,11 @@ class TestBackendResolution:
     def test_auto_resolves_loop_for_fullpath(self):
         cfg = WalkConfig.huge_d()
         assert cfg.resolved_backend() == "loop"
-        assert cfg.resolved_rng_protocol() == "cluster"
+        # Walker streams are the default protocol for every backend (the
+        # legacy cluster generators are opt-in only).
+        assert cfg.resolved_rng_protocol() == "walker"
+        explicit = WalkConfig.huge_d(rng_protocol="cluster")
+        assert explicit.resolved_rng_protocol() == "cluster"
 
     def test_explicit_vectorized_fullpath_rejected(self):
         with pytest.raises(ValueError, match="fullpath"):
