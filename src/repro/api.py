@@ -29,6 +29,14 @@ DistGER's MPGP partitioner (on-demand galloping vs the precomputed
 per-arc common-neighbour table).  Each phase's loop/vectorized pair is
 result-identical under its parity protocol, so these knobs trade speed
 only.
+
+``execution`` and ``workers`` are pipeline-wide: ``embed_graph(g,
+execution="process", workers=4)`` pushes walk rounds, training slices and
+(for the MPGP methods) parallel-partition segments onto real worker
+processes (:mod:`repro.runtime.executor`).  Because all randomness is
+counter-based, the process backend reproduces serial runs byte for byte
+-- the knob trades wall-clock only.  Per-phase overrides still win:
+``walk_overrides={"execution": "serial"}`` keeps just the walks serial.
 """
 
 from __future__ import annotations
@@ -63,12 +71,16 @@ _MPGP_METHODS = ("distger", "distger-gpu")
 # ``backend``/``rng_protocol`` exist on both WalkConfig and TrainConfig:
 # the bare names keep addressing the walk engine (historical behaviour),
 # while the prefixed aliases below address the trainer and partitioner.
+#: Pipeline-wide executor knobs: these exist on WalkConfig, TrainConfig
+#: and PartitionConfig alike and a flat value fans out to every phase.
+_SHARED_EXEC_FIELDS = ("execution", "workers")
 _TRAIN_FIELDS = frozenset(
     f.name for f in dataclasses.fields(TrainConfig)
-) - {"dim", "epochs", "seed", "backend", "rng_protocol"}
+) - {"dim", "epochs", "seed", "backend", "rng_protocol",
+     *_SHARED_EXEC_FIELDS}
 _WALK_FIELDS = frozenset(
     f.name for f in dataclasses.fields(WalkConfig)
-) - {"kernel", "mode"}
+) - {"kernel", "mode", *_SHARED_EXEC_FIELDS}
 #: Prefixed execution-knob aliases: flat name -> (override dict, field).
 _PREFIXED_FIELDS = {
     "train_backend": ("train_overrides", "backend"),
@@ -83,6 +95,7 @@ def _route_overrides(key: str, kwargs: dict) -> dict:
         # Fail with a clear message instead of the constructor's TypeError
         # when an execution-backend knob reaches a non-walk system.
         rejected = [name for name in ("backend", "rng_protocol",
+                                      *_SHARED_EXEC_FIELDS,
                                       *_PREFIXED_FIELDS) if name in kwargs]
         if rejected:
             raise ValueError(
@@ -98,7 +111,15 @@ def _route_overrides(key: str, kwargs: dict) -> dict:
             kwargs.pop("partition_overrides", {}) or {}),
     }
     for name in list(kwargs):
-        if name in _PREFIXED_FIELDS:
+        if name in _SHARED_EXEC_FIELDS:
+            # Pipeline-wide: fan out to every phase config (MPGP methods
+            # only for the partitioner); explicit per-phase overrides win.
+            value = kwargs.pop(name)
+            overrides["walk_overrides"].setdefault(name, value)
+            overrides["train_overrides"].setdefault(name, value)
+            if key in _MPGP_METHODS:
+                overrides["partition_overrides"].setdefault(name, value)
+        elif name in _PREFIXED_FIELDS:
             dest, field = _PREFIXED_FIELDS[name]
             overrides[dest][field] = kwargs.pop(name)
         elif name in _TRAIN_FIELDS:

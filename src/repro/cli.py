@@ -69,6 +69,7 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
 
 
 _BACKEND_CHOICES = ["auto", "vectorized", "loop"]
+_EXECUTION_CHOICES = ["serial", "process"]
 
 
 def _add_system_args(parser: argparse.ArgumentParser) -> None:
@@ -90,6 +91,14 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
                         choices=_BACKEND_CHOICES,
                         help="MPGP partitioner backend; DistGER methods "
                              "only (default: auto)")
+    parser.add_argument("--execution", default=None,
+                        choices=_EXECUTION_CHOICES,
+                        help="run walk rounds, training slices and MPGP "
+                             "segments on worker processes; byte-identical "
+                             "to serial (default: serial)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --execution process "
+                             "(default: min(4, cores))")
 
 
 def _backend_kwargs(args) -> dict:
@@ -101,6 +110,10 @@ def _backend_kwargs(args) -> dict:
         kwargs["train_backend"] = args.train_backend
     if getattr(args, "partition_backend", None):
         kwargs["partition_backend"] = args.partition_backend
+    if getattr(args, "execution", None):
+        kwargs["execution"] = args.execution
+    if getattr(args, "workers", None) is not None:
+        kwargs["workers"] = args.workers
     return kwargs
 
 
@@ -159,17 +172,25 @@ _BACKEND_SCHEMES = ("mpgp", "mpgp-parallel")
 def cmd_partition(args) -> int:
     graph = _load_graph(args)
     schemes = args.schemes or list(_PARTITIONERS)
-    if args.backend:
+    exec_flags = args.backend or args.execution or args.workers is not None
+    if exec_flags:
         skipped = [n for n in schemes if n not in _BACKEND_SCHEMES]
         if skipped:
-            print(f"note: --backend={args.backend} applies to "
+            print(f"note: --backend/--execution/--workers apply to "
                   f"{'/'.join(_BACKEND_SCHEMES)} only; ignored for "
                   f"{', '.join(skipped)}")
     print(f"{'scheme':20s} {'seconds':>8s} {'cut%':>7s} {'balance':>8s} "
           f"{'walk locality':>13s}")
     for name in schemes:
-        if args.backend and name in _BACKEND_SCHEMES:
-            partitioner = _PARTITIONERS[name](backend=args.backend)
+        if exec_flags and name in _BACKEND_SCHEMES:
+            scheme_kwargs = {}
+            if args.backend:
+                scheme_kwargs["backend"] = args.backend
+            if args.execution:
+                scheme_kwargs["execution"] = args.execution
+            if args.workers is not None:
+                scheme_kwargs["workers"] = args.workers
+            partitioner = _PARTITIONERS[name](**scheme_kwargs)
         else:
             partitioner = _PARTITIONERS[name]()
         result = partitioner.partition(graph, args.machines)
@@ -294,6 +315,12 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=list(_PARTITIONERS), default=None)
     p_part.add_argument("--backend", default=None, choices=_BACKEND_CHOICES,
                         help="MPGP scoring backend (default: auto)")
+    p_part.add_argument("--execution", default=None,
+                        choices=_EXECUTION_CHOICES,
+                        help="partition parallel-MPGP segments on worker "
+                             "processes (default: serial)")
+    p_part.add_argument("--workers", type=int, default=None,
+                        help="worker processes for --execution process")
     p_part.set_defaults(func=cmd_partition)
 
     p_cluster = sub.add_parser("cluster",

@@ -9,13 +9,18 @@ end of training.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List
 
 import numpy as np
 
 from repro.embedding.schedules import SCHEDULES
 from repro.embedding.vocab import Vocabulary
+from repro.runtime.executor import (
+    default_execution,
+    default_workers,
+    resolve_execution,
+)
 from repro.utils.rng import SeedLike, default_rng
 from repro.utils.validation import check_positive
 
@@ -85,8 +90,21 @@ class TrainConfig:
     #: delta-sum reconciliation) in cohorts of this many lifetimes, and
     #: cohorts are sequential.  Models the paper's per-machine thread
     #: count; wider cohorts batch better but leave hot rows updated from
-    #: staler state, exactly like adding Hogwild threads does.
+    #: staler state, exactly like adding Hogwild threads does.  The
+    #: quality/speed frontier is swept by
+    #: ``benchmarks/bench_ablation_dsgl_threads.py``, which calibrates
+    #: this default.
     dsgl_threads: int = 8
+    #: "serial" | "process": where each sync period's per-machine slices
+    #: train.  ``"process"`` dispatches every machine's slice to a worker
+    #: process over shared-memory replica matrices
+    #: (:class:`repro.runtime.executor.ProcessSliceTrainer`); slices touch
+    #: disjoint replicas and all negative draws are counter-based, so the
+    #: result is bit-identical to serial execution (requires the
+    #: ``"shared"`` RNG protocol).  Default from ``REPRO_EXECUTION``.
+    execution: str = field(default_factory=default_execution)
+    #: Worker processes under execution="process"; 0 = auto (min(4, cores)).
+    workers: int = field(default_factory=default_workers)
 
     def __post_init__(self) -> None:
         check_positive("dim", self.dim)
@@ -113,6 +131,15 @@ class TrainConfig:
             raise ValueError(
                 "the vectorized backend requires the 'shared' RNG protocol "
                 "(counter-based per-machine negative streams)"
+            )
+        resolve_execution(self.execution)
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
+        if self.execution == "process" and self.rng_protocol == "cluster":
+            raise ValueError(
+                "process execution requires the 'shared' RNG protocol: the "
+                "legacy per-machine generator draws depend on scheduling "
+                "and cannot hold the cross-process parity contract"
             )
 
     def resolved_backend(self, learner: str = "dsgl") -> str:
@@ -142,6 +169,17 @@ class TrainConfig:
         if self.rng_protocol != "auto":
             return self.rng_protocol
         return "shared"
+
+    def resolved_execution(self) -> str:
+        """The execution mode training actually runs under.
+
+        ``"process"`` holds for every learner whose randomness flows
+        through the shared counter streams (all of them under the
+        ``"shared"`` protocol); the conflicting ``"cluster"`` combination
+        is rejected at construction, so this is a pass-through kept for
+        symmetry with :class:`repro.walks.engine.WalkConfig`.
+        """
+        return self.execution
 
 
 class EmbeddingModel:

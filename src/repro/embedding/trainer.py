@@ -109,6 +109,8 @@ class DistributedTrainer:
         #: raises here for invalid combinations, e.g. vectorized psgnscc).
         self.backend = self.config.resolved_backend(learner)
         self.rng_protocol = self.config.resolved_rng_protocol()
+        #: Execution mode ("serial" or "process") slices run under.
+        self.execution = self.config.resolved_execution()
         self.walk_machines = (
             list(walk_machines) if walk_machines is not None else None
         )
@@ -207,43 +209,75 @@ class DistributedTrainer:
         tokens_done = 0
         sync_rounds = 0
         start = time.perf_counter()
-        for _epoch in range(cfg.epochs):
-            # Cursor into each machine's shard.
-            cursors = [0] * m
-            while any(cursors[i] < len(shards[i]) for i in range(m)):
-                # Each machine trains one sync-period slice.
-                for machine in range(m):
-                    shard = shards[machine]
-                    slice_tokens = 0
-                    batch: List[np.ndarray] = []
-                    while (cursors[machine] < len(shard)
-                           and slice_tokens < cfg.sync_period_tokens):
-                        walk = shard[cursors[machine]]
-                        if keep is not None:
-                            walk = self._subsample_walk(
-                                walk, keep, rngs[machine]
-                            )
-                        if walk.size:
-                            batch.append(walk)
-                            slice_tokens += int(walk.size)
-                        cursors[machine] += 1
-                    if not batch:
-                        continue
-                    lr = schedule(tokens_done / max(1, total_tokens))
-                    used = learners[machine].train_walks(batch, lr)
-                    tokens_done += used
-                    # Compute cost: one fused update per token per
-                    # (window x (K+1)) dot products, matching §2.1's
-                    # complexity O(C · w · (K+1) · o).
-                    cluster.metrics.record_compute(
-                        machine,
-                        used * cfg.window * (cfg.negatives + 1),
-                    )
-                sync.sync(replicas, sync_rng, cluster.metrics)
-                sync_rounds += 1
-        # Final reduction: delta-sum every row once so no machine's
-        # contribution is lost.
-        final = sync.finalize(replicas, cluster.metrics)
+        process_trainer = None
+        if self.execution == "process":
+            # One worker pool for the whole run; replica matrices move
+            # into shared memory (the parent's replica objects become
+            # views, so the sync strategy below keeps operating in place).
+            from repro.runtime.executor import ProcessSliceTrainer
+
+            process_trainer = ProcessSliceTrainer(
+                replicas, vocab, cfg, self.learner_name, self.backend,
+                [stream.key for stream in neg_streams])
+        try:
+            for _epoch in range(cfg.epochs):
+                # Cursor into each machine's shard.
+                cursors = [0] * m
+                while any(cursors[i] < len(shards[i]) for i in range(m)):
+                    # Build every machine's sync-period slice first.  A
+                    # machine's learning rate depends on the tokens the
+                    # machines before it trained this period; every
+                    # learner consumes exactly its batch's token count, so
+                    # the rates can be fixed up front -- which is what
+                    # lets the process executor run the (replica-disjoint)
+                    # slices concurrently and still match the serial
+                    # interleaving bit for bit.
+                    plans = []
+                    for machine in range(m):
+                        shard = shards[machine]
+                        slice_tokens = 0
+                        batch: List[np.ndarray] = []
+                        while (cursors[machine] < len(shard)
+                               and slice_tokens < cfg.sync_period_tokens):
+                            walk = shard[cursors[machine]]
+                            if keep is not None:
+                                walk = self._subsample_walk(
+                                    walk, keep, rngs[machine]
+                                )
+                            if walk.size:
+                                batch.append(walk)
+                                slice_tokens += int(walk.size)
+                            cursors[machine] += 1
+                        if not batch:
+                            continue
+                        lr = schedule(tokens_done / max(1, total_tokens))
+                        tokens_done += slice_tokens
+                        plans.append((machine, batch, lr))
+                    if process_trainer is not None and plans:
+                        used_by_machine = process_trainer.train_round(plans)
+                    else:
+                        used_by_machine = {
+                            machine: learners[machine].train_walks(batch, lr)
+                            for machine, batch, lr in plans
+                        }
+                    for machine, _batch, _lr in plans:
+                        # Compute cost: one fused update per token per
+                        # (window x (K+1)) dot products, matching §2.1's
+                        # complexity O(C · w · (K+1) · o).
+                        cluster.metrics.record_compute(
+                            machine,
+                            used_by_machine[machine]
+                            * cfg.window * (cfg.negatives + 1),
+                        )
+                    sync.sync(replicas, sync_rng, cluster.metrics)
+                    sync_rounds += 1
+            # Final reduction: delta-sum every row once so no machine's
+            # contribution is lost.  (``finalize`` clones, so the returned
+            # model owns its matrices even when replicas are shared views.)
+            final = sync.finalize(replicas, cluster.metrics)
+        finally:
+            if process_trainer is not None:
+                process_trainer.close()
         wall = time.perf_counter() - start
         for machine in range(m):
             cluster.metrics.record_memory(

@@ -16,6 +16,11 @@ from typing import Dict
 import numpy as np
 
 from repro.graph.csr import CSRGraph
+from repro.runtime.executor import (
+    default_execution,
+    default_workers,
+    resolve_execution,
+)
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive
 
@@ -51,12 +56,25 @@ class PartitionConfig:
     num_segments: int = 4          # parallel variant only
     #: "auto" | "vectorized" | "loop" -- see the class docstring.
     backend: str = "auto"
+    #: "serial" | "process": where the parallel variant's independent
+    #: stream segments are partitioned.  Segments share no state, so
+    #: running them on worker processes
+    #: (:func:`repro.runtime.executor.run_partition_segments`) produces
+    #: byte-identical assignments; the *sequential* partitioner's stream
+    #: is one order-dependent chain and always runs serially.  Default
+    #: from ``REPRO_EXECUTION``.
+    execution: str = field(default_factory=default_execution)
+    #: Worker processes under execution="process"; 0 = auto (min(4, cores)).
+    workers: int = field(default_factory=default_workers)
     seed: SeedLike = 0
 
     def __post_init__(self) -> None:
         check_positive("gamma", self.gamma)
         check_positive("num_segments", self.num_segments)
         resolve_backend(self.backend)
+        resolve_execution(self.execution)
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
 
     def resolved_backend(self) -> str:
         """The backend ``"auto"`` resolves to (``"vectorized"``)."""

@@ -45,6 +45,19 @@ computed, mirroring the walk engine's backend knob:
 Both backends place every node identically (the score arithmetic is the
 same float64 operations in the same order), so assignments are
 byte-identical; only the wall time differs.
+
+Execution
+---------
+``PartitionConfig.execution`` (also a constructor kwarg) selects where the
+*parallel* variant's segments are partitioned: ``"serial"`` runs them one
+after another in the calling process, ``"process"`` fans them out across
+``workers`` OS processes over a shared-memory CSR
+(:func:`repro.runtime.executor.run_partition_segments`).  Segments share no
+state, so the fan-out is a pure reordering and assignments stay
+byte-identical.  The sequential partitioner's stream is one
+order-dependent chain -- each placement reads every earlier one -- so it
+always executes serially regardless of the knob (accepted for config
+uniformity; the vectorized PF2 table is its fast path).
 """
 
 from __future__ import annotations
@@ -62,6 +75,7 @@ from repro.partition.base import (
 )
 from repro.partition.galloping import galloping_intersect_size
 from repro.partition.streaming_orders import get_order
+from repro.runtime.executor import resolve_execution
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive
 
@@ -164,23 +178,35 @@ def _mpgp_stream(
 
 
 class MPGPPartitioner(Partitioner):
-    """Sequential MPGP (paper default: DFS+degree stream, γ = 2)."""
+    """Sequential MPGP (paper default: DFS+degree stream, γ = 2).
+
+    ``execution``/``workers`` are accepted for config uniformity with the
+    other phases but the sequential stream always runs serially: every
+    placement reads all earlier placements, so there is no independent
+    work to fan out (use :class:`ParallelMPGPPartitioner` for the
+    segment-parallel variant).
+    """
 
     name = "mpgp"
 
     def __init__(self, gamma: float = 2.0, order: str = "dfs+degree",
-                 seed: SeedLike = 0, backend: str = "auto") -> None:
+                 seed: SeedLike = 0, backend: str = "auto",
+                 execution: str = "serial", workers: int = 0) -> None:
         check_positive("gamma", gamma)
         resolve_backend(backend)
+        resolve_execution(execution)
         self.gamma = gamma
         self.order = order
         self.seed = seed
         self.backend = backend
+        self.execution = execution
+        self.workers = workers
 
     @classmethod
     def from_config(cls, config: PartitionConfig) -> "MPGPPartitioner":
         return cls(gamma=config.gamma, order=config.order, seed=config.seed,
-                   backend=config.backend)
+                   backend=config.backend, execution=config.execution,
+                   workers=config.workers)
 
     def resolved_backend(self) -> str:
         return resolve_backend(self.backend)
@@ -193,40 +219,135 @@ class MPGPPartitioner(Partitioner):
                             arc_cm=arc_cm)
 
 
+def _segment_affinity(graph: CSRGraph, seg_nodes: np.ndarray,
+                      seg_parts: np.ndarray, final: np.ndarray,
+                      num_parts: int) -> np.ndarray:
+    """Edge affinity between every segment part and every machine.
+
+    ``affinity[p, m]`` counts edges from the segment's part-``p`` nodes to
+    already-merged nodes on machine ``m``.  Computed as one flat CSR
+    gather plus a bincount over ``(part, machine)`` pairs; every increment
+    is the integer 1.0, so the float64 sums equal the per-neighbour loop
+    of :func:`_segment_affinity_loop` exactly, in any accumulation order.
+    """
+    affinity = np.zeros((num_parts, num_parts), dtype=np.float64)
+    degrees = graph.degrees[seg_nodes].astype(np.int64)
+    total = int(degrees.sum())
+    if total == 0:
+        return affinity
+    excl = np.zeros(seg_nodes.size, dtype=np.int64)
+    np.cumsum(degrees[:-1], out=excl[1:])
+    flat = (np.arange(total, dtype=np.int64)
+            - np.repeat(excl, degrees)
+            + np.repeat(graph.indptr[seg_nodes], degrees))
+    nbr_final = final[graph.indices[flat]]
+    placed = nbr_final >= 0
+    if placed.any():
+        pair = (np.repeat(seg_parts, degrees)[placed] * num_parts
+                + nbr_final[placed])
+        affinity += np.bincount(
+            pair, minlength=num_parts * num_parts
+        ).reshape(num_parts, num_parts)
+    return affinity
+
+
+def _segment_affinity_loop(graph: CSRGraph, seg_nodes: np.ndarray,
+                           seg_parts: np.ndarray, final: np.ndarray,
+                           num_parts: int) -> np.ndarray:
+    """Per-node reference of :func:`_segment_affinity` (the merge parity
+    suite pins the two equal; at 10^5+ nodes this loop is what used to
+    serialize the parallel path)."""
+    affinity = np.zeros((num_parts, num_parts), dtype=np.float64)
+    for v, p in zip(seg_nodes, seg_parts):
+        nbr_final = final[graph.neighbors(int(v))]
+        nbr_final = nbr_final[nbr_final >= 0]
+        if nbr_final.size:
+            np.add.at(affinity[p], nbr_final, 1.0)
+    return affinity
+
+
+def merge_segments(graph: CSRGraph, segments: List[np.ndarray],
+                   seg_parts_list: List[np.ndarray], num_parts: int,
+                   gamma: float,
+                   affinity_fn=_segment_affinity) -> np.ndarray:
+    """Merge independently-partitioned segments onto global machines.
+
+    Per segment, each part goes to the machine it shares the most edges
+    with among machines not yet taken by this segment, weighted by the
+    same dynamic balance term MPGP uses; the first segment (no prior
+    content) falls back to largest-part -> lightest-machine.
+    ``seg_parts_list`` holds each segment's per-node part labels aligned
+    with the segment arrays.
+    """
+    final = np.full(graph.num_nodes, -1, dtype=np.int64)
+    global_sizes = np.zeros(num_parts, dtype=np.int64)
+    for seg_nodes, seg_parts in zip(segments, seg_parts_list):
+        seg_sizes = np.bincount(seg_parts, minlength=num_parts)
+        affinity = affinity_fn(graph, seg_nodes, seg_parts, final,
+                               num_parts)
+        mapping = np.full(num_parts, -1, dtype=np.int64)
+        taken = np.zeros(num_parts, dtype=bool)
+        total_assigned = int(global_sizes.sum())
+        avg = max(1.0, (total_assigned + seg_nodes.size) / num_parts)
+        for p in np.argsort(-seg_sizes, kind="stable"):
+            tau = np.maximum(1e-9, 1.0 - global_sizes / (gamma * avg))
+            scores = np.where(taken, -np.inf, (affinity[p] + 1e-9) * tau)
+            target = int(np.argmax(scores))
+            mapping[p] = target
+            taken[target] = True
+        mapped = mapping[seg_parts]
+        final[seg_nodes] = mapped
+        global_sizes += np.bincount(mapped, minlength=num_parts)
+    # Nodes absent from the stream (isolated under some orders) --
+    # defensive fallback, streaming orders cover all nodes.
+    missing = np.flatnonzero(final < 0)
+    for v in missing:  # pragma: no cover - orders are exhaustive
+        target = int(np.argmin(global_sizes))
+        final[v] = target
+        global_sizes[target] += 1
+    return final
+
+
 class ParallelMPGPPartitioner(Partitioner):
     """Parallel MPGP (MPGP-P): segment the stream, partition independently,
     merge (paper default: BFS+degree stream).
 
     Each segment is partitioned by the core MPGP loop against its own empty
-    partition set; segment results are then merged part-by-part, pairing
-    each segment's largest part with the globally least-loaded machine so
-    the union stays balanced.
+    partition set -- serially, on a thread pool (``use_threads``), or on
+    worker processes (``execution="process"``), all byte-identical -- and
+    segment results are merged by :func:`merge_segments`.
     """
 
     name = "mpgp-parallel"
 
     def __init__(self, gamma: float = 2.0, order: str = "bfs+degree",
                  num_segments: int = 4, seed: SeedLike = 0,
-                 use_threads: bool = False, backend: str = "auto") -> None:
+                 use_threads: bool = False, backend: str = "auto",
+                 execution: str = "serial", workers: int = 0) -> None:
         # ``use_threads`` exists for fidelity with the paper's parallel
         # implementation; under the CPython GIL the independent-segment
         # structure (less PF2 work per segment) is what delivers the
-        # speed-up, so plain sequential segment processing is the default.
+        # speed-up within one process -- ``execution="process"`` is what
+        # buys real multi-core wall-clock.
         check_positive("gamma", gamma)
         check_positive("num_segments", num_segments)
         resolve_backend(backend)
+        resolve_execution(execution)
         self.gamma = gamma
         self.order = order
         self.num_segments = num_segments
         self.seed = seed
         self.use_threads = use_threads
         self.backend = backend
+        self.execution = execution
+        self.workers = workers
 
     @classmethod
     def from_config(cls, config: PartitionConfig) -> "ParallelMPGPPartitioner":
         return cls(gamma=config.gamma, order=config.order,
                    num_segments=config.num_segments, seed=config.seed,
-                   backend=config.backend)
+                   backend=config.backend, execution=config.execution,
+                   workers=config.workers)
 
     def resolved_backend(self) -> str:
         return resolve_backend(self.backend)
@@ -240,52 +361,23 @@ class ParallelMPGPPartitioner(Partitioner):
         arc_cm = (_arc_common_neighbors(graph)
                   if self.resolved_backend() == "vectorized" else None)
 
-        def run_segment(segment: np.ndarray) -> np.ndarray:
-            return _mpgp_stream(graph, segment, num_parts, self.gamma,
-                                arc_cm=arc_cm)
+        if self.execution == "process" and len(segments) > 1:
+            from repro.runtime.executor import run_partition_segments
 
-        if self.use_threads and len(segments) > 1:
-            with ThreadPoolExecutor(max_workers=len(segments)) as pool:
-                results: List[np.ndarray] = list(pool.map(run_segment, segments))
+            seg_parts_list = run_partition_segments(
+                graph, segments, num_parts, self.gamma, arc_cm,
+                self.workers)
         else:
-            results = [run_segment(s) for s in segments]
+            def run_segment(segment: np.ndarray) -> np.ndarray:
+                return _mpgp_stream(graph, segment, num_parts, self.gamma,
+                                    arc_cm=arc_cm)[segment]
 
-        # Merge: per segment, map its parts onto global machines.  Each
-        # segment part goes to the machine it shares the most edges with
-        # among machines not yet taken by this segment, weighted by the
-        # same dynamic balance term MPGP uses; the first segment (no prior
-        # content) falls back to largest-part -> lightest-machine.
-        final = np.full(graph.num_nodes, -1, dtype=np.int64)
-        global_sizes = np.zeros(num_parts, dtype=np.int64)
-        for segment, part_of in zip(segments, results):
-            seg_nodes = segment
-            seg_parts = part_of[seg_nodes]
-            seg_sizes = np.bincount(seg_parts, minlength=num_parts)
-            # Edge affinity between every segment part and every machine.
-            affinity = np.zeros((num_parts, num_parts), dtype=np.float64)
-            for v, p in zip(seg_nodes, seg_parts):
-                nbr_final = final[graph.neighbors(int(v))]
-                nbr_final = nbr_final[nbr_final >= 0]
-                if nbr_final.size:
-                    np.add.at(affinity[p], nbr_final, 1.0)
-            mapping = np.full(num_parts, -1, dtype=np.int64)
-            taken = np.zeros(num_parts, dtype=bool)
-            total_assigned = int(global_sizes.sum())
-            avg = max(1.0, (total_assigned + seg_nodes.size) / num_parts)
-            for p in np.argsort(-seg_sizes, kind="stable"):
-                tau = np.maximum(1e-9, 1.0 - global_sizes / (self.gamma * avg))
-                scores = np.where(taken, -np.inf, (affinity[p] + 1e-9) * tau)
-                target = int(np.argmax(scores))
-                mapping[p] = target
-                taken[target] = True
-            mapped = mapping[seg_parts]
-            final[seg_nodes] = mapped
-            global_sizes += np.bincount(mapped, minlength=num_parts)
-        # Nodes absent from the stream (isolated under some orders) --
-        # defensive fallback, streaming orders cover all nodes.
-        missing = np.flatnonzero(final < 0)
-        for v in missing:  # pragma: no cover - orders are exhaustive
-            target = int(np.argmin(global_sizes))
-            final[v] = target
-            global_sizes[target] += 1
-        return final
+            if self.use_threads and len(segments) > 1:
+                with ThreadPoolExecutor(max_workers=len(segments)) as pool:
+                    seg_parts_list: List[np.ndarray] = list(
+                        pool.map(run_segment, segments))
+            else:
+                seg_parts_list = [run_segment(s) for s in segments]
+
+        return merge_segments(graph, segments, seg_parts_list, num_parts,
+                              self.gamma)

@@ -8,6 +8,14 @@ why this substitution preserves the paper's efficiency comparisons.
 
 from repro.runtime.bsp import BSPEngine, BSPStats, SuperstepRecord
 from repro.runtime.cluster import Cluster
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SharedArray,
+    SharedArrayHandle,
+    attach_shared_array,
+    resolve_execution,
+    resolved_worker_count,
+)
 from repro.runtime.message import (
     DeepWalkMessage,
     FullPathMessage,
@@ -30,6 +38,12 @@ __all__ = [
     "Cluster",
     "ClusterMetrics",
     "CostModel",
+    "ProcessExecutor",
+    "SharedArray",
+    "SharedArrayHandle",
+    "attach_shared_array",
+    "resolve_execution",
+    "resolved_worker_count",
     "DeepWalkMessage",
     "FullPathMessage",
     "HeterogeneousCostModel",

@@ -1,0 +1,596 @@
+"""Process-parallel execution runtime (the ``execution="process"`` knob).
+
+The simulated :class:`~repro.runtime.cluster.Cluster` counts work; this
+module makes the three pipeline phases *actually* run on multiple OS
+processes.  The enabling property is the counter-based RNG protocols of
+PRs 1-2: every random draw is a pure function of ``(stream key, counter)``,
+so results cannot depend on how work is scheduled -- which means the
+process backend must reproduce the serial backends **bit for bit** (the
+contract ``tests/test_runtime_executor_parity.py`` enforces, mirroring how
+KnightKing-style BSP engines are validated).
+
+Three phase executors live here:
+
+* **Walks** -- :class:`ProcessWalkRunner` splits a round's walkers across
+  workers.  Walkers are independent under the walker RNG protocol, so each
+  worker advances its slice through the same lock-step
+  :class:`~repro.walks.vectorized.BatchWalkRunner` supersteps and writes
+  paths straight into a shared-memory output buffer; the parent flushes
+  them in walk-id order (the protocol's canonical corpus order) and merges
+  the per-worker metric deltas.  All metric increments are integer-valued
+  floats, so the merged counters equal the serial ones exactly.
+
+* **Training** -- :class:`ProcessSliceTrainer` runs each machine's
+  sync-period slice on a worker against replica matrices living in shared
+  memory.  Within a sync period the ``m`` machines' slices touch disjoint
+  replicas (they only interact at the parent-side sync), so running them
+  concurrently is a pure reordering of independent float work; negative
+  draws stay deterministic because each machine's
+  :class:`~repro.utils.rng.CounterStream` counter is threaded through the
+  task messages.
+
+* **Partitioning** -- :func:`run_partition_segments` partitions
+  parallel-MPGP's independent stream segments on workers; the (sequential)
+  merge stays in the parent.
+
+Shared-memory plumbing (:class:`SharedArray` / CSR helpers) is exposed for
+reuse; handles are picklable and survive round trips to worker processes
+(property-tested in the parity suite).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EXECUTION_CHOICES",
+    "ProcessExecutor",
+    "ProcessSliceTrainer",
+    "ProcessWalkRunner",
+    "SharedArray",
+    "SharedArrayHandle",
+    "attach_shared_array",
+    "default_execution",
+    "default_workers",
+    "resolve_execution",
+    "resolved_worker_count",
+    "run_partition_segments",
+]
+
+#: Accepted values of the ``execution`` knob on every phase config.
+EXECUTION_CHOICES = ("serial", "process")
+
+
+def default_execution() -> str:
+    """Default of the ``execution`` config fields.
+
+    ``REPRO_EXECUTION`` overrides the built-in ``"serial"`` so a whole test
+    or CI run can be pushed onto the process backend without touching call
+    sites (the ``execution=process`` tier-1 CI job uses this).
+    """
+    return os.environ.get("REPRO_EXECUTION", "serial")
+
+
+def default_workers() -> int:
+    """Default of the ``workers`` config fields (``REPRO_WORKERS`` or 0)."""
+    return int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+def resolve_execution(execution: str) -> str:
+    """Validate an ``execution`` knob value and return it."""
+    if execution not in EXECUTION_CHOICES:
+        raise ValueError(
+            f"unknown execution {execution!r}; options: "
+            f"{'/'.join(EXECUTION_CHOICES)}"
+        )
+    return execution
+
+
+def resolved_worker_count(workers: int) -> int:
+    """Worker-process count ``workers=0`` (auto) resolves to.
+
+    Auto picks ``min(4, cpu_count)``: beyond 4 the per-round merge work in
+    the parent starts to dominate at the graph sizes this reproduction
+    targets, and the parity/bench suites pin 1/2/4 anyway.
+    """
+    if workers < 0:
+        raise ValueError(f"workers must be non-negative, got {workers}")
+    if workers > 0:
+        return workers
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+# --------------------------------------------------------------------- #
+# Shared-memory ndarrays
+# --------------------------------------------------------------------- #
+
+
+class SharedArrayHandle(NamedTuple):
+    """Picklable descriptor of a shared-memory ndarray."""
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+
+
+def _attach_untracked(name: str):
+    """Open an existing segment without telling the resource tracker.
+
+    CPython registers attached segments with the resource tracker too
+    (bpo-39959); since forked workers share the parent's tracker and its
+    per-name registry is a set, every attach/unregister pair from a worker
+    would silently drop (or noisily double-drop) the *parent's* tracking
+    entry.  Ownership here is strict -- only the creating
+    :class:`SharedArray` unlinks -- so worker attaches suppress the
+    registration instead.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+#: Worker-side registry keeping attached segments (and their buffers) alive
+#: for the life of the process.
+_ATTACHED: Dict[str, "object"] = {}
+
+
+def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
+    """Attach to a shared segment and view it as an ndarray (worker side).
+
+    The underlying segment is kept open in a process-wide registry, so the
+    returned array stays valid for the attaching process's lifetime;
+    attaching the same handle twice reuses the mapping.
+    """
+    shm = _ATTACHED.get(handle.name)
+    if shm is None:
+        shm = _attach_untracked(handle.name)
+        _ATTACHED[handle.name] = shm
+    return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                      buffer=shm.buf)
+
+
+class SharedArray:
+    """A parent-owned shared-memory ndarray.
+
+    ``create``/``empty`` allocate the segment; ``handle`` is the picklable
+    descriptor workers pass to :func:`attach_shared_array`; ``close``
+    unlinks the segment (owner's responsibility, exactly once).
+    """
+
+    def __init__(self, shm, handle: SharedArrayHandle) -> None:
+        self._shm = shm
+        self.handle = handle
+        self.array = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                                buffer=shm.buf)
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
+        from multiprocessing import shared_memory
+
+        dt = np.dtype(dtype)
+        size = max(1, int(np.prod(shape)) * dt.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        return cls(shm, SharedArrayHandle(shm.name, tuple(shape), dt.str))
+
+    @classmethod
+    def create(cls, source: np.ndarray) -> "SharedArray":
+        """Allocate a segment holding a copy of ``source``."""
+        out = cls.empty(source.shape, source.dtype)
+        out.array[...] = source
+        return out
+
+    def close(self) -> None:
+        """Release and unlink the segment (idempotent)."""
+        if self._shm is None:
+            return
+        self.array = None
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+
+class _SharedGroup:
+    """Owner-side bundle of shared arrays with one-shot cleanup."""
+
+    def __init__(self) -> None:
+        self._arrays: List[SharedArray] = []
+
+    def share(self, source: np.ndarray) -> SharedArrayHandle:
+        shared = SharedArray.create(source)
+        self._arrays.append(shared)
+        return shared.handle
+
+    def empty(self, shape, dtype) -> SharedArray:
+        shared = SharedArray.empty(shape, dtype)
+        self._arrays.append(shared)
+        return shared
+
+    def close(self) -> None:
+        for shared in self._arrays:
+            shared.close()
+        self._arrays = []
+
+
+class SharedCSRHandle(NamedTuple):
+    """Picklable descriptor of a CSR graph living in shared memory."""
+
+    indptr: SharedArrayHandle
+    indices: SharedArrayHandle
+    weights: Optional[SharedArrayHandle]
+    directed: bool
+
+
+def share_graph(group: _SharedGroup, graph) -> SharedCSRHandle:
+    """Copy ``graph``'s CSR arrays into ``group``'s shared segments."""
+    return SharedCSRHandle(
+        indptr=group.share(graph.indptr),
+        indices=group.share(graph.indices),
+        weights=(None if graph.weights is None
+                 else group.share(graph.weights)),
+        directed=graph.directed,
+    )
+
+
+def attach_graph(handle: SharedCSRHandle):
+    """Rebuild a :class:`~repro.graph.csr.CSRGraph` over shared buffers."""
+    from repro.graph.csr import CSRGraph
+
+    weights = (None if handle.weights is None
+               else attach_shared_array(handle.weights))
+    return CSRGraph(attach_shared_array(handle.indptr),
+                    attach_shared_array(handle.indices),
+                    weights, directed=handle.directed)
+
+
+# --------------------------------------------------------------------- #
+# Pool wrapper
+# --------------------------------------------------------------------- #
+
+
+class ProcessExecutor:
+    """A :class:`ProcessPoolExecutor` with fail-fast batch semantics.
+
+    ``run`` submits one task per argument tuple and gathers results in
+    task order.  The first worker exception (including a hard worker death
+    surfacing as ``BrokenProcessPool``) cancels the remaining tasks, shuts
+    the pool down and re-raises in the parent -- no deadlock, no orphaned
+    workers; the crash-safety tests pin this down.
+    """
+
+    def __init__(self, workers: int, initializer: Optional[Callable] = None,
+                 initargs: Tuple = ()) -> None:
+        self.workers = workers
+        self._pool: Optional[ProcessPoolExecutor] = ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs)
+
+    def run(self, fn: Callable, tasks: Sequence[Tuple]) -> List:
+        """Run ``fn(*task)`` for every task; results in task order."""
+        if self._pool is None:
+            raise RuntimeError("executor already shut down")
+        futures = [self._pool.submit(fn, *task) for task in tasks]
+        try:
+            return [future.result() for future in futures]
+        except BaseException:
+            for future in futures:
+                future.cancel()
+            self.shutdown()
+            raise
+
+    def shutdown(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+
+def split_ranges(n: int, parts: int) -> List[Tuple[int, int]]:
+    """Contiguous ``[lo, hi)`` ranges covering ``n`` items, near-equal."""
+    bounds = np.linspace(0, n, min(n, max(1, parts)) + 1).astype(np.int64)
+    return [(int(bounds[i]), int(bounds[i + 1]))
+            for i in range(bounds.size - 1)
+            if bounds[i + 1] > bounds[i]]
+
+
+# --------------------------------------------------------------------- #
+# Walk phase
+# --------------------------------------------------------------------- #
+
+#: Per-worker state installed by the pool initializers (one phase per pool).
+_WORKER_STATE: Dict[str, object] = {}
+
+
+def _walk_worker_init(graph_handle, assignment_handle, num_machines,
+                      walk_seed_root, config, sources_handle, paths_handle,
+                      lengths_handle, table_handles) -> None:
+    from repro.runtime.cluster import Cluster
+    from repro.runtime.message import BYTES_PER_FIELD
+    from repro.walks.kernels import make_kernel
+    from repro.walks.vectorized import BatchWalkRunner
+
+    graph = attach_graph(graph_handle)
+    cluster = Cluster(num_machines, attach_shared_array(assignment_handle),
+                      seed=0)
+    # The parity-critical piece of cluster state: walker stream keys must
+    # derive from the parent's root, not this worker's placeholder seed.
+    cluster.walk_seed_root = walk_seed_root
+    kernel_kwargs = ({"p": config.p, "q": config.q}
+                     if config.kernel in ("node2vec", "node2vec-alias")
+                     else {})
+    kernel = make_kernel(config.kernel, graph, **kernel_kwargs)
+    tables = {key: attach_shared_array(handle)
+              for key, handle in table_handles.items()}
+    _WORKER_STATE["walk_runner"] = BatchWalkRunner(
+        graph, cluster, config, kernel,
+        kernel.message_fields * BYTES_PER_FIELD, tables=tables)
+    _WORKER_STATE["walk_sources"] = attach_shared_array(sources_handle)
+    _WORKER_STATE["walk_paths"] = attach_shared_array(paths_handle)
+    _WORKER_STATE["walk_lengths"] = attach_shared_array(lengths_handle)
+
+
+def _walk_round_task(round_idx: int, lo: int, hi: int, n_total: int):
+    from repro.runtime.metrics import ClusterMetrics
+    from repro.walks.walker import WalkStats
+
+    runner = _WORKER_STATE["walk_runner"]
+    runner.cluster.metrics = ClusterMetrics(runner.cluster.num_machines)
+    stats = WalkStats()
+    walk_ids = round_idx * n_total + np.arange(lo, hi, dtype=np.int64)
+    runner.run_walks(_WORKER_STATE["walk_sources"][lo:hi], walk_ids, stats,
+                     paths_out=_WORKER_STATE["walk_paths"][lo:hi],
+                     lengths_out=_WORKER_STATE["walk_lengths"][lo:hi])
+    return stats.total_trials, stats.total_steps, runner.cluster.metrics
+
+
+class ProcessWalkRunner:
+    """Round runner fanning one round's walkers across worker processes.
+
+    Mirrors :meth:`BatchWalkRunner.run_round`; the engine treats the two
+    interchangeably.  The graph CSR, node assignment, walk sources, kernel
+    tables and the per-round path/length output buffers all live in shared
+    memory: per round, only the slice coordinates travel to the workers and
+    only the scalar stat/metric deltas travel back.
+    """
+
+    def __init__(self, graph, cluster, config, kernel,
+                 routine_message_bytes: int, sources: np.ndarray) -> None:
+        from repro.walks.vectorized import weighted_row_cumsum
+
+        del routine_message_bytes  # workers recompute it from the kernel
+        self.cluster = cluster
+        self.workers = resolved_worker_count(config.workers)
+        n = int(sources.size)
+        self._n = n
+        cap = config.max_length if config.mode != "routine" else \
+            config.walk_length
+        self._group = _SharedGroup()
+        try:
+            graph_handle = share_graph(self._group, graph)
+            assignment_handle = self._group.share(cluster.assignment)
+            sources_handle = self._group.share(
+                np.asarray(sources, dtype=np.int64))
+            self._paths = self._group.empty((n, cap), np.int64)
+            self._lengths = self._group.empty((n,), np.int64)
+            # Precompute the kernel tables once and hand workers views, so
+            # per-worker construction stays cheap (node2vec-alias rebuilds
+            # its sampler tables per worker; documented duplication).
+            tables = {}
+            if kernel.name in ("huge", "huge+"):
+                tables["arc_accept"] = self._group.share(
+                    kernel.arc_acceptance_table())
+            if graph.is_weighted and kernel.name != "node2vec-alias":
+                tables["row_cumsum"] = self._group.share(
+                    weighted_row_cumsum(graph))
+            self._pool = ProcessExecutor(
+                self.workers, initializer=_walk_worker_init,
+                initargs=(graph_handle, assignment_handle,
+                          cluster.num_machines, cluster.walk_seed_root,
+                          config, sources_handle, self._paths.handle,
+                          self._lengths.handle, tables))
+        except BaseException:
+            self._group.close()
+            raise
+        self._ranges = split_ranges(n, self.workers)
+
+    def run_round(self, sources: np.ndarray, round_idx: int, corpus,
+                  stats, walk_machines: List[int]) -> None:
+        if sources.size != self._n:
+            # Workers walk from the shared snapshot taken at construction;
+            # a caller varying sources per round needs a fresh runner.
+            raise ValueError(
+                f"round sources ({sources.size}) do not match the shared "
+                f"snapshot ({self._n}) this runner was built for"
+            )
+        results = self._pool.run(
+            _walk_round_task,
+            [(round_idx, lo, hi, self._n) for lo, hi in self._ranges])
+        for trials, steps, metrics in results:
+            stats.total_trials += trials
+            stats.total_steps += steps
+            self.cluster.metrics.merge(metrics)
+        lengths = self._lengths.array
+        corpus.add_walks(self._paths.array, lengths)
+        stats.total_walks += int(lengths.size)
+        stats.walk_lengths.extend(int(length) for length in lengths)
+        walk_machines.extend(
+            int(m) for m in self.cluster.assignment[sources])
+
+    def close(self) -> None:
+        self._pool.shutdown()
+        self._group.close()
+
+    def __enter__(self) -> "ProcessWalkRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Training phase
+# --------------------------------------------------------------------- #
+
+
+def _train_worker_init(phi_in_handle, phi_out_handle, vocab, config,
+                       learner_name, backend) -> None:
+    from repro.embedding.negative import NegativeSampler
+
+    _WORKER_STATE["train_phi_in"] = attach_shared_array(phi_in_handle)
+    _WORKER_STATE["train_phi_out"] = attach_shared_array(phi_out_handle)
+    _WORKER_STATE["train_vocab"] = vocab
+    _WORKER_STATE["train_config"] = config
+    _WORKER_STATE["train_sampler"] = NegativeSampler(vocab)
+    _WORKER_STATE["train_backend"] = backend
+    _WORKER_STATE["train_learner_name"] = learner_name
+    _WORKER_STATE["train_learners"] = {}
+
+
+def _train_slice_task(machine: int, walks, lr: float, key: int,
+                      counter: int):
+    from repro.embedding.model import EmbeddingModel
+    from repro.embedding.trainer import LEARNERS
+    from repro.embedding.vectorized import VECTORIZED_LEARNERS
+    from repro.utils.rng import CounterStream
+
+    learners: Dict[int, object] = _WORKER_STATE["train_learners"]
+    learner = learners.get(machine)
+    if learner is None:
+        model = EmbeddingModel.__new__(EmbeddingModel)
+        model.phi_in = _WORKER_STATE["train_phi_in"][machine]
+        model.phi_out = _WORKER_STATE["train_phi_out"][machine]
+        model.vocab = _WORKER_STATE["train_vocab"]
+        model.dim = int(model.phi_in.shape[1])
+        registry = (VECTORIZED_LEARNERS
+                    if _WORKER_STATE["train_backend"] == "vectorized"
+                    else LEARNERS)
+        # The generator argument is never consumed under the shared
+        # protocol (negatives come from the counter stream; subsampling
+        # happens in the parent) -- a fixed dummy keeps the signature.
+        learner = registry[_WORKER_STATE["train_learner_name"]](
+            model, _WORKER_STATE["train_sampler"],
+            _WORKER_STATE["train_config"], np.random.default_rng(0),
+            neg_stream=None)
+        learners[machine] = learner
+    learner.neg_stream = CounterStream(key, counter)
+    used = learner.train_walks(walks, lr)
+    return machine, used, learner.neg_stream.counter
+
+
+class ProcessSliceTrainer:
+    """Runs per-machine training slices on workers over shared replicas.
+
+    The trainer repoints every replica's matrices into one shared-memory
+    block ``(machines, vocab, dim)``; workers mutate their machine's block
+    in place, the parent's sync strategy reads/writes the same pages
+    between rounds.  Each machine's negative-stream counter is carried in
+    the task messages, so any worker can train any machine's slice and the
+    stream still advances exactly as in the serial interleaving.
+    """
+
+    def __init__(self, replicas, vocab, config, learner_name: str,
+                 backend: str, neg_keys) -> None:
+        m = len(replicas)
+        dim = int(replicas[0].phi_in.shape[1])
+        self._group = _SharedGroup()
+        try:
+            phi_in = self._group.empty((m, vocab.size, dim), np.float32)
+            phi_out = self._group.empty((m, vocab.size, dim), np.float32)
+            for i, replica in enumerate(replicas):
+                phi_in.array[i] = replica.phi_in
+                phi_out.array[i] = replica.phi_out
+                replica.phi_in = phi_in.array[i]
+                replica.phi_out = phi_out.array[i]
+            self.workers = resolved_worker_count(config.workers)
+            self._pool = ProcessExecutor(
+                self.workers, initializer=_train_worker_init,
+                initargs=(phi_in.handle, phi_out.handle, vocab, config,
+                          learner_name, backend))
+        except BaseException:
+            self._group.close()
+            raise
+        self._keys = [int(key) for key in neg_keys]
+        self._counters = [0] * m
+
+    def train_round(self, plans) -> Dict[int, int]:
+        """Train one sync round's slices; ``plans`` = (machine, walks, lr).
+
+        Returns tokens used per machine, having advanced each machine's
+        negative-stream counter to where the serial path would leave it.
+        """
+        tasks = [(machine, walks, lr, self._keys[machine],
+                  self._counters[machine])
+                 for machine, walks, lr in plans]
+        used: Dict[int, int] = {}
+        for machine, tokens, counter in self._pool.run(_train_slice_task,
+                                                       tasks):
+            self._counters[machine] = counter
+            used[machine] = tokens
+        return used
+
+    def close(self) -> None:
+        self._pool.shutdown()
+        self._group.close()
+
+
+# --------------------------------------------------------------------- #
+# Partition phase
+# --------------------------------------------------------------------- #
+
+
+def _partition_worker_init(graph_handle, arc_handle, num_parts,
+                           gamma) -> None:
+    _WORKER_STATE["part_graph"] = attach_graph(graph_handle)
+    _WORKER_STATE["part_arc"] = (None if arc_handle is None
+                                 else attach_shared_array(arc_handle))
+    _WORKER_STATE["part_num_parts"] = num_parts
+    _WORKER_STATE["part_gamma"] = gamma
+
+
+def _partition_segment_task(segment: np.ndarray) -> np.ndarray:
+    from repro.partition.mpgp import _mpgp_stream
+
+    part_of = _mpgp_stream(_WORKER_STATE["part_graph"], segment,
+                           _WORKER_STATE["part_num_parts"],
+                           _WORKER_STATE["part_gamma"],
+                           arc_cm=_WORKER_STATE["part_arc"])
+    return part_of[segment]
+
+
+def run_partition_segments(graph, segments, num_parts: int, gamma: float,
+                           arc_cm: Optional[np.ndarray],
+                           workers: int) -> List[np.ndarray]:
+    """Partition parallel-MPGP's segments on worker processes.
+
+    Returns each segment's per-node part labels (aligned with the segment
+    order), exactly as the serial per-segment loop produces them --
+    segments share no state, so the fan-out is a pure reordering.
+    """
+    group = _SharedGroup()
+    try:
+        graph_handle = share_graph(group, graph)
+        arc_handle = None if arc_cm is None else group.share(arc_cm)
+        with ProcessExecutor(
+                min(resolved_worker_count(workers), len(segments)),
+                initializer=_partition_worker_init,
+                initargs=(graph_handle, arc_handle, num_parts,
+                          gamma)) as pool:
+            return pool.run(_partition_segment_task,
+                            [(segment,) for segment in segments])
+    finally:
+        group.close()

@@ -44,6 +44,32 @@ class Corpus:
         self.walks.append(arr)
         np.add.at(self._occurrences, arr, 1)
 
+    def add_walks(self, paths: np.ndarray, lengths: np.ndarray) -> None:
+        """Append a batch of walks from a padded path matrix.
+
+        ``paths`` is ``int64[n, cap]`` with walk ``i`` occupying
+        ``paths[i, :lengths[i]]`` (the layout both the lock-step batch
+        engine and the process executor's shared output buffers use).
+        Equivalent to ``add_walk(paths[i, :lengths[i]])`` for every row in
+        order -- same walks, same occurrence counts -- but with one bounds
+        check and one ``bincount`` for the whole batch; the walk arrays
+        are views into a single freshly-copied token block, so the corpus
+        never aliases the (reused) input buffer.
+        """
+        lengths = np.asarray(lengths, dtype=np.int64)
+        if lengths.size == 0:
+            return
+        if lengths.min() <= 0:
+            raise ValueError("every walk must hold at least one token")
+        flat = paths[np.arange(paths.shape[1]) < lengths[:, None]]
+        if flat.min() < 0 or flat.max() >= self.num_nodes:
+            raise ValueError("walk contains node ids outside the universe")
+        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
+        np.cumsum(lengths, out=offsets[1:])
+        self.walks.extend(
+            flat[offsets[i]:offsets[i + 1]] for i in range(lengths.size))
+        self._occurrences += np.bincount(flat, minlength=self.num_nodes)
+
     def merge(self, other: "Corpus") -> None:
         """Fold another corpus (e.g. another machine's walks) into this one."""
         if other.num_nodes != self.num_nodes:

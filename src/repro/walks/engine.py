@@ -47,6 +47,21 @@ Backends and RNG protocols
   independent of machine count, batching and scheduling, which the
   corpus/embedding machine-count invariance suite
   (``tests/test_golden_pipeline.py``) relies on.
+
+``WalkConfig.execution`` selects *where* a round's walkers run:
+
+* ``"serial"`` (default) -- everything in the calling process.
+* ``"process"`` -- the round is split across ``workers`` OS processes
+  (:class:`repro.runtime.executor.ProcessWalkRunner`): each worker
+  advances its walker slice through the same lock-step supersteps over a
+  shared-memory CSR and writes paths into a shared output buffer.
+  Because walker randomness is counter-based, the resulting corpus is
+  **byte-identical** to the serial one -- the executor parity contract
+  (``tests/test_runtime_executor_parity.py``).  Process execution applies
+  to the vectorized backend; the loop reference and the ``fullpath``
+  mode are inherently serial, so ``resolved_execution()`` degrades to
+  ``"serial"`` there (measuring their sequential cost is the point of
+  keeping them).
 """
 
 from __future__ import annotations
@@ -59,6 +74,11 @@ import numpy as np
 from repro.graph.csr import CSRGraph
 from repro.runtime.bsp import BSPEngine, StepResult
 from repro.runtime.cluster import Cluster
+from repro.runtime.executor import (
+    default_execution,
+    default_workers,
+    resolve_execution,
+)
 from repro.runtime.message import BYTES_PER_FIELD
 from repro.utils.rng import WalkerStream, walker_stream_keys
 from repro.utils.validation import check_positive
@@ -100,12 +120,20 @@ class WalkConfig:
     backend: str = "auto"
     #: "auto" | "walker" | "cluster" -- see the module docstring.
     rng_protocol: str = "auto"
+    #: "serial" | "process" -- see the module docstring.  The default is
+    #: read from ``REPRO_EXECUTION`` ("serial" when unset).
+    execution: str = field(default_factory=default_execution)
+    #: Worker processes under execution="process"; 0 = auto (min(4, cores)).
+    workers: int = field(default_factory=default_workers)
 
     def __post_init__(self) -> None:
         if self.mode not in ("incom", "fullpath", "routine"):
             raise ValueError(f"unknown mode {self.mode!r}")
         if self.backend not in ("auto", "vectorized", "loop"):
             raise ValueError(f"unknown backend {self.backend!r}")
+        resolve_execution(self.execution)
+        if self.workers < 0:
+            raise ValueError(f"workers must be non-negative, got {self.workers}")
         if self.rng_protocol not in ("auto", "walker", "cluster"):
             raise ValueError(f"unknown rng_protocol {self.rng_protocol!r}")
         if self.backend == "vectorized" and self.mode == "fullpath":
@@ -136,6 +164,21 @@ class WalkConfig:
         if self.rng_protocol != "auto":
             return self.rng_protocol
         return "walker"
+
+    def resolved_execution(self) -> str:
+        """The execution mode this config actually runs under.
+
+        ``"process"`` applies to the vectorized backend (whose lock-step
+        rounds fan out across workers); the loop reference and the
+        ``fullpath`` mode are inherently serial -- their per-walker cost
+        is what the benches measure -- so process execution degrades to
+        ``"serial"`` there, mirroring how ``backend="auto"`` keeps
+        ``fullpath`` on the loop engine.
+        """
+        if self.execution == "serial":
+            return "serial"
+        return "process" if self.resolved_backend() == "vectorized" \
+            else "serial"
 
     @classmethod
     def distger(cls, **overrides) -> "WalkConfig":
@@ -185,6 +228,8 @@ class DistributedWalkEngine:
         #: Backend actually used for rounds (resolved from config).
         self.backend = self.config.resolved_backend()
         self.rng_protocol = self.config.resolved_rng_protocol()
+        #: Execution mode actually used ("serial" or "process").
+        self.execution = self.config.resolved_execution()
         self._batch_runner: Optional[BatchWalkRunner] = None
 
     # ------------------------------------------------------------------ #
@@ -218,12 +263,26 @@ class DistributedWalkEngine:
             )
         degrees = self.graph.degrees
 
-        for round_idx in range(rounds):
-            self._run_round(sources, round_idx, corpus, stats, walk_machines)
-            stats.rounds += 1
-            if count_rule is not None:
-                if count_rule.observe_round(corpus, degrees):
-                    break
+        process_runner = None
+        if self.execution == "process":
+            # One pool + shared CSR/output buffers for the whole run; each
+            # round fans its walker slices across the same workers.
+            from repro.runtime.executor import ProcessWalkRunner
+
+            process_runner = ProcessWalkRunner(
+                self.graph, self.cluster, self.config, self.kernel,
+                self._routine_message_bytes, sources)
+        try:
+            for round_idx in range(rounds):
+                self._run_round(sources, round_idx, corpus, stats,
+                                walk_machines, process_runner)
+                stats.rounds += 1
+                if count_rule is not None:
+                    if count_rule.observe_round(corpus, degrees):
+                        break
+        finally:
+            if process_runner is not None:
+                process_runner.close()
         if count_rule is not None:
             stats.kl_trace = list(count_rule.kl_trace)
         return WalkResult(corpus=corpus, stats=stats, walk_machines=walk_machines)
@@ -239,9 +298,13 @@ class DistributedWalkEngine:
         corpus: Corpus,
         stats: WalkStats,
         walk_machines: List[int],
+        process_runner=None,
     ) -> None:
-        """Dispatch one round to the configured backend."""
-        if self.backend == "vectorized":
+        """Dispatch one round to the configured backend/executor."""
+        if process_runner is not None:
+            process_runner.run_round(sources, round_idx, corpus, stats,
+                                     walk_machines)
+        elif self.backend == "vectorized":
             if self._batch_runner is None:
                 self._batch_runner = BatchWalkRunner(
                     self.graph, self.cluster, self.config, self.kernel,

@@ -181,6 +181,24 @@ def empirical_transition_matrix(
 # ---------------------------------------------------------------------- #
 
 
+def weighted_row_cumsum(graph: CSRGraph) -> np.ndarray:
+    """Flat per-row weight cumsums (the rejection kernels' draw table).
+
+    One ``float64[num_stored_edges]`` array holding each adjacency row's
+    ``np.cumsum`` -- per row, not global, so every value matches the
+    scalar kernels' per-node caches bit for bit.  Shared between
+    :class:`BatchWalkRunner` instances (the process executor computes it
+    once and hands workers shared-memory views).
+    """
+    cum = np.empty(graph.num_stored_edges, dtype=np.float64)
+    indptr = graph.indptr
+    for u in range(graph.num_nodes):
+        s, e = int(indptr[u]), int(indptr[u + 1])
+        if s != e:
+            cum[s:e] = np.cumsum(graph.weights[s:e])
+    return cum
+
+
 def _xlog2x_batch(v: np.ndarray) -> np.ndarray:
     """``v · log₂ v`` elementwise with ``0·log 0 = 0`` (float64 in/out).
 
@@ -258,13 +276,15 @@ class BatchWalkRunner:
     """
 
     def __init__(self, graph: CSRGraph, cluster, config, kernel,
-                 routine_message_bytes: int) -> None:
+                 routine_message_bytes: int,
+                 tables: Optional[dict] = None) -> None:
         if config.mode == "fullpath":
             raise ValueError(
                 "the fullpath (HuGE-D) measurement is deliberately O(L) per "
                 "step and stays on the loop backend; use backend='auto' or "
                 "'loop' for mode='fullpath'"
             )
+        tables = tables or {}
         self.graph = graph
         self.cluster = cluster
         self.config = config
@@ -286,17 +306,17 @@ class BatchWalkRunner:
 
         # Kernel-specific tables.  All values are produced by (or shared
         # with) the scalar kernel code, keeping the two backends bit-equal.
+        # ``tables`` lets the process executor hand every worker one
+        # precomputed copy instead of paying the build per process.
         self._row_cumsum: Optional[np.ndarray] = None
         if graph.is_weighted and self.kind != "node2vec-alias":
-            cum = np.empty(graph.num_stored_edges, dtype=np.float64)
-            for u in range(graph.num_nodes):
-                s, e = int(self._indptr[u]), int(self._indptr[u + 1])
-                if s != e:
-                    # Per-row cumsum, matching the kernels' per-node caches.
-                    cum[s:e] = np.cumsum(graph.weights[s:e])
-            self._row_cumsum = cum
+            self._row_cumsum = tables.get("row_cumsum")
+            if self._row_cumsum is None:
+                self._row_cumsum = weighted_row_cumsum(graph)
         if self.kind in ("huge", "huge+"):
-            self._arc_accept = kernel.arc_acceptance_table()
+            self._arc_accept = tables.get("arc_accept")
+            if self._arc_accept is None:
+                self._arc_accept = kernel.arc_acceptance_table()
         elif self.kind == "node2vec-alias":
             sampler = kernel.sampler
             fo = sampler._first_order
@@ -423,21 +443,52 @@ class BatchWalkRunner:
     def run_round(self, sources: np.ndarray, round_idx: int, corpus,
                   stats, walk_machines: List[int]) -> None:
         """Walk every source once, lock-step, with full cost accounting."""
+        n = sources.size
+        if n == 0:
+            return
+        walk_ids = round_idx * n + np.arange(n, dtype=np.int64)
+        paths, lengths = self.run_walks(sources, walk_ids, stats)
+        # Flush in walk-id order (the canonical order of the walker
+        # protocol; the loop backend emits the same order).
+        corpus.add_walks(paths, lengths)
+        stats.total_walks += n
+        stats.walk_lengths.extend(int(length) for length in lengths)
+        walk_machines.extend(int(m) for m in self._assignment[sources])
+
+    def run_walks(self, sources: np.ndarray, walk_ids: np.ndarray, stats,
+                  paths_out: Optional[np.ndarray] = None,
+                  lengths_out: Optional[np.ndarray] = None):
+        """Advance one walk per source to termination, lock-step.
+
+        The superstep core shared by the serial round and the process
+        executor: walker streams are keyed by the caller-supplied
+        ``walk_ids`` (globally unique under the walker protocol, so a
+        worker holding a slice of a round produces exactly the walks the
+        whole-round call would).  Returns ``(paths, lengths)`` -- written
+        into ``paths_out``/``lengths_out`` when given (the executor's
+        shared-memory buffers) -- and credits trials/steps to ``stats``
+        and compute/messages to the cluster metrics.
+        """
         cfg = self.config
         cluster = self.cluster
         metrics = cluster.metrics
         num_machines = cluster.num_machines
         n = sources.size
-        if n == 0:
-            return
         cap = cfg.max_length if self.info_mode else cfg.walk_length
 
-        walk_ids = round_idx * n + np.arange(n, dtype=np.int64)
         keys = walker_stream_keys(cluster.walk_seed_root, walk_ids)
         counters = np.zeros(n, dtype=np.uint64)
-        paths = np.full((n, cap), -1, dtype=np.int64)
+        if paths_out is None:
+            paths = np.full((n, cap), -1, dtype=np.int64)
+        else:
+            paths = paths_out
+            paths[...] = -1
         paths[:, 0] = sources
-        lengths = np.ones(n, dtype=np.int64)
+        if lengths_out is None:
+            lengths = np.ones(n, dtype=np.int64)
+        else:
+            lengths = lengths_out
+            lengths[...] = 1
         current = sources.astype(np.int64).copy()
         previous = np.full(n, -1, dtype=np.int64)
         trials_at_step = np.zeros(n, dtype=np.int64)
@@ -532,12 +583,4 @@ class BatchWalkRunner:
             raise RuntimeError(
                 f"batched walk round did not converge in {max_iters} trials"
             )
-
-        # 3) Flush in walk-id order (the canonical order of the walker
-        #    protocol; the loop backend emits the same order).
-        for i in range(n):
-            walk_len = int(lengths[i])
-            corpus.add_walk(paths[i, :walk_len].copy())
-            stats.total_walks += 1
-            stats.walk_lengths.append(walk_len)
-            walk_machines.append(int(self._assignment[sources[i]]))
+        return paths, lengths

@@ -88,6 +88,19 @@ class TestGoldenMetrics:
         expected, tol = GOLDEN["auc"]
         assert abs(auc - expected) <= tol
 
+    def test_process_execution_reproduces_the_golden_run(self, golden_run):
+        """Executor choice is quality-invariant: ``execution="process"``
+        lands byte-identically on the serial golden embeddings, and
+        therefore inside the same committed AUC band."""
+        result, split = golden_run
+        process = embed_graph(split.train_graph, method="distger",
+                              num_machines=2, dim=24, epochs=4, seed=7,
+                              execution="process", workers=2)
+        np.testing.assert_array_equal(result.embeddings, process.embeddings)
+        auc = auc_from_split(process.embeddings, split)
+        expected, tol = GOLDEN["auc"]
+        assert abs(auc - expected) <= tol
+
 
 class TestMachineCountInvariance:
     """Corpora and embeddings are invariant to the walk-phase machine

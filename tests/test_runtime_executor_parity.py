@@ -1,0 +1,367 @@
+"""Cross-process parity: ``execution="process"`` vs ``"serial"``, byte for byte.
+
+The process runtime (:mod:`repro.runtime.executor`) schedules real OS
+processes, yet every result must be **byte-identical** to the serial
+backends: all randomness flows through counter-based streams, so walks,
+MPGP assignments and trained embeddings are pure functions of the seed --
+never of scheduling.  This suite pins that contract for 1/2/4 workers
+across undirected/weighted/directed graphs, plus the executor's failure
+semantics (worker exceptions surface promptly, no deadlock, no orphaned
+pool) and pickling round trips for the shared-memory buffers the phases
+communicate through.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from concurrent.futures.process import BrokenProcessPool
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding import DistributedTrainer, TrainConfig
+from repro.graph import powerlaw_cluster
+from repro.partition import ParallelMPGPPartitioner, PartitionConfig
+from repro.partition.balance import WorkloadBalancePartitioner
+from repro.runtime import Cluster
+from repro.runtime.executor import (
+    ProcessExecutor,
+    SharedArray,
+    attach_shared_array,
+    resolve_execution,
+    resolved_worker_count,
+    split_ranges,
+)
+from repro.walks import DistributedWalkEngine, WalkConfig
+
+WORKER_COUNTS = (1, 2, 4)
+GRAPHS = ("undirected", "weighted", "directed")
+
+
+def graph_family(kind):
+    if kind == "undirected":
+        return powerlaw_cluster(150, attach=4, triangle_prob=0.4, seed=2)
+    if kind == "weighted":
+        return powerlaw_cluster(130, attach=3, seed=3).with_random_weights(
+            np.random.default_rng(4))
+    if kind == "directed":
+        return powerlaw_cluster(130, attach=3, triangle_prob=0.3,
+                                seed=5).as_directed()
+    raise KeyError(kind)
+
+
+def run_walks(graph, execution, workers=0, machines=3, **overrides):
+    part = WorkloadBalancePartitioner().partition(graph, machines)
+    cluster = Cluster(machines, part.assignment, seed=5)
+    cfg = WalkConfig.distger(**{"max_rounds": 2, "min_rounds": 2,
+                                "execution": execution, "workers": workers,
+                                **overrides})
+    return DistributedWalkEngine(graph, cluster, cfg).run(), cluster
+
+
+def assert_corpora_equal(ref, other):
+    assert len(ref.walks) == len(other.walks)
+    for a, b in zip(ref.walks, other.walks):
+        np.testing.assert_array_equal(a, b)
+    np.testing.assert_array_equal(ref.occurrences, other.occurrences)
+
+
+class TestWalkParity:
+    """Process walk rounds reproduce the serial corpus bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def serial_runs(self):
+        return {kind: run_walks(graph_family(kind), "serial")
+                for kind in GRAPHS}
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    @pytest.mark.parametrize("kind", GRAPHS)
+    def test_corpora_byte_identical(self, serial_runs, kind, workers):
+        ref, ref_cluster = serial_runs[kind]
+        result, cluster = run_walks(graph_family(kind), "process", workers)
+        assert_corpora_equal(ref.corpus, result.corpus)
+        assert ref.walk_machines == result.walk_machines
+        assert ref.stats.total_trials == result.stats.total_trials
+        assert ref.stats.total_steps == result.stats.total_steps
+        assert ref.stats.walk_lengths == result.stats.walk_lengths
+        # Every metric increment is an integer-valued float, so even the
+        # simulated cost counters merge exactly.
+        assert ref_cluster.metrics.as_dict() == cluster.metrics.as_dict()
+
+    def test_routine_mode_parity(self):
+        graph = graph_family("undirected")
+        cfg = dict(kernel="node2vec", mode="routine", walk_length=20,
+                   walks_per_node=2, p=2.0, q=0.5)
+        ref, _ = run_walks(graph, "serial", **cfg)
+        result, _ = run_walks(graph, "process", 2, **cfg)
+        assert_corpora_equal(ref.corpus, result.corpus)
+
+    def test_kl_round_termination_matches(self):
+        """The walk-count rule sees identical corpora, so both executors
+        stop after the same number of rounds."""
+        graph = graph_family("undirected")
+        ref, _ = run_walks(graph, "serial", max_rounds=6)
+        result, _ = run_walks(graph, "process", 2, max_rounds=6)
+        assert ref.stats.rounds == result.stats.rounds
+        assert ref.stats.kl_trace == result.stats.kl_trace
+
+
+class TestTrainParity:
+    """Process slice training reproduces serial embeddings bit for bit."""
+
+    @pytest.fixture(scope="class")
+    def walk_result(self):
+        graph = powerlaw_cluster(140, attach=4, triangle_prob=0.4, seed=3)
+        part = WorkloadBalancePartitioner().partition(graph, 4)
+        cluster = Cluster(4, part.assignment, seed=5)
+        cfg = WalkConfig.distger(max_rounds=2, min_rounds=2)
+        result = DistributedWalkEngine(graph, cluster, cfg).run()
+        return result, part.assignment
+
+    def train(self, walk_result, execution, workers=0, **overrides):
+        result, assignment = walk_result
+        learner = overrides.pop("learner", "dsgl")
+        cluster = Cluster(4, assignment, seed=9)
+        cfg = TrainConfig(dim=16, epochs=2, seed=11, execution=execution,
+                          workers=workers, **overrides)
+        trainer = DistributedTrainer(result.corpus, cluster, cfg,
+                                     learner=learner,
+                                     walk_machines=result.walk_machines)
+        return trainer.train(), cluster
+
+    @pytest.mark.parametrize("workers", WORKER_COUNTS)
+    def test_dsgl_embeddings_bit_equal(self, walk_result, workers):
+        ref, ref_cluster = self.train(walk_result, "serial")
+        result, cluster = self.train(walk_result, "process", workers)
+        np.testing.assert_array_equal(ref.embeddings, result.embeddings)
+        np.testing.assert_array_equal(ref.model.phi_out,
+                                      result.model.phi_out)
+        assert ref.tokens_processed == result.tokens_processed
+        assert ref.sync_rounds == result.sync_rounds
+        assert ref_cluster.metrics.as_dict() == cluster.metrics.as_dict()
+
+    def test_loop_backend_and_subsampling_parity(self, walk_result):
+        """The loop learners and the parent-side subsampling draws go
+        through the same process path unchanged."""
+        kwargs = dict(backend="loop", subsample=1e-3)
+        ref, _ = self.train(walk_result, "serial", **dict(kwargs))
+        result, _ = self.train(walk_result, "process", 2, **dict(kwargs))
+        np.testing.assert_array_equal(ref.embeddings, result.embeddings)
+
+    @pytest.mark.parametrize("learner", ("pword2vec", "sgns"))
+    def test_other_learners_bit_equal(self, walk_result, learner):
+        result, assignment = walk_result
+        out = {}
+        for execution, workers in (("serial", 0), ("process", 2)):
+            cluster = Cluster(4, assignment, seed=9)
+            cfg = TrainConfig(dim=12, epochs=1, seed=11,
+                              execution=execution, workers=workers)
+            out[execution] = DistributedTrainer(
+                result.corpus, cluster, cfg, learner=learner,
+                walk_machines=result.walk_machines).train()
+        np.testing.assert_array_equal(out["serial"].embeddings,
+                                      out["process"].embeddings)
+
+
+class TestPartitionParity:
+    """Process-partitioned MPGP segments merge to identical assignments."""
+
+    @pytest.mark.parametrize("kind", GRAPHS)
+    def test_assignments_byte_identical(self, kind):
+        graph = graph_family(kind)
+        serial = ParallelMPGPPartitioner().partition(graph, 4).assignment
+        for workers in (2, 4):
+            proc = ParallelMPGPPartitioner(
+                execution="process",
+                workers=workers).partition(graph, 4).assignment
+            np.testing.assert_array_equal(serial, proc)
+
+    def test_loop_backend_process_parity(self):
+        graph = graph_family("undirected")
+        serial = ParallelMPGPPartitioner(backend="loop").partition(
+            graph, 4).assignment
+        proc = ParallelMPGPPartitioner(
+            backend="loop", execution="process",
+            workers=2).partition(graph, 4).assignment
+        np.testing.assert_array_equal(serial, proc)
+
+    def test_from_config_carries_execution(self):
+        cfg = PartitionConfig(execution="process", workers=3)
+        par = ParallelMPGPPartitioner.from_config(cfg)
+        assert (par.execution, par.workers) == ("process", 3)
+
+
+# ------------------------------------------------------------------ #
+# Crash safety
+# ------------------------------------------------------------------ #
+
+
+def _boom(x):
+    raise ValueError(f"boom {x}")
+
+
+def _square(x):
+    return x * x
+
+
+def _hard_exit():
+    os._exit(13)
+
+
+def _add_one_inplace(handle):
+    array = attach_shared_array(handle)
+    array += 1
+    return int(array.sum())
+
+
+class TestCrashSafety:
+    def test_worker_exception_surfaces(self):
+        """A raising task propagates to the parent and shuts the pool
+        down -- the batch neither hangs nor half-completes silently."""
+        pool = ProcessExecutor(2)
+        with pytest.raises(ValueError, match="boom"):
+            pool.run(_boom, [(1,), (2,), (3,)])
+        with pytest.raises(RuntimeError, match="shut down"):
+            pool.run(_square, [(2,)])
+
+    def test_pool_usable_after_failed_batch_elsewhere(self):
+        """A failure tears down only its own pool; fresh pools work."""
+        with ProcessExecutor(2) as pool:
+            with pytest.raises(ValueError):
+                pool.run(_boom, [(0,)])
+        with ProcessExecutor(2) as pool:
+            assert pool.run(_square, [(3,), (4,)]) == [9, 16]
+
+    def test_hard_worker_death_surfaces(self):
+        """A worker dying mid-task (os._exit) surfaces as
+        BrokenProcessPool instead of deadlocking the parent."""
+        with ProcessExecutor(1) as pool:
+            with pytest.raises(BrokenProcessPool):
+                pool.run(_hard_exit, [()])
+
+    def test_engine_surfaces_worker_failure_and_cleans_up(self, monkeypatch):
+        """A failure inside a walk worker re-raises from ``engine.run``
+        and the runner's shared segments are released on the way out."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("failure injection relies on fork inheritance")
+        from repro.walks.vectorized import BatchWalkRunner
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("injected worker failure")
+
+        # Patch before the pool forks so the workers inherit the fault.
+        monkeypatch.setattr(BatchWalkRunner, "run_walks", explode)
+        graph = graph_family("undirected")
+        part = WorkloadBalancePartitioner().partition(graph, 2)
+        cluster = Cluster(2, part.assignment, seed=1)
+        cfg = WalkConfig.distger(max_rounds=1, min_rounds=1,
+                                 execution="process", workers=2)
+        engine = DistributedWalkEngine(graph, cluster, cfg)
+        with pytest.raises(RuntimeError, match="injected worker failure"):
+            engine.run()
+
+
+# ------------------------------------------------------------------ #
+# Shared-memory buffers
+# ------------------------------------------------------------------ #
+
+
+class TestSharedBuffers:
+    @given(shape=st.lists(st.integers(1, 6), min_size=1, max_size=3),
+           dtype=st.sampled_from(["int64", "float64", "float32", "uint8"]),
+           seed=st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_handle_pickle_roundtrip(self, shape, dtype, seed):
+        """A pickled handle re-attaches to the same bytes, and writes
+        through the attached view land in the owner's array."""
+        rng = np.random.default_rng(seed)
+        source = (rng.random(shape) * 100).astype(dtype)
+        shared = SharedArray.create(source)
+        try:
+            handle = pickle.loads(pickle.dumps(shared.handle))
+            assert handle == shared.handle
+            view = attach_shared_array(handle)
+            assert view.dtype == source.dtype
+            np.testing.assert_array_equal(view, source)
+            view[...] = view + 1
+            np.testing.assert_array_equal(
+                shared.array, source.astype(dtype) + 1)
+        finally:
+            shared.close()
+
+    def test_cross_process_write_visibility(self):
+        shared = SharedArray.create(np.arange(8, dtype=np.int64))
+        try:
+            with ProcessExecutor(1) as pool:
+                total = pool.run(_add_one_inplace, [(shared.handle,)])[0]
+            assert total == int(np.arange(1, 9).sum())
+            np.testing.assert_array_equal(shared.array,
+                                          np.arange(1, 9, dtype=np.int64))
+        finally:
+            shared.close()
+
+    def test_close_is_idempotent(self):
+        shared = SharedArray.create(np.ones(3))
+        shared.close()
+        shared.close()
+
+
+# ------------------------------------------------------------------ #
+# Knob resolution
+# ------------------------------------------------------------------ #
+
+
+class TestKnobs:
+    def test_invalid_execution_rejected_everywhere(self):
+        with pytest.raises(ValueError, match="execution"):
+            resolve_execution("threads")
+        with pytest.raises(ValueError, match="execution"):
+            WalkConfig(execution="gpu")
+        with pytest.raises(ValueError, match="execution"):
+            TrainConfig(execution="gpu")
+        with pytest.raises(ValueError, match="execution"):
+            PartitionConfig(execution="gpu")
+        with pytest.raises(ValueError, match="workers"):
+            WalkConfig(workers=-1)
+
+    def test_walk_execution_degrades_with_loop_backend(self):
+        """The loop reference and fullpath mode are inherently serial."""
+        assert WalkConfig(execution="process").resolved_execution() == \
+            "process"
+        assert WalkConfig(execution="process",
+                          backend="loop").resolved_execution() == "serial"
+        assert WalkConfig.huge_d(
+            execution="process").resolved_execution() == "serial"
+
+    def test_train_process_requires_shared_protocol(self):
+        with pytest.raises(ValueError, match="shared"):
+            TrainConfig(execution="process", rng_protocol="cluster")
+        assert TrainConfig(execution="process").resolved_execution() == \
+            "process"
+
+    def test_worker_count_resolution(self):
+        assert resolved_worker_count(3) == 3
+        assert resolved_worker_count(0) >= 1
+        with pytest.raises(ValueError, match="workers"):
+            resolved_worker_count(-2)
+
+    def test_split_ranges_partition_the_index_space(self):
+        for n, parts in ((10, 3), (4, 8), (1, 1), (100, 4)):
+            ranges = split_ranges(n, parts)
+            assert ranges[0][0] == 0 and ranges[-1][1] == n
+            for (_, hi), (lo, _) in zip(ranges, ranges[1:]):
+                assert hi == lo
+
+    def test_env_default_execution(self, monkeypatch):
+        """REPRO_EXECUTION pushes the default onto the process backend
+        (the CI tier-1 process job relies on this)."""
+        monkeypatch.setenv("REPRO_EXECUTION", "process")
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert WalkConfig().execution == "process"
+        assert TrainConfig().workers == 2
+        assert PartitionConfig().execution == "process"
