@@ -37,6 +37,20 @@ processes (:mod:`repro.runtime.executor`).  Because all randomness is
 counter-based, the process backend reproduces serial runs byte for byte
 -- the knob trades wall-clock only.  Per-phase overrides still win:
 ``walk_overrides={"execution": "serial"}`` keeps just the walks serial.
+
+The walk corpus itself is a flat token block + offsets
+(:class:`repro.walks.corpus.Corpus`), which is what keeps the process
+hand-offs cheap: walk rounds compact straight into the block, the flat
+arrays move into shared memory once at training start, and every sync
+round ships only a ``(machine, lo, hi, lr, key, counter)`` slice
+descriptor per machine instead of pickled walk batches.  Process runs
+report the shipped descriptor bytes in
+``result.stats["ipc_task_bytes"]`` (runs that fall back to pickled
+batches -- parent-side subsampling -- tally their payload only under
+``REPRO_IPC_AUDIT=1``, which also records the counterfactual batch
+bytes).  Walk-based methods expose the sampled corpus as
+``result.corpus``; ``result.corpus.save(path)`` persists it in the flat
+``.npz`` format (legacy text via ``.txt``).
 """
 
 from __future__ import annotations
@@ -198,3 +212,8 @@ def embed_graph(
 def available_methods() -> list:
     """Names accepted by :func:`embed_graph`."""
     return sorted(_METHODS)
+
+
+def walk_methods() -> tuple:
+    """Methods that sample a walk corpus (and expose ``result.corpus``)."""
+    return _WALK_METHODS

@@ -28,7 +28,7 @@ import argparse
 import sys
 from typing import List, Optional
 
-from repro.api import available_methods, embed_graph
+from repro.api import available_methods, embed_graph, walk_methods
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import ALL_DATASETS, load
 from repro.graph.io import read_edge_list, save_embeddings
@@ -118,6 +118,12 @@ def _backend_kwargs(args) -> dict:
 
 
 def cmd_embed(args) -> int:
+    if args.save_corpus and args.method not in walk_methods():
+        # Fail before the (potentially long) run, not after it.
+        print(f"error: method {args.method!r} samples no walk corpus; "
+              f"--save-corpus applies to {', '.join(walk_methods())}",
+              file=sys.stderr)
+        return 2
     graph = _load_graph(args)
     print(f"Embedding |V|={graph.num_nodes}, |E|={graph.num_edges} "
           f"with {args.method} on {args.machines} simulated machines ...")
@@ -132,6 +138,11 @@ def cmd_embed(args) -> int:
     if args.out:
         save_embeddings(args.out, result.embeddings)
         print(f"embeddings written to {args.out}")
+    if args.save_corpus:
+        result.corpus.save(args.save_corpus)
+        print(f"walk corpus ({result.corpus.num_walks} walks, "
+              f"{result.corpus.total_tokens} tokens) written to "
+              f"{args.save_corpus}")
     return 0
 
 
@@ -300,6 +311,10 @@ def build_parser() -> argparse.ArgumentParser:
     _add_system_args(p_embed)
     p_embed.add_argument("--out", metavar="FILE",
                          help="write embeddings (word2vec text format)")
+    p_embed.add_argument("--save-corpus", metavar="FILE",
+                         help="write the sampled walk corpus: flat npz "
+                              "(token block + offsets) by default, legacy "
+                              "text when FILE ends in .txt")
     p_embed.set_defaults(func=cmd_embed)
 
     p_eval = sub.add_parser("evaluate", help="link-prediction AUC")

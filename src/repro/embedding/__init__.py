@@ -70,7 +70,12 @@ from repro.embedding.vectorized import (
     VectorizedSGNSLearner,
 )
 from repro.embedding.vocab import Vocabulary
-from repro.embedding.windows import count_windows, iter_windows, window_batches
+from repro.embedding.windows import (
+    count_windows,
+    count_windows_flat,
+    iter_windows,
+    window_batches,
+)
 
 __all__ = [
     "BaseLearner",
@@ -105,6 +110,7 @@ __all__ = [
     "convergence_report",
     "cosine_similarity",
     "count_windows",
+    "count_windows_flat",
     "dominates",
     "iter_windows",
     "linear_lr",

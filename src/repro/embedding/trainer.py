@@ -120,25 +120,28 @@ class DistributedTrainer:
 
     # ------------------------------------------------------------------ #
 
-    def _shards(self) -> List[List[np.ndarray]]:
-        """Split walks into per-machine sub-corpora.
+    def _shards(self) -> List[np.ndarray]:
+        """Split walks into per-machine sub-corpora (walk-index arrays).
 
-        With ``walk_machines`` the sub-corpora keep sampling locality
-        (walks stay with their source's machine -- load-bearing for
-        reconciliation quality), then whole walks are moved from the
-        heaviest to the lightest shards until token counts are balanced:
-        the partitioner's γ-slack node skew must not become a training
-        straggler.
+        Shards are **indices into the corpus** rather than walk arrays:
+        the flat corpus hands out zero-copy views on demand, and the
+        process executor ships sync-round slices as ``(lo, hi)`` ranges
+        over exactly these index arrays.  With ``walk_machines`` the
+        sub-corpora keep sampling locality (walks stay with their
+        source's machine -- load-bearing for reconciliation quality),
+        then whole walks are moved from the heaviest to the lightest
+        shards until token counts are balanced: the partitioner's γ-slack
+        node skew must not become a training straggler.
         """
         m = self.cluster.num_machines
-        shards: List[List[np.ndarray]] = [[] for _ in range(m)]
+        n = self.corpus.num_walks
         if self.walk_machines is None:
-            for i, walk in enumerate(self.corpus.walks):
-                shards[i % m].append(walk)
-            return shards
-        for walk, machine in zip(self.corpus.walks, self.walk_machines):
-            shards[machine].append(walk)
-        tokens = [sum(int(w.size) for w in shard) for shard in shards]
+            return [np.arange(i, n, m, dtype=np.int64) for i in range(m)]
+        shards: List[List[int]] = [[] for _ in range(m)]
+        for i, machine in enumerate(self.walk_machines):
+            shards[machine].append(i)
+        lengths = self.corpus.walk_lengths
+        tokens = [int(lengths[shard].sum()) for shard in shards]
         target = sum(tokens) / m
         # Move trailing walks off overloaded shards onto the lightest one.
         for heavy in range(m):
@@ -148,9 +151,9 @@ class DistributedTrainer:
                     break
                 walk = shards[heavy].pop()
                 shards[light].append(walk)
-                tokens[heavy] -= int(walk.size)
-                tokens[light] += int(walk.size)
-        return shards
+                tokens[heavy] -= int(lengths[walk])
+                tokens[light] += int(lengths[walk])
+        return [np.asarray(shard, dtype=np.int64) for shard in shards]
 
     def _keep_probabilities(self) -> Optional[np.ndarray]:
         """word2vec subsampling: per-node keep probability, or None."""
@@ -214,11 +217,16 @@ class DistributedTrainer:
             # One worker pool for the whole run; replica matrices move
             # into shared memory (the parent's replica objects become
             # views, so the sync strategy below keeps operating in place).
+            # The flat corpus and the shard index arrays move too -- one
+            # copy up front -- so (un-subsampled) sync rounds ship slice
+            # descriptors instead of pickled walk batches.
             from repro.runtime.executor import ProcessSliceTrainer
 
             process_trainer = ProcessSliceTrainer(
                 replicas, vocab, cfg, self.learner_name, self.backend,
-                [stream.key for stream in neg_streams])
+                [stream.key for stream in neg_streams],
+                corpus=self.corpus if keep is None else None,
+                shards=shards if keep is None else None)
         try:
             for _epoch in range(cfg.epochs):
                 # Cursor into each machine's shard.
@@ -236,10 +244,12 @@ class DistributedTrainer:
                     for machine in range(m):
                         shard = shards[machine]
                         slice_tokens = 0
+                        lo = cursors[machine]
                         batch: List[np.ndarray] = []
                         while (cursors[machine] < len(shard)
                                and slice_tokens < cfg.sync_period_tokens):
-                            walk = shard[cursors[machine]]
+                            walk = self.corpus.walk(
+                                int(shard[cursors[machine]]))
                             if keep is not None:
                                 walk = self._subsample_walk(
                                     walk, keep, rngs[machine]
@@ -252,15 +262,21 @@ class DistributedTrainer:
                             continue
                         lr = schedule(tokens_done / max(1, total_tokens))
                         tokens_done += slice_tokens
-                        plans.append((machine, batch, lr))
+                        # The (lo, hi) shard range describes this batch
+                        # exactly when no parent-side subsampling ran --
+                        # the descriptor the process executor ships in
+                        # place of the batch.
+                        span = ((lo, cursors[machine])
+                                if keep is None else None)
+                        plans.append((machine, batch, lr, span))
                     if process_trainer is not None and plans:
                         used_by_machine = process_trainer.train_round(plans)
                     else:
                         used_by_machine = {
                             machine: learners[machine].train_walks(batch, lr)
-                            for machine, batch, lr in plans
+                            for machine, batch, lr, _span in plans
                         }
-                    for machine, _batch, _lr in plans:
+                    for machine, _batch, _lr, _span in plans:
                         # Compute cost: one fused update per token per
                         # (window x (K+1)) dot products, matching §2.1's
                         # complexity O(C · w · (K+1) · o).
@@ -284,10 +300,16 @@ class DistributedTrainer:
                 machine,
                 replicas[machine].memory_bytes() + self.corpus.memory_bytes() // m,
             )
+        extras: Dict[str, float] = {}
+        if process_trainer is not None:
+            # IPC accounting of the slice-descriptor protocol (what the
+            # Table 3 pickled-bytes-per-sync-round gate reads).
+            extras.update(process_trainer.ipc_stats())
         return TrainResult(
             embeddings=final.embeddings_node_space(),
             model=final,
             tokens_processed=tokens_done,
             wall_seconds=wall,
             sync_rounds=sync_rounds,
+            extras=extras,
         )

@@ -32,13 +32,26 @@ class Vocabulary:
 
     @classmethod
     def from_corpus(cls, corpus: Corpus) -> "Vocabulary":
-        order = corpus.frequency_order()
+        """Vocabulary over a corpus -- reads only the occurrence counters.
+
+        The flat corpus keeps ``ocn(v)`` incrementally, so the vocab build
+        never touches the token block (it is an offset-range view the
+        trainer may already have moved into shared memory).
+        """
+        return cls.from_occurrences(corpus.occurrences)
+
+    @classmethod
+    def from_occurrences(cls, occurrences: np.ndarray) -> "Vocabulary":
+        """Vocabulary straight from per-node occurrence counts (the form
+        process workers hold when only the flat corpus arrays travel)."""
+        occ = np.asarray(occurrences, dtype=np.int64)
+        order = np.argsort(-occ, kind="stable").astype(np.int64)
         inverse = np.empty_like(order)
         inverse[order] = np.arange(order.size, dtype=np.int64)
         return cls(
             row_to_node=order,
             node_to_row=inverse,
-            row_counts=corpus.occurrences[order].astype(np.int64),
+            row_counts=occ[order],
         )
 
     @property

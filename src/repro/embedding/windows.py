@@ -62,3 +62,14 @@ def count_windows(walks: Sequence[np.ndarray], window: int) -> int:
         # Every position with at least one other node in range is a window.
         total += walk.size if walk.size > 1 else 0
     return total
+
+
+def count_windows_flat(lengths: np.ndarray, window: int) -> int:
+    """:func:`count_windows` from per-walk lengths alone.
+
+    The flat-corpus fast path (``Corpus.walk_lengths``): window counts
+    depend only on walk lengths, so the planner never has to touch the
+    token block -- one masked sum instead of a walk iteration.
+    """
+    lengths = np.asarray(lengths, dtype=np.int64)
+    return int(lengths[lengths > 1].sum())

@@ -27,7 +27,14 @@ Three phase executors live here:
   concurrently is a pure reordering of independent float work; negative
   draws stay deterministic because each machine's
   :class:`~repro.utils.rng.CounterStream` counter is threaded through the
-  task messages.
+  task messages.  The walk data itself never travels: the flat corpus
+  (token block + offsets) and the per-machine shard index arrays are
+  copied into shared memory once at construction, and each sync round
+  ships only ``(machine, lo, hi, lr, key, counter)`` **slice
+  descriptors** -- workers rebuild their batch as zero-copy views into
+  the shared token block.  (Subsampled runs fall back to shipping the
+  parent-side subsampled batches by pickle, since those walks exist only
+  in the parent.)
 
 * **Partitioning** -- :func:`run_partition_segments` partitions
   parallel-MPGP's independent stream segments on workers; the (sequential)
@@ -321,6 +328,10 @@ def _walk_worker_init(graph_handle, assignment_handle, num_machines,
                       lengths_handle, table_handles) -> None:
     from repro.runtime.cluster import Cluster
     from repro.runtime.message import BYTES_PER_FIELD
+    from repro.walks.alias_sampling import (
+        Node2VecAliasKernel,
+        SecondOrderAliasSampler,
+    )
     from repro.walks.kernels import make_kernel
     from repro.walks.vectorized import BatchWalkRunner
 
@@ -330,12 +341,20 @@ def _walk_worker_init(graph_handle, assignment_handle, num_machines,
     # The parity-critical piece of cluster state: walker stream keys must
     # derive from the parent's root, not this worker's placeholder seed.
     cluster.walk_seed_root = walk_seed_root
-    kernel_kwargs = ({"p": config.p, "q": config.q}
-                     if config.kernel in ("node2vec", "node2vec-alias")
-                     else {})
-    kernel = make_kernel(config.kernel, graph, **kernel_kwargs)
     tables = {key: attach_shared_array(handle)
               for key, handle in table_handles.items()}
+    if config.kernel == "node2vec-alias" and "so_offsets" in tables:
+        # The parent exported the sampler's flat tables into shared
+        # memory; build the kernel over views instead of re-running the
+        # per-worker Σ deg(u) alias-table construction.
+        kernel = Node2VecAliasKernel.from_tables(
+            graph, config.p, config.q,
+            {key: tables[key] for key in SecondOrderAliasSampler.TABLE_KEYS})
+    else:
+        kernel_kwargs = ({"p": config.p, "q": config.q}
+                         if config.kernel in ("node2vec", "node2vec-alias")
+                         else {})
+        kernel = make_kernel(config.kernel, graph, **kernel_kwargs)
     _WORKER_STATE["walk_runner"] = BatchWalkRunner(
         graph, cluster, config, kernel,
         kernel.message_fields * BYTES_PER_FIELD, tables=tables)
@@ -387,9 +406,10 @@ class ProcessWalkRunner:
                 np.asarray(sources, dtype=np.int64))
             self._paths = self._group.empty((n, cap), np.int64)
             self._lengths = self._group.empty((n,), np.int64)
-            # Precompute the kernel tables once and hand workers views, so
-            # per-worker construction stays cheap (node2vec-alias rebuilds
-            # its sampler tables per worker; documented duplication).
+            # Precompute the kernel tables once and hand workers views:
+            # HuGE acceptance / weighted cumsums, and node2vec-alias's
+            # five flat sampler tables (first- and second-order alias
+            # structures), so no worker pays any table build.
             tables = {}
             if kernel.name in ("huge", "huge+"):
                 tables["arc_accept"] = self._group.share(
@@ -397,6 +417,9 @@ class ProcessWalkRunner:
             if graph.is_weighted and kernel.name != "node2vec-alias":
                 tables["row_cumsum"] = self._group.share(
                     weighted_row_cumsum(graph))
+            if kernel.name == "node2vec-alias":
+                for key, table in kernel.sampler.export_tables().items():
+                    tables[key] = self._group.share(table)
             self._pool = ProcessExecutor(
                 self.workers, initializer=_walk_worker_init,
                 initargs=(graph_handle, assignment_handle,
@@ -448,7 +471,7 @@ class ProcessWalkRunner:
 
 
 def _train_worker_init(phi_in_handle, phi_out_handle, vocab, config,
-                       learner_name, backend) -> None:
+                       learner_name, backend, corpus_handles) -> None:
     from repro.embedding.negative import NegativeSampler
 
     _WORKER_STATE["train_phi_in"] = attach_shared_array(phi_in_handle)
@@ -459,14 +482,21 @@ def _train_worker_init(phi_in_handle, phi_out_handle, vocab, config,
     _WORKER_STATE["train_backend"] = backend
     _WORKER_STATE["train_learner_name"] = learner_name
     _WORKER_STATE["train_learners"] = {}
+    if corpus_handles is not None:
+        # Flat corpus + shard indices: attach once, the slice-descriptor
+        # tasks rebuild their walk batches as views into these arrays.
+        tokens, offsets, shard_flat, shard_offsets = corpus_handles
+        _WORKER_STATE["corpus_tokens"] = attach_shared_array(tokens)
+        _WORKER_STATE["corpus_offsets"] = attach_shared_array(offsets)
+        _WORKER_STATE["shard_flat"] = attach_shared_array(shard_flat)
+        _WORKER_STATE["shard_offsets"] = attach_shared_array(shard_offsets)
 
 
-def _train_slice_task(machine: int, walks, lr: float, key: int,
-                      counter: int):
+def _train_learner_for(machine: int):
+    """The worker's cached learner for ``machine`` (built on first use)."""
     from repro.embedding.model import EmbeddingModel
     from repro.embedding.trainer import LEARNERS
     from repro.embedding.vectorized import VECTORIZED_LEARNERS
-    from repro.utils.rng import CounterStream
 
     learners: Dict[int, object] = _WORKER_STATE["train_learners"]
     learner = learners.get(machine)
@@ -487,9 +517,36 @@ def _train_slice_task(machine: int, walks, lr: float, key: int,
             _WORKER_STATE["train_config"], np.random.default_rng(0),
             neg_stream=None)
         learners[machine] = learner
+    return learner
+
+
+def _train_slice_task(machine: int, walks, lr: float, key: int,
+                      counter: int):
+    """Train a pickled walk batch (the legacy payload; subsampled runs)."""
+    from repro.utils.rng import CounterStream
+
+    learner = _train_learner_for(machine)
     learner.neg_stream = CounterStream(key, counter)
     used = learner.train_walks(walks, lr)
     return machine, used, learner.neg_stream.counter
+
+
+def _train_slice_range_task(machine: int, lo: int, hi: int, lr: float,
+                            key: int, counter: int):
+    """Train a slice described by a shard index range (zero-copy payload).
+
+    The batch is rebuilt as views into the shared flat token block --
+    walk ``shard[machine][j]`` for ``j`` in ``[lo, hi)``, empty walks
+    skipped -- exactly the batch the parent's serial path materialises,
+    so the descriptor protocol is a pure transport change.
+    """
+    tokens = _WORKER_STATE["corpus_tokens"]
+    offsets = _WORKER_STATE["corpus_offsets"]
+    base = int(_WORKER_STATE["shard_offsets"][machine])
+    idx = _WORKER_STATE["shard_flat"][base + lo:base + hi]
+    walks = [w for w in
+             (tokens[offsets[j]:offsets[j + 1]] for j in idx) if w.size]
+    return _train_slice_task(machine, walks, lr, key, counter)
 
 
 class ProcessSliceTrainer:
@@ -501,10 +558,28 @@ class ProcessSliceTrainer:
     between rounds.  Each machine's negative-stream counter is carried in
     the task messages, so any worker can train any machine's slice and the
     stream still advances exactly as in the serial interleaving.
+
+    When a flat ``corpus`` + per-machine ``shards`` (walk-index arrays)
+    are supplied, the token block, offsets and shard indices are copied
+    into shared memory **once** and every sync round ships only
+    ``(machine, lo, hi, lr, key, counter)`` slice descriptors -- a
+    constant ~100 bytes per machine instead of the slice's pickled walks
+    (the Table 3 IPC gate measures the reduction).  Without them (or when
+    the parent subsamples walks) rounds fall back to pickled batches.
+
+    ``ipc_task_bytes`` accumulates the pickled task bytes of descriptor
+    rounds (always -- the tasks are ~100 bytes); pickled-batch fallback
+    rounds tally theirs only under ``REPRO_IPC_AUDIT=1``, which avoids
+    re-serialising whole batches just for accounting.  The audit flag
+    additionally records ``ipc_batch_bytes`` -- what pickling the
+    materialised batches would have cost -- which is how the IPC
+    benchmark computes its reduction factor without re-deriving the
+    slice plan.
     """
 
     def __init__(self, replicas, vocab, config, learner_name: str,
-                 backend: str, neg_keys) -> None:
+                 backend: str, neg_keys, corpus=None,
+                 shards: Optional[Sequence[np.ndarray]] = None) -> None:
         m = len(replicas)
         dim = int(replicas[0].phi_in.shape[1])
         self._group = _SharedGroup()
@@ -516,32 +591,91 @@ class ProcessSliceTrainer:
                 phi_out.array[i] = replica.phi_out
                 replica.phi_in = phi_in.array[i]
                 replica.phi_out = phi_out.array[i]
+            corpus_handles = None
+            self.ships_descriptors = corpus is not None and shards is not None
+            if self.ships_descriptors:
+                shard_flat = np.concatenate(
+                    [np.asarray(s, dtype=np.int64) for s in shards])
+                shard_offsets = np.zeros(len(shards) + 1, dtype=np.int64)
+                np.cumsum([s.size for s in shards], out=shard_offsets[1:])
+                corpus_handles = (
+                    self._group.share(corpus.tokens),
+                    self._group.share(corpus.offsets),
+                    self._group.share(shard_flat),
+                    self._group.share(shard_offsets),
+                )
             self.workers = resolved_worker_count(config.workers)
             self._pool = ProcessExecutor(
                 self.workers, initializer=_train_worker_init,
                 initargs=(phi_in.handle, phi_out.handle, vocab, config,
-                          learner_name, backend))
+                          learner_name, backend, corpus_handles))
         except BaseException:
             self._group.close()
             raise
         self._keys = [int(key) for key in neg_keys]
         self._counters = [0] * m
+        self._audit = os.environ.get("REPRO_IPC_AUDIT", "") not in ("", "0")
+        #: Pickled bytes of the per-round task messages actually shipped.
+        self.ipc_task_bytes = 0
+        #: Counterfactual pickled-batch bytes (only under REPRO_IPC_AUDIT).
+        self.ipc_batch_bytes = 0
+        self.ipc_rounds = 0
 
     def train_round(self, plans) -> Dict[int, int]:
-        """Train one sync round's slices; ``plans`` = (machine, walks, lr).
+        """Train one sync round's slices.
 
-        Returns tokens used per machine, having advanced each machine's
+        ``plans`` = ``(machine, batch, lr, (lo, hi))`` where ``batch`` is
+        the materialised walk list and ``(lo, hi)`` the slice's cursor
+        range in the machine's shard -- descriptor-shipping runs send only
+        the latter.  ``(lo, hi)`` may be ``None`` (subsampled batches have
+        no shard range); those rounds always ship the batch.  Returns
+        tokens used per machine, having advanced each machine's
         negative-stream counter to where the serial path would leave it.
         """
-        tasks = [(machine, walks, lr, self._keys[machine],
-                  self._counters[machine])
-                 for machine, walks, lr in plans]
+        import pickle
+
+        ship_slices = self.ships_descriptors and \
+            all(span is not None for _m, _b, _lr, span in plans)
+        if ship_slices:
+            fn = _train_slice_range_task
+            tasks = [(machine, int(lo), int(hi), lr, self._keys[machine],
+                      self._counters[machine])
+                     for machine, _batch, lr, (lo, hi) in plans]
+        else:
+            fn = _train_slice_task
+            tasks = [(machine, batch, lr, self._keys[machine],
+                      self._counters[machine])
+                     for machine, batch, lr, _span in plans]
+        self.ipc_rounds += 1
+        if ship_slices or self._audit:
+            # Descriptor tasks are ~100 bytes, so this is free; for the
+            # pickled-batch fallback the re-serialisation is real work and
+            # only runs under the audit flag.
+            self.ipc_task_bytes += sum(
+                len(pickle.dumps(task, protocol=pickle.HIGHEST_PROTOCOL))
+                for task in tasks)
+        if self._audit:
+            self.ipc_batch_bytes += sum(
+                len(pickle.dumps(
+                    (machine, batch, lr, self._keys[machine],
+                     self._counters[machine]),
+                    protocol=pickle.HIGHEST_PROTOCOL))
+                for machine, batch, lr, _span in plans)
         used: Dict[int, int] = {}
-        for machine, tokens, counter in self._pool.run(_train_slice_task,
-                                                       tasks):
+        for machine, tokens, counter in self._pool.run(fn, tasks):
             self._counters[machine] = counter
             used[machine] = tokens
         return used
+
+    def ipc_stats(self) -> Dict[str, float]:
+        """IPC accounting for :class:`TrainResult.extras` / the benches."""
+        stats = {
+            "ipc_rounds": float(self.ipc_rounds),
+            "ipc_task_bytes": float(self.ipc_task_bytes),
+        }
+        if self._audit:
+            stats["ipc_batch_bytes"] = float(self.ipc_batch_bytes)
+        return stats
 
     def close(self) -> None:
         self._pool.shutdown()

@@ -31,6 +31,10 @@ class SystemResult:
     metrics: ClusterMetrics
     simulated_seconds: float
     stats: Dict[str, float] = field(default_factory=dict)
+    #: The sampled walk corpus (flat token block + offsets); set by the
+    #: walk-based systems, ``None`` for PBG/DistDGL.  ``corpus.save(path)``
+    #: writes the flat ``.npz`` format (or legacy text for ``.txt``).
+    corpus: Optional[object] = None
 
     @property
     def wall_seconds(self) -> float:
@@ -82,6 +86,7 @@ class EmbeddingSystem(ABC):
         timer: Timer,
         cluster: Cluster,
         stats: Optional[Dict[str, float]] = None,
+        corpus: Optional[object] = None,
     ) -> SystemResult:
         return SystemResult(
             system=self.name,
@@ -90,4 +95,5 @@ class EmbeddingSystem(ABC):
             metrics=cluster.metrics,
             simulated_seconds=cluster.simulated_seconds(),
             stats=stats or {},
+            corpus=corpus,
         )

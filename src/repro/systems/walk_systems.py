@@ -122,7 +122,10 @@ class RandomWalkSystem(EmbeddingSystem):
             "sync_rounds": train_result.sync_rounds,
             "partition_seconds": partition.seconds,
         }
-        return self._result(train_result.embeddings, timer, cluster, stats)
+        stats.update({key: float(value)
+                      for key, value in train_result.extras.items()})
+        return self._result(train_result.embeddings, timer, cluster, stats,
+                            corpus=walk_result.corpus)
 
 
 class DistGER(RandomWalkSystem):

@@ -101,6 +101,18 @@ class FirstOrderAliasSampler:
                 self._alias_local[s:e] = np.arange(e - s)
         self.build_seconds = time.perf_counter() - start
 
+    @classmethod
+    def from_tables(cls, graph: CSRGraph, accept: np.ndarray,
+                    alias_local: np.ndarray) -> "FirstOrderAliasSampler":
+        """Wrap prebuilt flat tables (e.g. shared-memory views) without
+        paying the O(|E|) construction again."""
+        sampler = cls.__new__(cls)
+        sampler.graph = graph
+        sampler._accept = accept
+        sampler._alias_local = alias_local
+        sampler.build_seconds = 0.0
+        return sampler
+
     def sample(self, nodes: np.ndarray, rng: SeedLike = None) -> np.ndarray:
         """Draw one neighbour for every node in ``nodes`` (vectorised).
 
@@ -192,6 +204,52 @@ class SecondOrderAliasSampler:
         self.build_seconds = time.perf_counter() - start
 
     # ------------------------------------------------------------------ #
+    # Flat-table export (shared-memory reuse across walk workers)
+    # ------------------------------------------------------------------ #
+
+    #: Keys of :meth:`export_tables` / :meth:`from_tables`.
+    TABLE_KEYS = ("so_offsets", "so_accept", "so_alias",
+                  "fo_accept", "fo_alias")
+
+    def export_tables(self) -> dict:
+        """The sampler's five flat arrays, keyed for :meth:`from_tables`.
+
+        Everything the sampler computes lives in these arrays (offsets
+        plus second- and first-order accept/alias tables), so a process
+        executor can copy them into shared memory once and hand every walk
+        worker zero-copy views instead of re-running the
+        ``Σ_{(t,u)} deg(u)`` table build per worker.
+        """
+        return {
+            "so_offsets": self._table_offsets,
+            "so_accept": self._accept,
+            "so_alias": self._alias_local,
+            "fo_accept": self._first_order._accept,
+            "fo_alias": self._first_order._alias_local,
+        }
+
+    @classmethod
+    def from_tables(cls, graph: CSRGraph, p: float, q: float,
+                    tables: dict) -> "SecondOrderAliasSampler":
+        """Rebuild a sampler over prebuilt flat tables (zero build cost).
+
+        ``tables`` is an :meth:`export_tables` dict; the arrays are used
+        as-is (typically shared-memory views), so draws match the
+        exporting sampler bit for bit.
+        """
+        sampler = cls.__new__(cls)
+        sampler.graph = graph
+        sampler.p = p
+        sampler.q = q
+        sampler._table_offsets = tables["so_offsets"]
+        sampler._accept = tables["so_accept"]
+        sampler._alias_local = tables["so_alias"]
+        sampler._first_order = FirstOrderAliasSampler.from_tables(
+            graph, tables["fo_accept"], tables["fo_alias"])
+        sampler.build_seconds = 0.0
+        return sampler
+
+    # ------------------------------------------------------------------ #
 
     def arc_index(self, t: int, u: int) -> int:
         """Flat index of stored arc ``(t, u)``; raises when absent."""
@@ -278,6 +336,19 @@ class Node2VecAliasKernel:
         self.p = p
         self.q = q
         self.sampler = SecondOrderAliasSampler(graph, p=p, q=q)
+
+    @classmethod
+    def from_tables(cls, graph: CSRGraph, p: float, q: float,
+                    tables: dict) -> "Node2VecAliasKernel":
+        """Kernel over prebuilt (shared) sampler tables -- how the process
+        executor's walk workers skip the per-worker table rebuild."""
+        kernel = cls.__new__(cls)
+        kernel.graph = graph
+        kernel.p = p
+        kernel.q = q
+        kernel.sampler = SecondOrderAliasSampler.from_tables(graph, p, q,
+                                                             tables)
+        return kernel
 
     def step(self, current: int, previous: int,
              rng: np.random.Generator) -> Optional[int]:

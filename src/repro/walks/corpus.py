@@ -5,34 +5,129 @@ the paper reuses these counts three times: for the walk-count termination
 rule (Eq. 6/7), for ordering DSGL's global matrices by frequency
 (Improvement-I), and for the hotness blocks of the synchronisation scheme
 (Improvement-III).
+
+Flat layout
+-----------
+Walks are stored CSR-style: one contiguous ``tokens`` int64 block plus a
+monotone ``offsets`` array, with walk ``i`` occupying
+``tokens[offsets[i]:offsets[i + 1]]``.  The list-based API is preserved as
+views -- ``corpus.walks[i]`` and iteration hand out zero-copy slices of
+the token block -- which is what makes the corpus cheap to hand between
+the three pipeline phases: the process executor copies ``tokens`` and
+``offsets`` into shared memory once and every training sync round ships
+only ``(machine, lo, hi)`` slice descriptors instead of pickled walk
+batches (see :class:`repro.runtime.executor.ProcessSliceTrainer`).
+
+Both storage arrays grow by amortised doubling, so ``add_walk`` stays
+O(len(walk)) and ``add_walks`` does one reserve + one bounds check + one
+``bincount`` per batch.
+
+Persistence: :meth:`save` writes the flat arrays as ``.npz`` (the compact
+format; default), or the legacy one-walk-per-line text format when the
+path ends in ``.txt``; :meth:`load` sniffs the format, so corpora written
+by older revisions keep loading.  Both formats round-trip empty corpora
+and zero-length walks exactly.
 """
 
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass, field
-from typing import Iterator, List, Sequence
+from typing import Iterator, Sequence
 
 import numpy as np
 
 from repro.utils.stats import kl_divergence
 
+#: Zip local-file-header magic -- how :meth:`Corpus.load` detects ``.npz``.
+_NPZ_MAGIC = b"PK\x03\x04"
 
-@dataclass
+
+class _WalkSequence(Sequence):
+    """Read-only list view over a corpus's walks (zero-copy slices)."""
+
+    __slots__ = ("_corpus",)
+
+    def __init__(self, corpus: "Corpus") -> None:
+        self._corpus = corpus
+
+    def __len__(self) -> int:
+        return self._corpus.num_walks
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return [self._corpus.walk(i)
+                    for i in range(*index.indices(len(self)))]
+        return self._corpus.walk(index)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        corpus = self._corpus
+        offsets = corpus.offsets
+        tokens = corpus.tokens
+        for i in range(corpus.num_walks):
+            yield tokens[offsets[i]:offsets[i + 1]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{len(self)} walks of {self._corpus!r}>"
+
+
 class Corpus:
     """Walks over a fixed node universe of size ``num_nodes``."""
 
-    num_nodes: int
-    walks: List[np.ndarray] = field(default_factory=list)
-    _occurrences: np.ndarray = field(default=None)  # type: ignore[assignment]
-
-    def __post_init__(self) -> None:
-        if self._occurrences is None:
-            self._occurrences = np.zeros(self.num_nodes, dtype=np.int64)
+    def __init__(self, num_nodes: int) -> None:
+        self.num_nodes = int(num_nodes)
+        self._tokens = np.empty(0, dtype=np.int64)
+        self._offsets = np.zeros(1, dtype=np.int64)
+        self._n_tokens = 0
+        self._n_walks = 0
+        self._occurrences = np.zeros(self.num_nodes, dtype=np.int64)
 
     # ------------------------------------------------------------------ #
     # Building
     # ------------------------------------------------------------------ #
+
+    def _reserve(self, extra_tokens: int, extra_walks: int) -> None:
+        """Grow the flat arrays (amortised doubling) for a pending append."""
+        need = self._n_tokens + extra_tokens
+        if need > self._tokens.size:
+            grown = np.empty(max(need, 2 * self._tokens.size, 1024),
+                             dtype=np.int64)
+            grown[:self._n_tokens] = self._tokens[:self._n_tokens]
+            self._tokens = grown
+        need = self._n_walks + extra_walks + 1
+        if need > self._offsets.size:
+            grown = np.empty(max(need, 2 * self._offsets.size, 256),
+                             dtype=np.int64)
+            grown[:self._n_walks + 1] = self._offsets[:self._n_walks + 1]
+            self._offsets = grown
+
+    def _append_flat(self, flat: np.ndarray, lengths: np.ndarray) -> None:
+        """Append pre-validated walks given as a flat block + lengths.
+
+        The internal fast path shared by ``add_walk``/``add_walks``/
+        ``merge``/``load``; unlike the public builders it accepts
+        zero-length walks (needed for lossless save/load round trips).
+        """
+        self._reserve(int(flat.size), int(lengths.size))
+        start = self._n_tokens
+        self._tokens[start:start + flat.size] = flat
+        base = self._offsets[self._n_walks]
+        np.cumsum(lengths,
+                  out=self._offsets[self._n_walks + 1:
+                                    self._n_walks + 1 + lengths.size])
+        self._offsets[self._n_walks + 1:
+                      self._n_walks + 1 + lengths.size] += base
+        self._n_tokens += int(flat.size)
+        self._n_walks += int(lengths.size)
+        if flat.size:
+            if flat.size * 4 >= self.num_nodes:
+                # Batch appends: one bincount over the whole block.
+                self._occurrences += np.bincount(flat,
+                                                 minlength=self.num_nodes)
+            else:
+                # Small appends (add_walk from the loop engines, text
+                # loading): O(len(walk)), not O(num_nodes) -- integer
+                # counts, so both paths land on identical state.
+                np.add.at(self._occurrences, flat, 1)
 
     def add_walk(self, walk: Sequence[int]) -> None:
         """Append one walk and update occurrence counts."""
@@ -41,8 +136,7 @@ class Corpus:
             return
         if arr.min() < 0 or arr.max() >= self.num_nodes:
             raise ValueError("walk contains node ids outside the universe")
-        self.walks.append(arr)
-        np.add.at(self._occurrences, arr, 1)
+        self._append_flat(arr, np.array([arr.size], dtype=np.int64))
 
     def add_walks(self, paths: np.ndarray, lengths: np.ndarray) -> None:
         """Append a batch of walks from a padded path matrix.
@@ -52,8 +146,8 @@ class Corpus:
         engine and the process executor's shared output buffers use).
         Equivalent to ``add_walk(paths[i, :lengths[i]])`` for every row in
         order -- same walks, same occurrence counts -- but with one bounds
-        check and one ``bincount`` for the whole batch; the walk arrays
-        are views into a single freshly-copied token block, so the corpus
+        check and one ``bincount`` for the whole batch; the tokens are
+        compacted straight into the corpus's flat block, so the corpus
         never aliases the (reused) input buffer.
         """
         lengths = np.asarray(lengths, dtype=np.int64)
@@ -61,21 +155,85 @@ class Corpus:
             return
         if lengths.min() <= 0:
             raise ValueError("every walk must hold at least one token")
+        if lengths.max() > paths.shape[1]:
+            # Without this guard the offsets would advance by the claimed
+            # lengths while only the truncated rows get written, silently
+            # breaking the offsets[-1] == tokens.size invariant.
+            raise ValueError(
+                f"walk length {int(lengths.max())} exceeds the path "
+                f"matrix width {paths.shape[1]}"
+            )
         flat = paths[np.arange(paths.shape[1]) < lengths[:, None]]
         if flat.min() < 0 or flat.max() >= self.num_nodes:
             raise ValueError("walk contains node ids outside the universe")
-        offsets = np.zeros(lengths.size + 1, dtype=np.int64)
-        np.cumsum(lengths, out=offsets[1:])
-        self.walks.extend(
-            flat[offsets[i]:offsets[i + 1]] for i in range(lengths.size))
-        self._occurrences += np.bincount(flat, minlength=self.num_nodes)
+        self._append_flat(flat, lengths)
 
     def merge(self, other: "Corpus") -> None:
         """Fold another corpus (e.g. another machine's walks) into this one."""
         if other.num_nodes != self.num_nodes:
             raise ValueError("cannot merge corpora over different universes")
-        self.walks.extend(other.walks)
-        self._occurrences += other._occurrences
+        self._append_flat(other.tokens, other.walk_lengths)
+
+    @classmethod
+    def from_flat(cls, num_nodes: int, tokens: np.ndarray,
+                  offsets: np.ndarray) -> "Corpus":
+        """Build a corpus directly from a flat token block + offsets.
+
+        ``offsets`` must be monotone non-decreasing with ``offsets[0] == 0``
+        and ``offsets[-1] == tokens.size`` (every token belongs to exactly
+        one walk); zero-length walks (equal consecutive offsets) are
+        allowed.  The arrays are copied, so the corpus stays growable.
+        """
+        tokens = np.asarray(tokens, dtype=np.int64).ravel()
+        offsets = np.asarray(offsets, dtype=np.int64).ravel()
+        if offsets.size == 0 or offsets[0] != 0:
+            raise ValueError("offsets must start at 0")
+        if offsets[-1] != tokens.size:
+            raise ValueError(
+                f"offsets end at {int(offsets[-1])} but the token block "
+                f"holds {tokens.size} tokens"
+            )
+        lengths = np.diff(offsets)
+        if lengths.size and lengths.min() < 0:
+            raise ValueError("offsets must be monotone non-decreasing")
+        if tokens.size and (tokens.min() < 0 or tokens.max() >= num_nodes):
+            raise ValueError("walk contains node ids outside the universe")
+        corpus = cls(num_nodes)
+        corpus._append_flat(tokens, lengths)
+        return corpus
+
+    # ------------------------------------------------------------------ #
+    # Flat + list views
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tokens(self) -> np.ndarray:
+        """The flat token block (int64 view, one entry per corpus token)."""
+        return self._tokens[:self._n_tokens]
+
+    @property
+    def offsets(self) -> np.ndarray:
+        """Monotone walk boundaries: walk ``i`` is
+        ``tokens[offsets[i]:offsets[i + 1]]`` (int64[num_walks + 1])."""
+        return self._offsets[:self._n_walks + 1]
+
+    @property
+    def walk_lengths(self) -> np.ndarray:
+        """Per-walk token counts (``np.diff(offsets)``)."""
+        return np.diff(self.offsets)
+
+    def walk(self, index: int) -> np.ndarray:
+        """Walk ``index`` as a zero-copy view into the token block."""
+        if index < 0:
+            index += self._n_walks
+        if not 0 <= index < self._n_walks:
+            raise IndexError(f"walk {index} out of range")
+        return self._tokens[self._offsets[index]:self._offsets[index + 1]]
+
+    @property
+    def walks(self) -> _WalkSequence:
+        """List-style view over the walks (kept API: len/iter/index)."""
+        return _WalkSequence(self)
 
     # ------------------------------------------------------------------ #
     # Statistics
@@ -88,15 +246,15 @@ class Corpus:
 
     @property
     def num_walks(self) -> int:
-        return len(self.walks)
+        return self._n_walks
 
     @property
     def total_tokens(self) -> int:
-        return int(self._occurrences.sum())
+        return self._n_tokens
 
     @property
     def average_walk_length(self) -> float:
-        if not self.walks:
+        if not self._n_walks:
             return 0.0
         return self.total_tokens / self.num_walks
 
@@ -110,39 +268,82 @@ class Corpus:
         return kl_divergence(np.asarray(degrees, dtype=np.float64),
                              self._occurrences.astype(np.float64) + 1e-12)
 
+    def shrink_to_fit(self) -> None:
+        """Drop the amortised-doubling headroom (resident == logical).
+
+        Called by the walk engine once sampling finishes, so the corpus
+        the training phase holds (and shares across workers) carries no
+        growth slack; further appends simply grow again.
+        """
+        if self._tokens.size > self._n_tokens:
+            self._tokens = self._tokens[:self._n_tokens].copy()
+        if self._offsets.size > self._n_walks + 1:
+            self._offsets = self._offsets[:self._n_walks + 1].copy()
+
     def memory_bytes(self) -> int:
-        """Bytes held by walks + counters (memory-table benchmarks)."""
-        return int(sum(w.nbytes for w in self.walks) + self._occurrences.nbytes)
+        """Bytes held by the flat walk storage + counters (memory-table
+        benchmarks).  Counts the **allocated** arrays, doubling headroom
+        included -- :meth:`shrink_to_fit` drops the headroom when a
+        corpus stops growing."""
+        return int(self._tokens.nbytes + self._offsets.nbytes
+                   + self._occurrences.nbytes)
 
     # ------------------------------------------------------------------ #
     # Persistence
     # ------------------------------------------------------------------ #
 
     def save(self, path: str) -> None:
-        """Persist the corpus as one walk per line (word2vec corpus format).
+        """Persist the corpus.
 
-        The node universe size is recorded in a header comment so
-        :meth:`load` can rebuild an identical object.
+        The default format is the flat ``.npz`` layout (``tokens`` +
+        ``offsets`` + ``num_nodes``, exactly the in-memory representation);
+        paths ending in ``.txt`` keep the legacy one-walk-per-line
+        word2vec corpus format with the node universe recorded in a header
+        comment.  Both round-trip empty corpora and zero-length walks.
         """
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
-            handle.write(f"# num_nodes={self.num_nodes}\n")
-            for walk in self.walks:
-                handle.write(" ".join(str(int(v)) for v in walk))
-                handle.write("\n")
+        if path.endswith(".txt"):
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(f"# num_nodes={self.num_nodes}\n")
+                for walk in self.walks:
+                    handle.write(" ".join(str(int(v)) for v in walk))
+                    handle.write("\n")
+            return
+        # Write through a handle so numpy cannot append a second ".npz".
+        with open(path, "wb") as handle:
+            np.savez(handle,
+                     tokens=self.tokens,
+                     offsets=self.offsets,
+                     num_nodes=np.int64(self.num_nodes))
 
     @classmethod
     def load(cls, path: str) -> "Corpus":
-        """Rebuild a corpus written by :meth:`save`."""
+        """Rebuild a corpus written by :meth:`save` (either format).
+
+        The format is sniffed from the file's magic bytes, so flat ``.npz``
+        corpora and legacy text corpora both load through this one entry
+        point.  Zero-length walks survive the round trip: in the text
+        format they appear as empty lines (older loaders dropped them).
+        """
+        with open(path, "rb") as probe:
+            magic = probe.read(len(_NPZ_MAGIC))
+        if magic == _NPZ_MAGIC:
+            with np.load(path) as data:
+                return cls.from_flat(int(data["num_nodes"]),
+                                     data["tokens"], data["offsets"])
         with open(path, "r", encoding="utf-8") as handle:
             header = handle.readline().strip()
             if not header.startswith("# num_nodes="):
                 raise ValueError(f"{path}: missing corpus header")
             corpus = cls(int(header.split("=", 1)[1]))
             for line in handle:
-                line = line.strip()
-                if line:
-                    corpus.add_walk([int(tok) for tok in line.split()])
+                walk = [int(tok) for tok in line.split()]
+                if walk:
+                    corpus.add_walk(walk)
+                else:
+                    # A blank line is a zero-length walk, not filler.
+                    corpus._append_flat(np.empty(0, dtype=np.int64),
+                                        np.zeros(1, dtype=np.int64))
         return corpus
 
     def __iter__(self) -> Iterator[np.ndarray]:

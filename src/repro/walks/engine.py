@@ -12,6 +12,15 @@ three systems compared throughout the paper:
 * ``incom``    -- DistGER: information-oriented walks with O(1) InCoM
   measurement and constant 80-byte messages.
 
+Every backend flushes finished walks into the flat
+:class:`repro.walks.corpus.Corpus` (one contiguous token block + monotone
+offsets) in **walk-id order** -- the canonical corpus order of the walker
+RNG protocol.  The vectorized backend and the process executor compact
+whole padded rounds into the token block with ``Corpus.add_walks``; the
+loop references append one walk at a time and land on the identical flat
+state, which the corpus-invariants suite
+(``tests/test_walks_corpus_properties.py``) pins down.
+
 Per-machine compute units are credited for every sampling trial and for
 every measurement at its mode-specific cost, so the simulated cost model
 reproduces the paper's complexity separations; the *wall-clock* separation
@@ -285,6 +294,9 @@ class DistributedWalkEngine:
                 process_runner.close()
         if count_rule is not None:
             stats.kl_trace = list(count_rule.kl_trace)
+        # Sampling is done: drop the growth headroom so the corpus the
+        # training phase holds (and shares) is exactly its logical size.
+        corpus.shrink_to_fit()
         return WalkResult(corpus=corpus, stats=stats, walk_machines=walk_machines)
 
     # ------------------------------------------------------------------ #

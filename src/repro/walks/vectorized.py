@@ -143,10 +143,12 @@ def vectorized_routine_corpus(
     corpus = Corpus(graph.num_nodes)
     for _round in range(walks_per_node):
         paths = batch_walk_matrix(graph, sources, walk_length - 1, gen, sampler)
-        for row in paths:
-            walk = row[row >= 0]
-            if walk.size:
-                corpus.add_walk(walk)
+        # Dead-end padding (-1) is a contiguous tail, so the per-row valid
+        # prefix length recovers exactly the walks the per-row filter did;
+        # the batch flush compacts them straight into the corpus's flat
+        # token block.
+        corpus.add_walks(paths, (paths >= 0).sum(axis=1))
+    corpus.shrink_to_fit()
     return corpus
 
 
@@ -325,6 +327,11 @@ class BatchWalkRunner:
             self._so_offsets = sampler._table_offsets
             self._so_accept = sampler._accept
             self._so_alias = sampler._alias_local
+        # Scratch path/length buffers reused across serial rounds, so the
+        # per-round flush writes through one stable padded matrix into the
+        # corpus's flat token block instead of allocating per round.
+        self._scratch_paths: Optional[np.ndarray] = None
+        self._scratch_lengths: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------ #
     # InCoM batch state helpers
@@ -446,8 +453,15 @@ class BatchWalkRunner:
         n = sources.size
         if n == 0:
             return
+        cap = (self.config.max_length if self.info_mode
+               else self.config.walk_length)
+        if self._scratch_paths is None or self._scratch_paths.shape != (n, cap):
+            self._scratch_paths = np.empty((n, cap), dtype=np.int64)
+            self._scratch_lengths = np.empty(n, dtype=np.int64)
         walk_ids = round_idx * n + np.arange(n, dtype=np.int64)
-        paths, lengths = self.run_walks(sources, walk_ids, stats)
+        paths, lengths = self.run_walks(sources, walk_ids, stats,
+                                        paths_out=self._scratch_paths,
+                                        lengths_out=self._scratch_lengths)
         # Flush in walk-id order (the canonical order of the walker
         # protocol; the loop backend emits the same order).
         corpus.add_walks(paths, lengths)

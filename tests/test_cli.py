@@ -45,6 +45,35 @@ class TestCommands:
         assert np.all(np.isfinite(emb))
         assert "walker messages" in capsys.readouterr().out
 
+    def test_embed_saves_corpus(self, tmp_path, capsys):
+        from repro.walks import Corpus
+
+        out = str(tmp_path / "walks.npz")
+        code = main([
+            "embed", "--dataset", "FL", "--scale", "0.2",
+            "--method", "distger", "--dim", "8", "--epochs", "1",
+            "--machines", "2", "--save-corpus", out,
+        ])
+        assert code == 0
+        assert "walk corpus" in capsys.readouterr().out
+        corpus = Corpus.load(out)
+        assert corpus.num_walks > 0
+        # Flat invariants survive the round trip.
+        assert corpus.offsets[-1] == corpus.tokens.size
+
+    def test_save_corpus_rejected_for_corpusless_methods(self, capsys):
+        """The check runs before the embedding, so a long run is never
+        wasted on a flag that cannot be honoured."""
+        code = main([
+            "embed", "--dataset", "FL", "--scale", "0.2",
+            "--method", "pbg", "--dim", "8", "--epochs", "1",
+            "--machines", "2", "--save-corpus", "/tmp/never.npz",
+        ])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "no walk corpus" in captured.err
+        assert "Embedding" not in captured.out  # failed fast, no run
+
     def test_embed_from_edge_list(self, tmp_path, capsys):
         edge_file = tmp_path / "g.txt"
         rng = np.random.default_rng(0)

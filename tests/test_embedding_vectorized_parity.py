@@ -234,7 +234,9 @@ class TestBackendResolution:
         assert TrainConfig().resolved_rng_protocol() == "shared"
 
     def test_cluster_protocol_forces_loop(self):
-        cfg = TrainConfig(rng_protocol="cluster")
+        # The legacy protocol is serial-only by design, so pin execution
+        # (REPRO_EXECUTION=process would otherwise reject the combination).
+        cfg = TrainConfig(rng_protocol="cluster", execution="serial")
         assert cfg.resolved_backend("dsgl") == "loop"
 
     def test_invalid_names(self):
@@ -252,7 +254,8 @@ class TestBackendResolution:
         assert trainer.backend == "vectorized"
         assert trainer.rng_protocol == "shared"
         legacy = DistributedTrainer(
-            corpus, cluster, TrainConfig(dim=4, rng_protocol="cluster"))
+            corpus, cluster, TrainConfig(dim=4, rng_protocol="cluster",
+                                         execution="serial"))
         assert legacy.backend == "loop"
 
     def test_legacy_cluster_protocol_unchanged(self):
@@ -262,7 +265,8 @@ class TestBackendResolution:
         corpus = make_corpus(seed=13)
         outs = []
         for _ in range(2):
-            res = train_embeddings(corpus, "loop", rng_protocol="cluster")
+            res = train_embeddings(corpus, "loop", rng_protocol="cluster",
+                                   execution="serial")
             outs.append(res.embeddings)
         np.testing.assert_array_equal(outs[0], outs[1])
 

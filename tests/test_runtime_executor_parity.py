@@ -99,6 +99,46 @@ class TestWalkParity:
         result, _ = run_walks(graph, "process", 2, **cfg)
         assert_corpora_equal(ref.corpus, result.corpus)
 
+    def test_node2vec_alias_shared_tables_parity(self):
+        """Walk workers build their node2vec-alias kernel from the
+        parent's exported flat tables (no per-worker Σ deg(u) rebuild);
+        loop, vectorized and process corpora stay byte-identical."""
+        graph = graph_family("weighted")
+        cfg = dict(kernel="node2vec-alias", p=2.0, q=0.5)
+        loop, _ = run_walks(graph, "serial", backend="loop", **cfg)
+        vec, _ = run_walks(graph, "serial", **cfg)
+        for workers in (1, 2):
+            proc, _ = run_walks(graph, "process", workers, **cfg)
+            assert_corpora_equal(loop.corpus, proc.corpus)
+        assert_corpora_equal(loop.corpus, vec.corpus)
+
+    def test_alias_sampler_table_export_roundtrip(self):
+        """from_tables(export_tables()) reproduces the building sampler's
+        draws exactly (the shared-memory reuse contract)."""
+        from repro.walks.alias_sampling import SecondOrderAliasSampler
+
+        graph = graph_family("weighted")
+        built = SecondOrderAliasSampler(graph, p=2.0, q=0.5)
+        wrapped = SecondOrderAliasSampler.from_tables(
+            graph, 2.0, 0.5, built.export_tables())
+        assert wrapped.build_seconds == 0.0
+        assert wrapped.num_table_entries == built.num_table_entries
+        rng = np.random.default_rng(7)
+        for _ in range(50):
+            cur = int(rng.integers(0, graph.num_nodes))
+            while graph.degree(cur) == 0:
+                cur = int(rng.integers(0, graph.num_nodes))
+            # First-order (walk start) half the time, otherwise a real
+            # arc (prev -> cur): any neighbour works, the graph is
+            # undirected so the reverse arc is stored too.
+            prev = -1
+            if rng.random() < 0.5:
+                nbrs = graph.neighbors(cur)
+                prev = int(nbrs[int(rng.integers(0, nbrs.size))])
+            u1, u2 = float(rng.random()), float(rng.random())
+            assert built.sample_step_with_uniforms(cur, prev, u1, u2) == \
+                wrapped.sample_step_with_uniforms(cur, prev, u1, u2)
+
     def test_kl_round_termination_matches(self):
         """The walk-count rule sees identical corpora, so both executors
         stop after the same number of rounds."""
