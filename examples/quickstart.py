@@ -7,15 +7,25 @@ DSGL training with hotness-block synchronisation) on a simulated
 4-machine cluster, and prints what happened.
 
 Run:  python examples/quickstart.py
+
+``REPRO_EXAMPLE_SCALE`` / ``REPRO_EXAMPLE_DIM`` / ``REPRO_EXAMPLE_EPOCHS``
+shrink the run (the examples smoke test uses them to keep this script
+executable in CI on a tiny graph).
 """
 
 from __future__ import annotations
 
+import os
+
 from repro import embed_graph, load_dataset
+
+SCALE = float(os.environ.get("REPRO_EXAMPLE_SCALE", "0.5"))
+DIM = int(os.environ.get("REPRO_EXAMPLE_DIM", "64"))
+EPOCHS = int(os.environ.get("REPRO_EXAMPLE_EPOCHS", "3"))
 
 
 def main() -> None:
-    dataset = load_dataset("LJ", scale=0.5)
+    dataset = load_dataset("LJ", scale=SCALE)
     graph = dataset.graph
     print(f"Graph: {graph.num_nodes} nodes, {graph.num_edges} edges "
           f"({dataset.description})")
@@ -24,8 +34,8 @@ def main() -> None:
         graph,
         method="distger",
         num_machines=4,
-        dim=64,
-        epochs=3,
+        dim=DIM,
+        epochs=EPOCHS,
         seed=0,
     )
 

@@ -8,13 +8,19 @@ communication grows, reproducing the scaling curves.
 Part 2 sweeps the graph size (R-MAT scales) at a fixed cluster and shows
 the near-linear growth of sampling + training time with |V|.
 
-Part 3 runs the same pipeline on the *process* execution runtime
+Part 3 runs the same pipeline on the real execution runtimes
 (``embed_graph(..., execution="process", workers=4)`` -- equivalently
-``python -m repro embed --execution process --workers 4``): real worker
-processes over shared-memory buffers, byte-identical results, wall-clock
-scaling with the host's cores.
+``python -m repro embed --execution process --workers 4``): worker
+processes over shared-memory buffers behind per-phase barriers, then the
+*streaming* executor (``execution="pipeline"``), where partitioning
+overlaps walk sampling and round flushes overlap the next round's
+sampling -- byte-identical results either way, wall-clock scaling with
+the host's cores.
 
 Run:  python examples/scalability_study.py
+
+``REPRO_EXAMPLE_FAST=1`` shrinks every sweep to smoke-test size (how the
+examples smoke test keeps this script executable in CI).
 """
 
 from __future__ import annotations
@@ -27,13 +33,16 @@ import numpy as np
 from repro import DistGER, embed_graph, load_dataset
 from repro.graph import rmat
 
+#: Smoke-test mode: tiny graphs, short sweeps, identical code paths.
+FAST = os.environ.get("REPRO_EXAMPLE_FAST", "") not in ("", "0")
+
 
 def machine_sweep() -> None:
-    graph = load_dataset("LJ", scale=0.5).graph
+    graph = load_dataset("LJ", scale=0.1 if FAST else 0.5).graph
     print(f"Machine sweep on |V|={graph.num_nodes}, |E|={graph.num_edges}")
     print(f"{'machines':>9s} {'sim s':>8s} {'messages':>9s} "
           f"{'sync MB':>8s} {'imbalance':>9s}")
-    for machines in (1, 2, 4, 8):
+    for machines in (1, 2) if FAST else (1, 2, 4, 8):
         system = DistGER(num_machines=machines, dim=32, epochs=2, seed=0)
         result = system.embed(graph)
         m = result.metrics
@@ -45,7 +54,7 @@ def machine_sweep() -> None:
 def size_sweep() -> None:
     print("\nGraph-size sweep (R-MAT, 4 machines)")
     print(f"{'nodes':>7s} {'edges':>8s} {'walk s':>8s} {'train s':>8s}")
-    for scale in (7, 8, 9, 10):
+    for scale in (7, 8) if FAST else (7, 8, 9, 10):
         graph = rmat(scale=scale, edge_factor=5, seed=3)
         system = DistGER(num_machines=4, dim=32, epochs=1, seed=0)
         result = system.embed(graph)
@@ -55,8 +64,8 @@ def size_sweep() -> None:
 
 
 def executor_sweep() -> None:
-    """Serial vs process execution: same bytes, host-core wall-clock."""
-    graph = rmat(scale=13, edge_factor=8, seed=3)
+    """Serial vs process vs pipeline: same bytes, host-core wall-clock."""
+    graph = rmat(scale=9 if FAST else 13, edge_factor=8, seed=3)
     print(f"\nExecutor sweep on |V|={graph.num_nodes} "
           f"(host has {os.cpu_count()} cores)")
     print(f"{'execution':>12s} {'workers':>8s} {'wall s':>8s}")
@@ -69,11 +78,12 @@ def executor_sweep() -> None:
 
     serial, serial_wall = timed_embed(execution="serial")
     print(f"{'serial':>12s} {'-':>8s} {serial_wall:8.2f}")
-    for workers in (2, 4):
-        result, wall = timed_embed(execution="process", workers=workers)
-        same = np.array_equal(serial.embeddings, result.embeddings)
-        print(f"{'process':>12s} {workers:8d} {wall:8.2f}"
-              f"   byte-identical to serial: {same}")
+    for execution in ("process", "pipeline"):
+        for workers in (2,) if FAST else (2, 4):
+            result, wall = timed_embed(execution=execution, workers=workers)
+            same = np.array_equal(serial.embeddings, result.embeddings)
+            print(f"{execution:>12s} {workers:8d} {wall:8.2f}"
+                  f"   byte-identical to serial: {same}")
 
 
 if __name__ == "__main__":

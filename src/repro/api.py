@@ -33,9 +33,16 @@ only.
 ``execution`` and ``workers`` are pipeline-wide: ``embed_graph(g,
 execution="process", workers=4)`` pushes walk rounds, training slices and
 (for the MPGP methods) parallel-partition segments onto real worker
-processes (:mod:`repro.runtime.executor`).  Because all randomness is
-counter-based, the process backend reproduces serial runs byte for byte
--- the knob trades wall-clock only.  Per-phase overrides still win:
+processes (:mod:`repro.runtime.executor`).  ``execution="pipeline"`` is
+the streaming superset: the same worker pools, plus overlap *between*
+phases -- the partitioner runs concurrently with walk sampling, and walk
+rounds sample ahead through a bounded queue while the parent flushes the
+previous round into the corpus, with the trainer's slice consumption
+gated on walk residency (:mod:`repro.runtime.pipeline`).  Because all
+randomness is counter-based, both backends reproduce serial runs byte
+for byte -- the knobs trade wall-clock only
+(``benchmarks/bench_fig5_pipeline_overlap.py`` gates the end-to-end
+overlap speedup).  Per-phase overrides still win:
 ``walk_overrides={"execution": "serial"}`` keeps just the walks serial.
 
 The walk corpus itself is a flat token block + offsets
@@ -193,6 +200,19 @@ def embed_graph(
     -------
     SystemResult
         Embeddings plus timers, traffic metrics, and run statistics.
+
+    Examples
+    --------
+    The full DistGER pipeline on a small synthetic graph (the snippet the
+    README quickstart builds on; kept executable by the CI docs job):
+
+    >>> from repro.graph import powerlaw_cluster
+    >>> graph = powerlaw_cluster(60, attach=3, seed=1)
+    >>> result = embed_graph(graph, num_machines=2, dim=8, epochs=1, seed=0)
+    >>> result.embeddings.shape
+    (60, 8)
+    >>> result.corpus.num_walks > 0
+    True
     """
     key = method.lower()
     if key not in _METHODS:

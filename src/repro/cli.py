@@ -69,7 +69,7 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
 
 
 _BACKEND_CHOICES = ["auto", "vectorized", "loop"]
-_EXECUTION_CHOICES = ["serial", "process"]
+_EXECUTION_CHOICES = ["serial", "process", "pipeline"]
 
 
 def _add_system_args(parser: argparse.ArgumentParser) -> None:
@@ -94,11 +94,14 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--execution", default=None,
                         choices=_EXECUTION_CHOICES,
                         help="run walk rounds, training slices and MPGP "
-                             "segments on worker processes; byte-identical "
-                             "to serial (default: serial)")
+                             "segments on worker processes ('process'), or "
+                             "additionally overlap partitioning with "
+                             "sampling and round flushes with the next "
+                             "round ('pipeline'); byte-identical results "
+                             "either way (default: serial)")
     parser.add_argument("--workers", type=int, default=None,
-                        help="worker processes for --execution process "
-                             "(default: min(4, cores))")
+                        help="worker processes for --execution "
+                             "process/pipeline (default: min(4, cores))")
 
 
 def _backend_kwargs(args) -> dict:

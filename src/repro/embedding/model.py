@@ -95,15 +95,21 @@ class TrainConfig:
     #: ``benchmarks/bench_ablation_dsgl_threads.py``, which calibrates
     #: this default.
     dsgl_threads: int = 8
-    #: "serial" | "process": where each sync period's per-machine slices
-    #: train.  ``"process"`` dispatches every machine's slice to a worker
-    #: process over shared-memory replica matrices
+    #: "serial" | "process" | "pipeline": where each sync period's
+    #: per-machine slices train.  ``"process"`` dispatches every machine's
+    #: slice to a worker process over shared-memory replica matrices
     #: (:class:`repro.runtime.executor.ProcessSliceTrainer`); slices touch
     #: disjoint replicas and all negative draws are counter-based, so the
     #: result is bit-identical to serial execution (requires the
-    #: ``"shared"`` RNG protocol).  Default from ``REPRO_EXECUTION``.
+    #: ``"shared"`` RNG protocol).  ``"pipeline"`` selects the streaming
+    #: system dataflow (:mod:`repro.runtime.pipeline`); for the training
+    #: phase itself it resolves to the process slice path -- the trainer
+    #: is the pipeline's *consumer*, gated on corpus readiness
+    #: (:class:`repro.walks.corpus.CorpusFeed`), not a producer with
+    #: anything of its own to overlap.  Default from ``REPRO_EXECUTION``.
     execution: str = field(default_factory=default_execution)
-    #: Worker processes under execution="process"; 0 = auto (min(4, cores)).
+    #: Worker processes under execution="process"/"pipeline"; 0 = auto
+    #: (min(4, cores)).
     workers: int = field(default_factory=default_workers)
 
     def __post_init__(self) -> None:
@@ -135,11 +141,13 @@ class TrainConfig:
         resolve_execution(self.execution)
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
-        if self.execution == "process" and self.rng_protocol == "cluster":
+        if self.execution in ("process", "pipeline") and \
+                self.rng_protocol == "cluster":
             raise ValueError(
-                "process execution requires the 'shared' RNG protocol: the "
-                "legacy per-machine generator draws depend on scheduling "
-                "and cannot hold the cross-process parity contract"
+                f"{self.execution} execution requires the 'shared' RNG "
+                "protocol: the legacy per-machine generator draws depend "
+                "on scheduling and cannot hold the cross-process parity "
+                "contract"
             )
 
     def resolved_backend(self, learner: str = "dsgl") -> str:
@@ -176,10 +184,15 @@ class TrainConfig:
         ``"process"`` holds for every learner whose randomness flows
         through the shared counter streams (all of them under the
         ``"shared"`` protocol); the conflicting ``"cluster"`` combination
-        is rejected at construction, so this is a pass-through kept for
-        symmetry with :class:`repro.walks.engine.WalkConfig`.
+        is rejected at construction.  ``"pipeline"`` resolves to
+        ``"process"``: the streaming overlap lives in the system-level
+        dataflow (partition ∥ sampling, flush ∥ sampling), while slice
+        training itself always runs downstream of the finished corpus --
+        the frequency-ordered vocabulary and the unigram^0.75 negative
+        table are global corpus statistics, so no slice can train before
+        the occurrence counters are final without changing bytes.
         """
-        return self.execution
+        return "process" if self.execution == "pipeline" else self.execution
 
 
 class EmbeddingModel:

@@ -28,6 +28,25 @@ suite.  ``"cluster"`` keeps the legacy per-machine generator draws for
 backward-compatible seeds (loop backend only).  Per-superstep compute and
 sync-message accounting is charged identically for every backend, so the
 simulated cluster metrics stay comparable across them.
+
+Execution
+---------
+``TrainConfig.execution="process"`` runs each sync period's (replica-
+disjoint) per-machine slices concurrently on worker processes over
+shared-memory replica matrices.  Walk data never travels per round: the
+flat corpus (token block + offsets) and the per-machine shard index
+arrays move into shared memory once, and every sync round ships only
+``(machine, lo, hi, lr, key, counter)`` **slice descriptors** that
+workers resolve as zero-copy views into the shared block
+(:class:`repro.runtime.executor.ProcessSliceTrainer`; parent-side
+subsampling is the one fallback that still pickles batches, since those
+walks exist only in the parent).  ``execution="pipeline"`` resolves to
+the same slice path -- in the streaming dataflow the trainer is the
+*consumer*: pass a :class:`repro.walks.corpus.CorpusFeed` and the
+trainer gates slice consumption on walk residency, waiting for the
+producer to finish before deriving the global corpus statistics (vocab
+order, negative table, lr token total) that the ``shared`` protocol
+fixes up front.
 """
 
 from __future__ import annotations
@@ -97,6 +116,7 @@ class DistributedTrainer:
         config: Optional[TrainConfig] = None,
         learner: str = "dsgl",
         walk_machines: Optional[Sequence[int]] = None,
+        feed: Optional["CorpusFeed"] = None,
     ) -> None:
         if learner not in LEARNERS:
             raise KeyError(f"unknown learner {learner!r}; options: "
@@ -109,12 +129,18 @@ class DistributedTrainer:
         #: raises here for invalid combinations, e.g. vectorized psgnscc).
         self.backend = self.config.resolved_backend(learner)
         self.rng_protocol = self.config.resolved_rng_protocol()
-        #: Execution mode ("serial" or "process") slices run under.
+        #: Execution mode ("serial" or "process") slices run under
+        #: ("pipeline" resolves to the process slice path).
         self.execution = self.config.resolved_execution()
+        #: Streaming readiness gate (the pipeline dataflow's walk→train
+        #: hand-off); None means the corpus is already complete.
+        self.feed = feed
+        if feed is not None and feed.corpus is not corpus:
+            raise ValueError("feed must wrap the corpus being trained on")
         self.walk_machines = (
             list(walk_machines) if walk_machines is not None else None
         )
-        if self.walk_machines is not None and \
+        if feed is None and self.walk_machines is not None and \
                 len(self.walk_machines) != corpus.num_walks:
             raise ValueError("walk_machines must align with corpus walks")
 
@@ -177,6 +203,22 @@ class DistributedTrainer:
         cfg = self.config
         cluster = self.cluster
         m = cluster.num_machines
+        ready_walks = self.corpus.num_walks
+        if self.feed is not None:
+            # Global-statistics barrier of the ``shared`` protocol: the
+            # frequency-ordered vocabulary, the unigram^0.75 negative
+            # table, the subsampling keep-probabilities and the lr
+            # schedule's token total are all functions of the *final*
+            # occurrence counters, so they can only be fixed once the
+            # producer has finished -- consuming any slice earlier would
+            # change bytes.  (Per-slice residency is still gated in the
+            # plan loop below, so the streaming contract survives a
+            # future protocol that freezes the counters earlier.)
+            ready_walks = self.feed.wait_finished()
+            if self.walk_machines is not None and \
+                    len(self.walk_machines) != self.corpus.num_walks:
+                raise ValueError(
+                    "walk_machines must align with corpus walks")
         vocab = Vocabulary.from_corpus(self.corpus)
         sampler = NegativeSampler(vocab)
         keep = self._keep_probabilities()
@@ -248,8 +290,17 @@ class DistributedTrainer:
                         batch: List[np.ndarray] = []
                         while (cursors[machine] < len(shard)
                                and slice_tokens < cfg.sync_period_tokens):
-                            walk = self.corpus.walk(
-                                int(shard[cursors[machine]]))
+                            walk_index = int(shard[cursors[machine]])
+                            if self.feed is not None and \
+                                    walk_index >= ready_walks:
+                                # Shard-readiness gate: block until the
+                                # walk this slice reads is resident in
+                                # the flat block (cheap watermark check
+                                # on the hot path; only locks when the
+                                # producer is actually behind).
+                                ready_walks = self.feed.wait_ready(
+                                    walk_index + 1)
+                            walk = self.corpus.walk(walk_index)
                             if keep is not None:
                                 walk = self._subsample_walk(
                                     walk, keep, rngs[machine]

@@ -56,15 +56,19 @@ class PartitionConfig:
     num_segments: int = 4          # parallel variant only
     #: "auto" | "vectorized" | "loop" -- see the class docstring.
     backend: str = "auto"
-    #: "serial" | "process": where the parallel variant's independent
-    #: stream segments are partitioned.  Segments share no state, so
-    #: running them on worker processes
+    #: "serial" | "process" | "pipeline": where the parallel variant's
+    #: independent stream segments are partitioned.  Segments share no
+    #: state, so running them on worker processes
     #: (:func:`repro.runtime.executor.run_partition_segments`) produces
-    #: byte-identical assignments; the *sequential* partitioner's stream
-    #: is one order-dependent chain and always runs serially.  Default
-    #: from ``REPRO_EXECUTION``.
+    #: byte-identical assignments; ``"pipeline"`` segments the same way
+    #: and additionally lets the system-level coordinator run the whole
+    #: partition concurrently with walk sampling
+    #: (:class:`repro.runtime.executor.AsyncPartition`).  The *sequential*
+    #: partitioner's stream is one order-dependent chain and always runs
+    #: serially.  Default from ``REPRO_EXECUTION``.
     execution: str = field(default_factory=default_execution)
-    #: Worker processes under execution="process"; 0 = auto (min(4, cores)).
+    #: Worker processes under execution="process"/"pipeline"; 0 = auto
+    #: (min(4, cores)).
     workers: int = field(default_factory=default_workers)
     seed: SeedLike = 0
 

@@ -361,7 +361,7 @@ class ParallelMPGPPartitioner(Partitioner):
         arc_cm = (_arc_common_neighbors(graph)
                   if self.resolved_backend() == "vectorized" else None)
 
-        if self.execution == "process" and len(segments) > 1:
+        if self.execution in ("process", "pipeline") and len(segments) > 1:
             from repro.runtime.executor import run_partition_segments
 
             seg_parts_list = run_partition_segments(

@@ -1,9 +1,17 @@
-"""Simulated distributed runtime.
+"""Distributed runtime: the simulated cluster and the real executors.
 
-Stands in for the paper's 8-machine cluster: machine placement, BSP walker
-scheduling, byte-accurate message accounting and a cost model that converts
-operation/traffic counts into a simulated makespan.  See DESIGN.md §1 for
-why this substitution preserves the paper's efficiency comparisons.
+Two layers live here.  The *simulated* layer stands in for the paper's
+8-machine cluster: machine placement, BSP walker scheduling, byte-accurate
+message accounting and a cost model that converts operation/traffic counts
+into a simulated makespan (see DESIGN.md §1 for why this substitution
+preserves the paper's efficiency comparisons).  The *execution* layer
+makes the pipeline phases actually run on multiple OS processes:
+:mod:`repro.runtime.executor` hosts the phased ``execution="process"``
+backends (shared-memory buffers, slice descriptors) and the streaming
+building blocks, and :mod:`repro.runtime.pipeline` composes them into the
+``execution="pipeline"`` dataflow (partition ∥ sampling, round flushes ∥
+the next round, readiness-gated training) -- all byte-identical to serial
+execution under the counter-based RNG protocols.
 """
 
 from repro.runtime.bsp import BSPEngine, BSPStats, SuperstepRecord

@@ -1,4 +1,4 @@
-"""Process-parallel execution runtime (the ``execution="process"`` knob).
+"""Process-parallel execution runtime (``execution="process"``/``"pipeline"``).
 
 The simulated :class:`~repro.runtime.cluster.Cluster` counts work; this
 module makes the three pipeline phases *actually* run on multiple OS
@@ -40,6 +40,13 @@ Three phase executors live here:
   parallel-MPGP's independent stream segments on workers; the (sequential)
   merge stays in the parent.
 
+The streaming building blocks of ``execution="pipeline"`` also live
+here: :class:`StreamingWalkRunner` (a bounded round queue over the same
+walk pool, sampling rounds ahead of the parent's flush under deferred
+accounting) and :class:`AsyncPartition` (a partitioner on its own worker,
+joined where the placement is first consumed).
+:mod:`repro.runtime.pipeline` composes them into the overlapped dataflow.
+
 Shared-memory plumbing (:class:`SharedArray` / CSR helpers) is exposed for
 reuse; handles are picklable and survive round trips to worker processes
 (property-tested in the parity suite).
@@ -55,21 +62,29 @@ import numpy as np
 
 __all__ = [
     "EXECUTION_CHOICES",
+    "AsyncPartition",
     "ProcessExecutor",
     "ProcessSliceTrainer",
     "ProcessWalkRunner",
     "SharedArray",
     "SharedArrayHandle",
+    "StreamingWalkRunner",
     "attach_shared_array",
     "default_execution",
     "default_workers",
+    "pipeline_depth",
     "resolve_execution",
     "resolved_worker_count",
+    "run_partition_async",
     "run_partition_segments",
 ]
 
 #: Accepted values of the ``execution`` knob on every phase config.
-EXECUTION_CHOICES = ("serial", "process")
+#: ``"pipeline"`` is the streaming superset of ``"process"``: the same
+#: worker pools, plus overlap between phases (partition || sampling) and
+#: within the walk phase (round k+1 samples while round k flushes) --
+#: byte-identical results either way.
+EXECUTION_CHOICES = ("serial", "process", "pipeline")
 
 
 def default_execution() -> str:
@@ -85,6 +100,21 @@ def default_execution() -> str:
 def default_workers() -> int:
     """Default of the ``workers`` config fields (``REPRO_WORKERS`` or 0)."""
     return int(os.environ.get("REPRO_WORKERS", "0"))
+
+
+def pipeline_depth() -> int:
+    """In-flight walk rounds of the streaming executor (backpressure bound).
+
+    ``REPRO_PIPELINE_DEPTH`` overrides the default of 2 (double buffering:
+    workers sample round ``k+1`` while the parent flushes round ``k``).
+    Each in-flight round owns one shared path/length/trial buffer set, so
+    the depth bounds both speculation waste past a KL stop and resident
+    memory; values below 1 are rejected.
+    """
+    depth = int(os.environ.get("REPRO_PIPELINE_DEPTH", "2"))
+    if depth < 1:
+        raise ValueError(f"REPRO_PIPELINE_DEPTH must be >= 1, got {depth}")
+    return depth
 
 
 def resolve_execution(execution: str) -> str:
@@ -323,10 +353,29 @@ def split_ranges(n: int, parts: int) -> List[Tuple[int, int]]:
 _WORKER_STATE: Dict[str, object] = {}
 
 
-def _walk_worker_init(graph_handle, assignment_handle, num_machines,
-                      walk_seed_root, config, sources_handle, paths_handle,
-                      lengths_handle, table_handles) -> None:
-    from repro.runtime.cluster import Cluster
+def _share_kernel_tables(group: _SharedGroup, graph, kernel) -> Dict:
+    """Precompute the walk kernel's tables once into shared segments.
+
+    HuGE acceptance / weighted cumsums, and node2vec-alias's five flat
+    sampler tables (first- and second-order alias structures), so no walk
+    worker pays any table build.  Shared by the process and pipeline
+    runners.
+    """
+    from repro.walks.vectorized import weighted_row_cumsum
+
+    tables = {}
+    if kernel.name in ("huge", "huge+"):
+        tables["arc_accept"] = group.share(kernel.arc_acceptance_table())
+    if graph.is_weighted and kernel.name != "node2vec-alias":
+        tables["row_cumsum"] = group.share(weighted_row_cumsum(graph))
+    if kernel.name == "node2vec-alias":
+        for key, table in kernel.sampler.export_tables().items():
+            tables[key] = group.share(table)
+    return tables
+
+
+def _build_worker_runner(graph, cluster, config, table_handles):
+    """Rebuild a :class:`BatchWalkRunner` over shared tables (worker side)."""
     from repro.runtime.message import BYTES_PER_FIELD
     from repro.walks.alias_sampling import (
         Node2VecAliasKernel,
@@ -335,12 +384,6 @@ def _walk_worker_init(graph_handle, assignment_handle, num_machines,
     from repro.walks.kernels import make_kernel
     from repro.walks.vectorized import BatchWalkRunner
 
-    graph = attach_graph(graph_handle)
-    cluster = Cluster(num_machines, attach_shared_array(assignment_handle),
-                      seed=0)
-    # The parity-critical piece of cluster state: walker stream keys must
-    # derive from the parent's root, not this worker's placeholder seed.
-    cluster.walk_seed_root = walk_seed_root
     tables = {key: attach_shared_array(handle)
               for key, handle in table_handles.items()}
     if config.kernel == "node2vec-alias" and "so_offsets" in tables:
@@ -355,9 +398,24 @@ def _walk_worker_init(graph_handle, assignment_handle, num_machines,
                          if config.kernel in ("node2vec", "node2vec-alias")
                          else {})
         kernel = make_kernel(config.kernel, graph, **kernel_kwargs)
-    _WORKER_STATE["walk_runner"] = BatchWalkRunner(
-        graph, cluster, config, kernel,
-        kernel.message_fields * BYTES_PER_FIELD, tables=tables)
+    return BatchWalkRunner(graph, cluster, config, kernel,
+                           kernel.message_fields * BYTES_PER_FIELD,
+                           tables=tables)
+
+
+def _walk_worker_init(graph_handle, assignment_handle, num_machines,
+                      walk_seed_root, config, sources_handle, paths_handle,
+                      lengths_handle, table_handles) -> None:
+    from repro.runtime.cluster import Cluster
+
+    graph = attach_graph(graph_handle)
+    cluster = Cluster(num_machines, attach_shared_array(assignment_handle),
+                      seed=0)
+    # The parity-critical piece of cluster state: walker stream keys must
+    # derive from the parent's root, not this worker's placeholder seed.
+    cluster.walk_seed_root = walk_seed_root
+    _WORKER_STATE["walk_runner"] = _build_worker_runner(
+        graph, cluster, config, table_handles)
     _WORKER_STATE["walk_sources"] = attach_shared_array(sources_handle)
     _WORKER_STATE["walk_paths"] = attach_shared_array(paths_handle)
     _WORKER_STATE["walk_lengths"] = attach_shared_array(lengths_handle)
@@ -389,8 +447,6 @@ class ProcessWalkRunner:
 
     def __init__(self, graph, cluster, config, kernel,
                  routine_message_bytes: int, sources: np.ndarray) -> None:
-        from repro.walks.vectorized import weighted_row_cumsum
-
         del routine_message_bytes  # workers recompute it from the kernel
         self.cluster = cluster
         self.workers = resolved_worker_count(config.workers)
@@ -406,20 +462,7 @@ class ProcessWalkRunner:
                 np.asarray(sources, dtype=np.int64))
             self._paths = self._group.empty((n, cap), np.int64)
             self._lengths = self._group.empty((n,), np.int64)
-            # Precompute the kernel tables once and hand workers views:
-            # HuGE acceptance / weighted cumsums, and node2vec-alias's
-            # five flat sampler tables (first- and second-order alias
-            # structures), so no worker pays any table build.
-            tables = {}
-            if kernel.name in ("huge", "huge+"):
-                tables["arc_accept"] = self._group.share(
-                    kernel.arc_acceptance_table())
-            if graph.is_weighted and kernel.name != "node2vec-alias":
-                tables["row_cumsum"] = self._group.share(
-                    weighted_row_cumsum(graph))
-            if kernel.name == "node2vec-alias":
-                for key, table in kernel.sampler.export_tables().items():
-                    tables[key] = self._group.share(table)
+            tables = _share_kernel_tables(self._group, graph, kernel)
             self._pool = ProcessExecutor(
                 self.workers, initializer=_walk_worker_init,
                 initargs=(graph_handle, assignment_handle,
@@ -463,6 +506,249 @@ class ProcessWalkRunner:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# --------------------------------------------------------------------- #
+# Walk phase, streaming (the ``execution="pipeline"`` producer)
+# --------------------------------------------------------------------- #
+
+
+def _stream_walk_worker_init(graph_handle, num_machines, walk_seed_root,
+                             config, sources_handle, slot_handles,
+                             table_handles) -> None:
+    from repro.runtime.cluster import Cluster
+
+    graph = attach_graph(graph_handle)
+    # Streaming workers run under deferred accounting, which never
+    # consults the node placement (the partitioner may still be running);
+    # a placeholder assignment keeps the runner's plumbing intact while
+    # the parity-critical walk_seed_root is the parent's real root.
+    cluster = Cluster(num_machines, np.zeros(graph.num_nodes, dtype=np.int64),
+                      seed=0)
+    cluster.walk_seed_root = walk_seed_root
+    _WORKER_STATE["stream_runner"] = _build_worker_runner(
+        graph, cluster, config, table_handles)
+    _WORKER_STATE["stream_sources"] = attach_shared_array(sources_handle)
+    _WORKER_STATE["stream_slots"] = [
+        tuple(attach_shared_array(handle) for handle in slot)
+        for slot in slot_handles
+    ]
+
+
+def _stream_walk_round_task(round_idx: int, lo: int, hi: int, n_total: int,
+                            slot: int) -> int:
+    from repro.walks.walker import WalkStats
+
+    runner = _WORKER_STATE["stream_runner"]
+    paths, lengths, trials = _WORKER_STATE["stream_slots"][slot]
+    walk_ids = round_idx * n_total + np.arange(lo, hi, dtype=np.int64)
+    # Deferred accounting: stats/metrics are reconstructed by the parent
+    # from (paths, lengths, trials) once the assignment is known, so the
+    # worker-side stats object is a discarded dummy.
+    runner.run_walks(_WORKER_STATE["stream_sources"][lo:hi], walk_ids,
+                     WalkStats(), paths_out=paths[lo:hi],
+                     lengths_out=lengths[lo:hi], trials_out=trials[lo:hi])
+    return slot
+
+
+class StreamingWalkRunner:
+    """Bounded-queue walk producer: samples rounds *ahead* of the consumer.
+
+    The streaming counterpart of :class:`ProcessWalkRunner`: the same
+    worker pool and shared-memory buffers, but instead of one
+    round-per-barrier, up to ``depth`` rounds are in flight at once over a
+    ring of round slots.  The parent consumes completed rounds strictly in
+    round order (:meth:`next_round`), flushes them into the corpus, and
+    recycles each slot with :meth:`release_round` -- which is what admits
+    the next speculative round, so a slow consumer exerts backpressure and
+    a fast one keeps every worker busy while it flushes.
+
+    Walks are pure functions of ``(walk_seed_root, walk_id)`` under the
+    walker RNG protocol, so rounds sampled speculatively past a KL stop
+    are simply discarded without leaving a trace, and no round's bytes
+    depend on how far ahead the producer ran.  Workers run the deferred-
+    accounting mode of :meth:`BatchWalkRunner.run_walks`: per-step trial
+    counts land in the slot's ``trials`` buffer and the parent
+    reconstructs stats and cluster metrics exactly
+    (:class:`repro.runtime.pipeline.DeferredWalkAccounting`) -- which also
+    means the producer never needs the node assignment, freeing the
+    partitioner to run concurrently.
+
+    Failure semantics match the executor contract: the first worker
+    exception surfaces from :meth:`next_round`, cancels everything in
+    flight and releases the pool and shared segments.
+    """
+
+    def __init__(self, graph, num_machines: int, walk_seed_root: int,
+                 config, kernel, sources: np.ndarray, max_rounds: int,
+                 depth: Optional[int] = None) -> None:
+        self.workers = resolved_worker_count(config.workers)
+        n = int(sources.size)
+        self._n = n
+        self._max_rounds = int(max_rounds)
+        self.depth = max(1, min(depth if depth is not None
+                                else pipeline_depth(), self._max_rounds))
+        cap = config.max_length if config.mode != "routine" else \
+            config.walk_length
+        self._group = _SharedGroup()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        try:
+            graph_handle = share_graph(self._group, graph)
+            sources_handle = self._group.share(
+                np.asarray(sources, dtype=np.int64))
+            self._slots = []
+            slot_handles = []
+            for _ in range(self.depth):
+                paths = self._group.empty((n, cap), np.int64)
+                lengths = self._group.empty((n,), np.int64)
+                trials = self._group.empty((n, cap), np.int32)
+                self._slots.append((paths, lengths, trials))
+                slot_handles.append(
+                    (paths.handle, lengths.handle, trials.handle))
+            tables = _share_kernel_tables(self._group, graph, kernel)
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_stream_walk_worker_init,
+                initargs=(graph_handle, num_machines, walk_seed_root,
+                          config, sources_handle, slot_handles, tables))
+            self._ranges = split_ranges(n, self.workers)
+            self._futures: Dict[int, List] = {}
+            self._next_submit = 0
+            self._next_consume = 0
+            for _ in range(self.depth):
+                self._submit_next()
+        except BaseException:
+            self.close()
+            raise
+
+    def _submit_next(self) -> None:
+        if self._next_submit >= self._max_rounds or self._pool is None:
+            return
+        r = self._next_submit
+        slot = r % self.depth
+        self._futures[r] = [
+            self._pool.submit(_stream_walk_round_task, r, lo, hi, self._n,
+                              slot)
+            for lo, hi in self._ranges
+        ]
+        self._next_submit += 1
+
+    def next_round(self):
+        """Block until the next in-order round is resident.
+
+        Returns ``(paths, lengths, trials)`` views into the round's slot;
+        they stay valid until :meth:`release_round` recycles the slot (the
+        corpus flush compacts out of them, so nothing aliases past that).
+        """
+        r = self._next_consume
+        if r >= self._max_rounds:
+            raise RuntimeError(
+                f"all {self._max_rounds} rounds already consumed")
+        futures = self._futures.pop(r)
+        try:
+            for future in futures:
+                future.result()
+        except BaseException:
+            self.close()
+            raise
+        self._next_consume += 1
+        paths, lengths, trials = self._slots[r % self.depth]
+        return paths.array, lengths.array, trials.array
+
+    def release_round(self) -> None:
+        """Recycle the last consumed round's slot (admits the next round)."""
+        self._submit_next()
+
+    def close(self) -> None:
+        """Cancel in-flight rounds, shut the pool down, free the buffers."""
+        if self._pool is not None:
+            for futures in getattr(self, "_futures", {}).values():
+                for future in futures:
+                    future.cancel()
+            self._futures = {}
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+        self._group.close()
+
+    def __enter__(self) -> "StreamingWalkRunner":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# --------------------------------------------------------------------- #
+# Partition phase, asynchronous (pipeline overlap)
+# --------------------------------------------------------------------- #
+
+
+def _partition_child(conn, partitioner, graph, num_parts: int) -> None:
+    try:
+        conn.send((True, partitioner.partition(graph, num_parts)))
+    except BaseException as exc:  # propagate to the parent's result()
+        conn.send((False, exc))
+    finally:
+        conn.close()
+
+
+class AsyncPartition:
+    """A partitioner running on one worker process, joined later.
+
+    Partition assignments are pure functions of ``(graph, partitioner
+    config, seed)`` -- and walk corpora are pure functions of the walk
+    seed root, never of the placement -- so the pipeline executor runs
+    partitioning concurrently with walk sampling and joins the result
+    only where the placement is first consumed (metric attribution and
+    sub-corpus shards).  ``result()`` returns the exact
+    :class:`~repro.partition.base.PartitionResult` a serial call would
+    have produced, then releases the worker.
+
+    Built on a raw ``multiprocessing.Process`` (not a pool) so that
+    abandoning the join -- :meth:`close` on an error elsewhere in the
+    pipeline -- can *terminate* a mid-run partition instead of letting
+    an orphaned worker keep computing and block interpreter exit.
+    """
+
+    def __init__(self, partitioner, graph, num_parts: int) -> None:
+        import multiprocessing
+
+        ctx = multiprocessing.get_context()
+        self._recv, send = ctx.Pipe(duplex=False)
+        self._proc: Optional[object] = ctx.Process(
+            target=_partition_child, args=(send, partitioner, graph,
+                                           num_parts), daemon=True)
+        self._proc.start()
+        send.close()
+
+    def result(self):
+        """Block until the partition is done; returns the PartitionResult."""
+        if self._proc is None:
+            raise RuntimeError("partition worker already released")
+        try:
+            try:
+                ok, payload = self._recv.recv()
+            except EOFError:
+                raise RuntimeError(
+                    "partition worker died without producing a result")
+        finally:
+            self.close()
+        if not ok:
+            raise payload
+        return payload
+
+    def close(self) -> None:
+        """Release the worker; terminates it if the partition still runs."""
+        if self._proc is not None:
+            if self._proc.is_alive():
+                self._proc.terminate()
+            self._proc.join()
+            self._recv.close()
+            self._proc = None
+
+
+def run_partition_async(partitioner, graph, num_parts: int) -> AsyncPartition:
+    """Start ``partitioner.partition(graph, num_parts)`` on a worker."""
+    return AsyncPartition(partitioner, graph, num_parts)
 
 
 # --------------------------------------------------------------------- #

@@ -38,6 +38,16 @@ trainer (``train_overrides={"backend": ..., "rng_protocol": ...}``, see
 (``partition_overrides={"backend": ...}``, see
 :mod:`repro.partition.mpgp`), each with its own loop reference and parity
 suite.
+
+Execution: every phase config additionally carries ``execution`` +
+``workers``.  ``"process"`` runs walk rounds, training slices and MPGP
+segments on worker processes behind per-phase barriers;
+``"pipeline"`` switches :meth:`RandomWalkSystem.embed` onto the streaming
+dataflow of :mod:`repro.runtime.pipeline` -- the partitioner runs
+concurrently with walk sampling, walk rounds stream through a bounded
+queue, and the trainer consumes the shared flat corpus gated on a
+:class:`repro.walks.corpus.CorpusFeed`.  Both are byte-identical to
+serial execution.
 """
 
 from __future__ import annotations
@@ -86,13 +96,37 @@ class RandomWalkSystem(EmbeddingSystem):
 
     def embed(self, graph: CSRGraph) -> SystemResult:
         timer = Timer()
-        with timer.phase("partition"):
-            partition = self.partitioner.partition(graph, self.num_machines)
-        cluster = Cluster(self.num_machines, partition.assignment,
-                          seed=derive_seed(self.seed, 1))
-        with timer.phase("sampling"):
-            engine = DistributedWalkEngine(graph, cluster, self.walk_config)
-            walk_result = engine.run()
+        feed = None
+        if self.walk_config.resolved_execution() == "pipeline":
+            # Streaming dataflow: the partitioner runs on its own worker
+            # while walk rounds sample ahead through the bounded queue
+            # (byte-identical to the phased sequence below -- walk
+            # corpora never depend on the placement).  The timer keeps
+            # wall-time additivity: "sampling" covers the overlapped
+            # span, "partition" only the non-overlapped join wait.
+            from repro.runtime.pipeline import run_pipelined_sampling
+            from repro.walks.corpus import CorpusFeed
+
+            partition, cluster, walk_result = run_pipelined_sampling(
+                graph, self.partitioner, self.num_machines,
+                self.walk_config, cluster_seed=derive_seed(self.seed, 1),
+                timer=timer)
+            # The walk→train hand-off contract: the trainer gates slice
+            # consumption on walk residency through the feed (already
+            # finished here -- the global corpus statistics of the shared
+            # RNG protocol are the streaming barrier).
+            feed = CorpusFeed(walk_result.corpus)
+            feed.finish()
+        else:
+            with timer.phase("partition"):
+                partition = self.partitioner.partition(graph,
+                                                       self.num_machines)
+            cluster = Cluster(self.num_machines, partition.assignment,
+                              seed=derive_seed(self.seed, 1))
+            with timer.phase("sampling"):
+                engine = DistributedWalkEngine(graph, cluster,
+                                               self.walk_config)
+                walk_result = engine.run()
         # Sampling memory: graph share + corpus share + frequency lists.
         corpus_share = walk_result.corpus.memory_bytes() // self.num_machines
         graph_share = graph.memory_bytes() // self.num_machines
@@ -110,6 +144,7 @@ class RandomWalkSystem(EmbeddingSystem):
                 self.train_config,
                 learner=self.learner,
                 walk_machines=walk_result.walk_machines,
+                feed=feed,
             )
             train_result = trainer.train()
         stats: Dict[str, float] = {

@@ -6,7 +6,12 @@ the routine DeepWalk/node2vec kernels KnightKing runs, all scheduled over
 the simulated cluster with byte-accurate message accounting.  The
 alias-table samplers and the vectorised batch walkers provide the
 non-distributed fast paths (original-node2vec tables and the pure-NumPy
-routine corpus).
+routine corpus).  Sampled walks land in the flat
+:class:`~repro.walks.corpus.Corpus` (one contiguous token block +
+monotone offsets, list API preserved as zero-copy views), whose
+ready-prefix/round-listener contract --
+:class:`~repro.walks.corpus.CorpusFeed` -- is what the streaming
+``execution="pipeline"`` runtime hands to the trainer.
 """
 
 from repro.walks.alias_sampling import (
@@ -15,7 +20,7 @@ from repro.walks.alias_sampling import (
     SecondOrderAliasSampler,
     second_order_table_entries,
 )
-from repro.walks.corpus import Corpus
+from repro.walks.corpus import Corpus, CorpusFeed
 from repro.walks.diagnostics import (
     CorpusQuality,
     compare_corpora,
@@ -61,6 +66,7 @@ KERNELS["node2vec-alias"] = Node2VecAliasKernel
 __all__ = [
     "BatchWalkRunner",
     "Corpus",
+    "CorpusFeed",
     "CorpusQuality",
     "DeepWalkKernel",
     "DistributedWalkEngine",

@@ -32,7 +32,9 @@ and zero-length walks exactly.
 from __future__ import annotations
 
 import os
-from typing import Iterator, Sequence
+import threading
+import time
+from typing import Callable, Iterator, List, Optional, Sequence
 
 import numpy as np
 
@@ -80,6 +82,7 @@ class Corpus:
         self._n_tokens = 0
         self._n_walks = 0
         self._occurrences = np.zeros(self.num_nodes, dtype=np.int64)
+        self._round_listeners: List[Callable[["Corpus"], None]] = []
 
     # ------------------------------------------------------------------ #
     # Building
@@ -167,6 +170,31 @@ class Corpus:
         if flat.min() < 0 or flat.max() >= self.num_nodes:
             raise ValueError("walk contains node ids outside the universe")
         self._append_flat(flat, lengths)
+        # Round-completion notification: batch flushes are the unit the
+        # streaming executor publishes, so consumers (CorpusFeed) learn
+        # the new ready prefix exactly once per flushed round.
+        for listener in self._round_listeners:
+            listener(self)
+
+    def add_round_listener(self,
+                           listener: Callable[["Corpus"], None]) -> None:
+        """Call ``listener(corpus)`` after every :meth:`add_walks` flush.
+
+        The walk engines flush exactly one round per ``add_walks`` call
+        (in walk-id order, every backend), so a listener observes the
+        ready walk prefix growing round by round --
+        :class:`CorpusFeed` uses this to publish readiness to a
+        concurrently-consuming trainer.
+        """
+        self._round_listeners.append(listener)
+
+    def __getstate__(self):
+        # Listeners are process-local streaming wiring (a CorpusFeed
+        # holds a threading.Condition); a pickled corpus carries the
+        # walks, never the live handshake.
+        state = self.__dict__.copy()
+        state["_round_listeners"] = []
+        return state
 
     def merge(self, other: "Corpus") -> None:
         """Fold another corpus (e.g. another machine's walks) into this one."""
@@ -246,6 +274,19 @@ class Corpus:
 
     @property
     def num_walks(self) -> int:
+        return self._n_walks
+
+    @property
+    def ready_prefix(self) -> int:
+        """Number of resident walks -- the streaming executor's contract.
+
+        Walks land in walk-id order (every backend flushes rounds through
+        :meth:`add_walks` in that order), so walk ``i`` is fully resident
+        in the flat token block iff ``i < ready_prefix``.  For a corpus
+        that is done growing this is simply ``num_walks``; while the
+        pipeline executor is still producing, it is the prefix a consumer
+        may safely read through zero-copy views.
+        """
         return self._n_walks
 
     @property
@@ -357,3 +398,117 @@ class Corpus:
             f"Corpus(walks={self.num_walks}, tokens={self.total_tokens}, "
             f"avg_len={self.average_walk_length:.1f})"
         )
+
+
+class CorpusFeed:
+    """Producer→consumer readiness handshake over a growing corpus.
+
+    The streaming executor's walk→train hand-off: the producer (the walk
+    phase) publishes the ready walk prefix after every flushed round and
+    marks the feed *finished* once sampling stops; the consumer (the
+    slice trainer) blocks in :meth:`wait_ready` until the walks a slice
+    reads are resident in the flat token block, and in
+    :meth:`wait_finished` for the global corpus statistics (occurrence
+    counters → frequency-ordered vocabulary and negative table) that the
+    ``shared`` RNG protocol derives from the *whole* corpus.
+
+    Constructed over a corpus, the feed subscribes to its round
+    listeners, so ``Corpus.add_walks`` flushes publish automatically; a
+    producer on another thread only has to call :meth:`finish` when the
+    last round is in.  All waits are condition-variable based (no
+    polling) and re-entrant after finish.
+    """
+
+    def __init__(self, corpus: Corpus) -> None:
+        self.corpus = corpus
+        self._cond = threading.Condition()
+        self._ready = corpus.ready_prefix
+        self._finished = False
+        corpus.add_round_listener(self._on_round)
+
+    def _on_round(self, corpus: Corpus) -> None:
+        self.publish(corpus.ready_prefix)
+
+    # ------------------------------------------------------------------ #
+    # Producer side
+    # ------------------------------------------------------------------ #
+
+    def publish(self, ready_walks: int) -> None:
+        """Announce that walks ``[0, ready_walks)`` are resident."""
+        with self._cond:
+            if ready_walks < self._ready:
+                raise ValueError(
+                    f"ready prefix may only grow ({ready_walks} < "
+                    f"{self._ready})"
+                )
+            self._ready = ready_walks
+            self._cond.notify_all()
+
+    def finish(self) -> None:
+        """The producer is done: no more walks will arrive."""
+        with self._cond:
+            self._ready = self.corpus.ready_prefix
+            self._finished = True
+            self._cond.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Consumer side
+    # ------------------------------------------------------------------ #
+
+    @property
+    def finished(self) -> bool:
+        with self._cond:
+            return self._finished
+
+    def ready_walks(self) -> int:
+        """Walks currently safe to read through zero-copy views."""
+        with self._cond:
+            return self._ready
+
+    @staticmethod
+    def _remaining(deadline: Optional[float], what: str) -> Optional[float]:
+        """Time left until ``deadline`` -- the overall wait budget.
+
+        A deadline (rather than passing the caller's timeout to every
+        ``Condition.wait``) keeps the budget cumulative: a producer that
+        keeps publishing without ever satisfying the wait still times
+        out, instead of resetting the window on each notification.
+        """
+        if deadline is None:
+            return None
+        remaining = deadline - time.monotonic()
+        if remaining <= 0:
+            raise TimeoutError(what)
+        return remaining
+
+    def wait_ready(self, count: int, timeout: Optional[float] = None) -> int:
+        """Block until at least ``count`` walks are resident.
+
+        Returns the ready prefix at wake-up.  Raises ``TimeoutError``
+        once ``timeout`` seconds have elapsed overall, and
+        ``RuntimeError`` if the producer finished before ever reaching
+        ``count`` (the consumer asked for walks that will never exist --
+        a plan/corpus mismatch, not a timing issue).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        message = f"corpus feed stalled below {count} ready walks"
+        with self._cond:
+            while self._ready < count and not self._finished:
+                if not self._cond.wait(self._remaining(deadline, message)):
+                    raise TimeoutError(message)
+            if self._ready < count:
+                raise RuntimeError(
+                    f"producer finished at {self._ready} walks; slice "
+                    f"needs {count}"
+                )
+            return self._ready
+
+    def wait_finished(self, timeout: Optional[float] = None) -> int:
+        """Block until the producer finished; returns the final prefix."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        message = "corpus feed never finished"
+        with self._cond:
+            while not self._finished:
+                if not self._cond.wait(self._remaining(deadline, message)):
+                    raise TimeoutError(message)
+            return self._ready

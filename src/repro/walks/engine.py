@@ -66,11 +66,23 @@ Backends and RNG protocols
   shared-memory CSR and writes paths into a shared output buffer.
   Because walker randomness is counter-based, the resulting corpus is
   **byte-identical** to the serial one -- the executor parity contract
-  (``tests/test_runtime_executor_parity.py``).  Process execution applies
-  to the vectorized backend; the loop reference and the ``fullpath``
-  mode are inherently serial, so ``resolved_execution()`` degrades to
-  ``"serial"`` there (measuring their sequential cost is the point of
-  keeping them).
+  (``tests/test_runtime_executor_parity.py``).
+* ``"pipeline"`` -- the streaming superset of ``"process"``
+  (:class:`repro.runtime.executor.StreamingWalkRunner`): the same worker
+  pool samples up to ``REPRO_PIPELINE_DEPTH`` rounds ahead through a
+  bounded queue of shared round buffers, so workers advance round
+  ``k+1`` while the parent flushes round ``k`` into the corpus; rounds
+  speculatively sampled past a KL stop are discarded without a trace.
+  Workers run deferred accounting (per-step trial counts instead of
+  metric increments) and the parent reconstructs stats and cluster
+  metrics exactly (:mod:`repro.runtime.pipeline`), which also lets the
+  system-level coordinator overlap MPGP partitioning with sampling.
+  Still byte-identical -- same corpus, stats and metrics as serial.
+
+Process and pipeline execution apply to the vectorized backend; the loop
+reference and the ``fullpath`` mode are inherently serial, so
+``resolved_execution()`` degrades to ``"serial"`` there (measuring their
+sequential cost is the point of keeping them).
 """
 
 from __future__ import annotations
@@ -129,10 +141,11 @@ class WalkConfig:
     backend: str = "auto"
     #: "auto" | "walker" | "cluster" -- see the module docstring.
     rng_protocol: str = "auto"
-    #: "serial" | "process" -- see the module docstring.  The default is
-    #: read from ``REPRO_EXECUTION`` ("serial" when unset).
+    #: "serial" | "process" | "pipeline" -- see the module docstring.  The
+    #: default is read from ``REPRO_EXECUTION`` ("serial" when unset).
     execution: str = field(default_factory=default_execution)
-    #: Worker processes under execution="process"; 0 = auto (min(4, cores)).
+    #: Worker processes under execution="process"/"pipeline"; 0 = auto
+    #: (min(4, cores)).
     workers: int = field(default_factory=default_workers)
 
     def __post_init__(self) -> None:
@@ -177,16 +190,16 @@ class WalkConfig:
     def resolved_execution(self) -> str:
         """The execution mode this config actually runs under.
 
-        ``"process"`` applies to the vectorized backend (whose lock-step
-        rounds fan out across workers); the loop reference and the
-        ``fullpath`` mode are inherently serial -- their per-walker cost
-        is what the benches measure -- so process execution degrades to
-        ``"serial"`` there, mirroring how ``backend="auto"`` keeps
-        ``fullpath`` on the loop engine.
+        ``"process"`` and ``"pipeline"`` apply to the vectorized backend
+        (whose lock-step rounds fan out across workers); the loop
+        reference and the ``fullpath`` mode are inherently serial --
+        their per-walker cost is what the benches measure -- so both
+        degrade to ``"serial"`` there, mirroring how ``backend="auto"``
+        keeps ``fullpath`` on the loop engine.
         """
         if self.execution == "serial":
             return "serial"
-        return "process" if self.resolved_backend() == "vectorized" \
+        return self.execution if self.resolved_backend() == "vectorized" \
             else "serial"
 
     @classmethod
@@ -245,9 +258,25 @@ class DistributedWalkEngine:
     # Public API
     # ------------------------------------------------------------------ #
 
-    def run(self, sources: Optional[np.ndarray] = None) -> WalkResult:
-        """Sample walks from ``sources`` (default: every node with edges)."""
+    def run(self, sources: Optional[np.ndarray] = None,
+            partition_join=None) -> WalkResult:
+        """Sample walks from ``sources`` (default: every node with edges).
+
+        ``partition_join`` is the pipeline coordinator's overlap hook
+        (``execution="pipeline"`` only): a callable joined *after* the
+        last round is flushed and *before* anything placement-dependent
+        runs, returning the node assignment to install on the cluster --
+        walk corpora never depend on the placement, so the partitioner
+        may still be running while rounds sample (see
+        :mod:`repro.runtime.pipeline`).
+        """
         cfg = self.config
+        if partition_join is not None and self.execution != "pipeline":
+            raise ValueError(
+                "partition_join is the pipeline coordinator's hook; it "
+                "requires execution='pipeline' (resolved), not "
+                f"{self.execution!r}"
+            )
         if sources is None:
             sources = np.flatnonzero(self.graph.degrees > 0)
         sources = np.asarray(sources, dtype=np.int64)
@@ -258,6 +287,9 @@ class DistributedWalkEngine:
         if sources.size == 0:
             # Edge-free graph (or caller passed no sources): nothing to
             # sample, and the KL walk-count rule would be undefined.
+            if partition_join is not None:
+                self.cluster.assignment = np.asarray(partition_join(),
+                                                     dtype=np.int64)
             return WalkResult(corpus=corpus, stats=stats,
                               walk_machines=walk_machines)
 
@@ -272,32 +304,107 @@ class DistributedWalkEngine:
             )
         degrees = self.graph.degrees
 
-        process_runner = None
-        if self.execution == "process":
-            # One pool + shared CSR/output buffers for the whole run; each
-            # round fans its walker slices across the same workers.
-            from repro.runtime.executor import ProcessWalkRunner
+        if self.execution == "pipeline":
+            self._run_pipeline(sources, rounds, count_rule, degrees, corpus,
+                               stats, walk_machines, partition_join)
+        else:
+            process_runner = None
+            if self.execution == "process":
+                # One pool + shared CSR/output buffers for the whole run;
+                # each round fans its walker slices across the same
+                # workers.
+                from repro.runtime.executor import ProcessWalkRunner
 
-            process_runner = ProcessWalkRunner(
-                self.graph, self.cluster, self.config, self.kernel,
-                self._routine_message_bytes, sources)
-        try:
-            for round_idx in range(rounds):
-                self._run_round(sources, round_idx, corpus, stats,
-                                walk_machines, process_runner)
-                stats.rounds += 1
-                if count_rule is not None:
-                    if count_rule.observe_round(corpus, degrees):
-                        break
-        finally:
-            if process_runner is not None:
-                process_runner.close()
+                process_runner = ProcessWalkRunner(
+                    self.graph, self.cluster, self.config, self.kernel,
+                    self._routine_message_bytes, sources)
+            try:
+                for round_idx in range(rounds):
+                    self._run_round(sources, round_idx, corpus, stats,
+                                    walk_machines, process_runner)
+                    stats.rounds += 1
+                    if count_rule is not None:
+                        if count_rule.observe_round(corpus, degrees):
+                            break
+            finally:
+                if process_runner is not None:
+                    process_runner.close()
         if count_rule is not None:
             stats.kl_trace = list(count_rule.kl_trace)
         # Sampling is done: drop the growth headroom so the corpus the
         # training phase holds (and shares) is exactly its logical size.
         corpus.shrink_to_fit()
         return WalkResult(corpus=corpus, stats=stats, walk_machines=walk_machines)
+
+    # ------------------------------------------------------------------ #
+    # Streaming execution (pipeline): flush round k while k+1 samples
+    # ------------------------------------------------------------------ #
+
+    def _run_pipeline(
+        self,
+        sources: np.ndarray,
+        rounds: int,
+        count_rule,
+        degrees: np.ndarray,
+        corpus: Corpus,
+        stats: WalkStats,
+        walk_machines: List[int],
+        partition_join,
+    ) -> None:
+        """Consume rounds from the streaming producer in walk-id order.
+
+        The producer keeps up to ``REPRO_PIPELINE_DEPTH`` rounds in
+        flight; this consumer flushes each completed round into the
+        corpus (identical ``add_walks`` order to the phased executors),
+        folds its buffers into the deferred accounting, and applies the
+        accounting against the node assignment at the end -- joining the
+        concurrently-running partitioner first when the coordinator
+        passed its hook.
+        """
+        from repro.runtime.executor import StreamingWalkRunner
+        from repro.runtime.pipeline import DeferredWalkAccounting
+        from repro.walks.vectorized import _INCOM_MESSAGE_BYTES
+
+        cluster = self.cluster
+        info_mode = self.config.mode != "routine"
+        # Same constant the in-loop accounting uses (one source of truth,
+        # so the deferred reconstruction can never drift from it).
+        message_bytes = (_INCOM_MESSAGE_BYTES if info_mode
+                         else self._routine_message_bytes)
+        accounting = DeferredWalkAccounting(self.graph, info_mode=info_mode,
+                                            message_bytes=message_bytes)
+        runner = StreamingWalkRunner(
+            self.graph, cluster.num_machines, cluster.walk_seed_root,
+            self.config, self.kernel, sources, max_rounds=rounds)
+        try:
+            for _round_idx in range(rounds):
+                paths, lengths, trials = runner.next_round()
+                # Flush in walk-id order -- the canonical corpus order
+                # shared by every backend; add_walks compacts out of the
+                # slot buffers, so releasing the slot below is safe.
+                corpus.add_walks(paths, lengths)
+                trial_count, step_count = accounting.observe_round(
+                    paths, lengths, trials)
+                stats.total_trials += trial_count
+                stats.total_steps += step_count
+                stats.total_walks += int(lengths.size)
+                stats.walk_lengths.extend(int(length) for length in lengths)
+                runner.release_round()
+                stats.rounds += 1
+                if count_rule is not None:
+                    if count_rule.observe_round(corpus, degrees):
+                        break
+        finally:
+            runner.close()
+        if partition_join is not None:
+            # The earliest placement-dependent point: everything above is
+            # a pure function of the walk seed root.
+            cluster.assignment = np.asarray(partition_join(),
+                                            dtype=np.int64)
+        round_machines = cluster.assignment[sources]
+        for _ in range(stats.rounds):
+            walk_machines.extend(int(m) for m in round_machines)
+        accounting.apply(cluster.assignment, cluster.metrics)
 
     # ------------------------------------------------------------------ #
     # One round: a walk from every source

@@ -471,7 +471,8 @@ class BatchWalkRunner:
 
     def run_walks(self, sources: np.ndarray, walk_ids: np.ndarray, stats,
                   paths_out: Optional[np.ndarray] = None,
-                  lengths_out: Optional[np.ndarray] = None):
+                  lengths_out: Optional[np.ndarray] = None,
+                  trials_out: Optional[np.ndarray] = None):
         """Advance one walk per source to termination, lock-step.
 
         The superstep core shared by the serial round and the process
@@ -482,6 +483,20 @@ class BatchWalkRunner:
         into ``paths_out``/``lengths_out`` when given (the executor's
         shared-memory buffers) -- and credits trials/steps to ``stats``
         and compute/messages to the cluster metrics.
+
+        Passing ``trials_out`` (an int array of the paths shape) switches
+        to **deferred accounting**, the pipeline executor's mode: the
+        walker advances exactly as before (same streams, same uniforms,
+        same termination), but nothing is recorded against ``stats`` or
+        the cluster -- instead ``trials_out[i, s]`` receives the number of
+        sampling trials (rejections + the accepted or forced one) spent to
+        produce step ``s`` of walk ``i``.  Trials, steps, compute and
+        message metrics are pure functions of ``(paths, lengths, trials)``
+        and the node assignment, so a consumer that learns the assignment
+        *later* (the streaming executor overlaps partitioning with
+        sampling) can reconstruct them bit for bit --
+        :class:`repro.runtime.pipeline.DeferredWalkAccounting` is that
+        consumer, and the pipeline parity suite pins the equality.
         """
         cfg = self.config
         cluster = self.cluster
@@ -489,6 +504,9 @@ class BatchWalkRunner:
         num_machines = cluster.num_machines
         n = sources.size
         cap = cfg.max_length if self.info_mode else cfg.walk_length
+        deferred = trials_out is not None
+        if deferred:
+            trials_out[...] = 0
 
         keys = walker_stream_keys(cluster.walk_seed_root, walk_ids)
         counters = np.zeros(n, dtype=np.uint64)
@@ -544,11 +562,18 @@ class BatchWalkRunner:
             cand, accepted = self._trial(current[alive], previous[alive],
                                          u1, u2, forced)
 
-            stats.total_trials += int(alive.size)
-            trial_machines = self._assignment[current[alive]]
-            counts = np.bincount(trial_machines, minlength=num_machines)
-            for m in np.flatnonzero(counts):
-                metrics.record_compute(int(m), float(counts[m]))
+            if deferred:
+                # One trial spent towards the token at position lengths[i]
+                # (the position the accepted step will eventually fill;
+                # rejected trials accumulate on the same slot because the
+                # walker does not move between rejections).
+                trials_out[alive, lengths[alive]] += 1
+            else:
+                stats.total_trials += int(alive.size)
+                trial_machines = self._assignment[current[alive]]
+                counts = np.bincount(trial_machines, minlength=num_machines)
+                for m in np.flatnonzero(counts):
+                    metrics.record_compute(int(m), float(counts[m]))
 
             rejected = alive[~accepted]
             trials_at_step[rejected] += 1
@@ -557,7 +582,7 @@ class BatchWalkRunner:
             if idx.size == 0:
                 continue
             hop = cand[accepted]
-            src_m = trial_machines[accepted]
+            src_m = None if deferred else trial_machines[accepted]
             # Occurrences of the accepted node on the path so far: the
             # batch form of InCoM's per-walker visit counters.  This scan
             # is O(current length) per step -- bounded by max_length (80
@@ -572,6 +597,13 @@ class BatchWalkRunner:
             paths[idx, lengths[idx]] = hop
             lengths[idx] += 1
             trials_at_step[idx] = 0
+            if deferred:
+                # Steps, InCoM measurement cost and message crossings are
+                # all recoverable from (paths, lengths, trials) once the
+                # assignment is known; only the InCoM state advances here.
+                if self.info_mode:
+                    self._observe(idx, prior, lengths[idx])
+                continue
             stats.total_steps += int(idx.size)
             step_counts = np.bincount(src_m, minlength=num_machines)
             for m in np.flatnonzero(step_counts):

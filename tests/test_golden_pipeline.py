@@ -101,6 +101,24 @@ class TestGoldenMetrics:
         expected, tol = GOLDEN["auc"]
         assert abs(auc - expected) <= tol
 
+    def test_pipeline_execution_reproduces_the_golden_run(self, golden_run):
+        """The streaming executor -- MPGP partitioning overlapped with
+        sampling, rounds flushed while the next round samples, deferred
+        metric reconstruction, feed-gated slice training -- still lands
+        byte-identically on the serial golden embeddings."""
+        result, split = golden_run
+        pipeline = embed_graph(split.train_graph, method="distger",
+                               num_machines=2, dim=24, epochs=4, seed=7,
+                               execution="pipeline", workers=2)
+        np.testing.assert_array_equal(result.embeddings, pipeline.embeddings)
+        np.testing.assert_array_equal(result.corpus.tokens,
+                                      pipeline.corpus.tokens)
+        np.testing.assert_array_equal(result.corpus.offsets,
+                                      pipeline.corpus.offsets)
+        auc = auc_from_split(pipeline.embeddings, split)
+        expected, tol = GOLDEN["auc"]
+        assert abs(auc - expected) <= tol
+
 
 class TestMachineCountInvariance:
     """Corpora and embeddings are invariant to the walk-phase machine

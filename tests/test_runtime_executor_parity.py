@@ -234,6 +234,168 @@ class TestPartitionParity:
         assert (par.execution, par.workers) == ("process", 3)
 
 
+class TestPipelineParity:
+    """``execution="pipeline"`` streams rounds (bounded queue, deferred
+    accounting, speculative sampling past the KL check) yet must land on
+    the serial bytes: corpora, walk placement, stats, and every simulated
+    metric counter."""
+
+    @pytest.fixture(scope="class")
+    def serial_runs(self):
+        return {kind: run_walks(graph_family(kind), "serial")
+                for kind in GRAPHS}
+
+    @pytest.mark.parametrize("workers", (1, 2))
+    @pytest.mark.parametrize("kind", GRAPHS)
+    def test_walk_corpora_byte_identical(self, serial_runs, kind, workers):
+        ref, ref_cluster = serial_runs[kind]
+        result, cluster = run_walks(graph_family(kind), "pipeline", workers)
+        assert_corpora_equal(ref.corpus, result.corpus)
+        assert ref.walk_machines == result.walk_machines
+        assert ref.stats.total_trials == result.stats.total_trials
+        assert ref.stats.total_steps == result.stats.total_steps
+        assert ref.stats.walk_lengths == result.stats.walk_lengths
+        # Deferred accounting reconstructs the counters exactly: trials
+        # and steps from the per-step trial buffers, messages from the
+        # per-arc traversal counts -- all integer-valued.
+        assert ref_cluster.metrics.as_dict() == cluster.metrics.as_dict()
+        assert ref_cluster.metrics.message_byte_matrix == \
+            cluster.metrics.message_byte_matrix
+
+    def test_speculative_rounds_leave_no_trace(self, serial_runs):
+        """The producer samples ahead of the KL check; rounds past the
+        stop are discarded, so round counts and KL traces match."""
+        graph = graph_family("undirected")
+        ref, _ = run_walks(graph, "serial", max_rounds=6)
+        result, _ = run_walks(graph, "pipeline", 2, max_rounds=6)
+        assert ref.stats.rounds == result.stats.rounds
+        assert ref.stats.kl_trace == result.stats.kl_trace
+        assert_corpora_equal(ref.corpus, result.corpus)
+
+    @pytest.mark.parametrize("depth", ("1", "4"))
+    def test_queue_depth_is_result_invariant(self, serial_runs, depth,
+                                             monkeypatch):
+        """Backpressure bound (REPRO_PIPELINE_DEPTH) trades memory and
+        overlap only -- any depth produces the same bytes."""
+        monkeypatch.setenv("REPRO_PIPELINE_DEPTH", depth)
+        ref, _ = serial_runs["undirected"]
+        result, _ = run_walks(graph_family("undirected"), "pipeline", 2)
+        assert_corpora_equal(ref.corpus, result.corpus)
+        assert ref.stats.walk_lengths == result.stats.walk_lengths
+
+    def test_node2vec_alias_pipeline_parity(self):
+        graph = graph_family("weighted")
+        cfg = dict(kernel="node2vec-alias", p=2.0, q=0.5)
+        ref, _ = run_walks(graph, "serial", **cfg)
+        result, _ = run_walks(graph, "pipeline", 2, **cfg)
+        assert_corpora_equal(ref.corpus, result.corpus)
+
+    def test_routine_mode_parity(self):
+        graph = graph_family("undirected")
+        cfg = dict(kernel="node2vec", mode="routine", walk_length=20,
+                   walks_per_node=3, p=2.0, q=0.5)
+        ref, ref_cluster = run_walks(graph, "serial", **cfg)
+        result, cluster = run_walks(graph, "pipeline", 2, **cfg)
+        assert_corpora_equal(ref.corpus, result.corpus)
+        assert ref_cluster.metrics.as_dict() == cluster.metrics.as_dict()
+
+    def test_async_partition_matches_direct_call(self):
+        from repro.partition.mpgp import MPGPPartitioner
+        from repro.runtime.executor import run_partition_async
+
+        graph = graph_family("undirected")
+        direct = MPGPPartitioner(seed=3).partition(graph, 4)
+        handle = run_partition_async(MPGPPartitioner(seed=3), graph, 4)
+        async_result = handle.result()
+        np.testing.assert_array_equal(direct.assignment,
+                                      async_result.assignment)
+
+    def test_system_pipeline_embeddings_byte_identical(self):
+        """End to end (MPGP ∥ sampling, streamed rounds, gated trainer):
+        pipeline == process == serial, embeddings, metrics and stats."""
+        from repro import embed_graph
+
+        graph = graph_family("undirected")
+        runs = {
+            execution: embed_graph(graph, num_machines=3, dim=12, epochs=1,
+                                   seed=7, execution=execution, workers=2)
+            for execution in ("serial", "process", "pipeline")
+        }
+        np.testing.assert_array_equal(runs["serial"].embeddings,
+                                      runs["pipeline"].embeddings)
+        np.testing.assert_array_equal(runs["process"].embeddings,
+                                      runs["pipeline"].embeddings)
+        assert runs["serial"].metrics.as_dict() == \
+            runs["pipeline"].metrics.as_dict()
+        for key, value in runs["serial"].stats.items():
+            if key not in ("train_throughput", "partition_seconds"):
+                assert runs["pipeline"].stats[key] == value, key
+
+    def test_trainer_streams_behind_a_live_producer(self):
+        """The feed's walk→train handshake: a trainer constructed over a
+        still-growing corpus blocks on readiness, then produces the same
+        bytes as training the finished corpus."""
+        import threading
+        import time as _time
+
+        from repro.walks.corpus import Corpus, CorpusFeed
+
+        graph = powerlaw_cluster(120, attach=4, triangle_prob=0.4, seed=3)
+        complete, _ = run_walks(graph, "serial", machines=2)
+        reference = complete.corpus
+
+        def train(corpus, feed=None):
+            cluster = Cluster(2, np.zeros(graph.num_nodes, dtype=np.int64),
+                              seed=9)
+            cfg = TrainConfig(dim=12, epochs=1, seed=11)
+            return DistributedTrainer(corpus, cluster, cfg,
+                                      feed=feed).train()
+
+        expected = train(reference)
+        streaming = Corpus(graph.num_nodes)
+        feed = CorpusFeed(streaming)
+
+        def produce():
+            chunk = max(1, reference.num_walks // 5)
+            for start in range(0, reference.num_walks, chunk):
+                for i in range(start,
+                               min(start + chunk, reference.num_walks)):
+                    streaming.add_walk(reference.walk(i))
+                feed.publish(streaming.num_walks)
+                _time.sleep(0.005)
+            feed.finish()
+
+        producer = threading.Thread(target=produce)
+        producer.start()
+        try:
+            result = train(streaming, feed=feed)
+        finally:
+            producer.join()
+        np.testing.assert_array_equal(expected.embeddings, result.embeddings)
+
+    def test_engine_surfaces_worker_failure_and_cleans_up(self, monkeypatch):
+        """A failure inside a streaming walk worker re-raises from
+        ``engine.run`` and the producer's shared segments are released."""
+        import multiprocessing
+
+        if multiprocessing.get_start_method() != "fork":
+            pytest.skip("failure injection relies on fork inheritance")
+        from repro.walks.vectorized import BatchWalkRunner
+
+        def explode(self, *args, **kwargs):
+            raise RuntimeError("injected pipeline worker failure")
+
+        monkeypatch.setattr(BatchWalkRunner, "run_walks", explode)
+        graph = graph_family("undirected")
+        part = WorkloadBalancePartitioner().partition(graph, 2)
+        cluster = Cluster(2, part.assignment, seed=1)
+        cfg = WalkConfig.distger(max_rounds=2, min_rounds=2,
+                                 execution="pipeline", workers=2)
+        engine = DistributedWalkEngine(graph, cluster, cfg)
+        with pytest.raises(RuntimeError, match="injected pipeline"):
+            engine.run()
+
+
 # ------------------------------------------------------------------ #
 # Crash safety
 # ------------------------------------------------------------------ #
@@ -378,9 +540,47 @@ class TestKnobs:
         assert WalkConfig.huge_d(
             execution="process").resolved_execution() == "serial"
 
+    def test_pipeline_execution_resolution(self):
+        """Pipeline applies to vectorized walks, degrades exactly like
+        process elsewhere, and resolves to the process slice path for
+        training (the trainer is the streaming consumer, not a producer)."""
+        from repro.partition import PartitionConfig
+
+        assert WalkConfig(execution="pipeline").resolved_execution() == \
+            "pipeline"
+        assert WalkConfig(execution="pipeline",
+                          backend="loop").resolved_execution() == "serial"
+        assert WalkConfig.huge_d(
+            execution="pipeline").resolved_execution() == "serial"
+        assert TrainConfig(execution="pipeline").resolved_execution() == \
+            "process"
+        PartitionConfig(execution="pipeline")  # accepted for uniformity
+
+    def test_pipeline_depth_validation(self, monkeypatch):
+        from repro.runtime.executor import pipeline_depth
+
+        monkeypatch.setenv("REPRO_PIPELINE_DEPTH", "3")
+        assert pipeline_depth() == 3
+        monkeypatch.setenv("REPRO_PIPELINE_DEPTH", "0")
+        with pytest.raises(ValueError, match="REPRO_PIPELINE_DEPTH"):
+            pipeline_depth()
+
+    def test_partition_join_requires_pipeline_execution(self):
+        graph = graph_family("undirected")
+        part = WorkloadBalancePartitioner().partition(graph, 2)
+        cluster = Cluster(2, part.assignment, seed=1)
+        engine = DistributedWalkEngine(graph, cluster,
+                                       WalkConfig.distger(max_rounds=1,
+                                                          min_rounds=1,
+                                                          execution="serial"))
+        with pytest.raises(ValueError, match="partition_join"):
+            engine.run(partition_join=lambda: part.assignment)
+
     def test_train_process_requires_shared_protocol(self):
         with pytest.raises(ValueError, match="shared"):
             TrainConfig(execution="process", rng_protocol="cluster")
+        with pytest.raises(ValueError, match="shared"):
+            TrainConfig(execution="pipeline", rng_protocol="cluster")
         assert TrainConfig(execution="process").resolved_execution() == \
             "process"
 

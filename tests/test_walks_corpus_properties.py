@@ -359,3 +359,73 @@ class TestFlatConsumers:
         corpus = build_corpus(walks)
         assert count_windows_flat(corpus.walk_lengths, window=3) == \
             count_windows(list(corpus.walks), window=3)
+
+
+class TestStreamingContract:
+    """Ready-prefix accessor, round listeners, and the CorpusFeed
+    handshake the pipeline executor's walk→train hand-off rides on."""
+
+    def test_ready_prefix_tracks_flushed_rounds(self):
+        corpus = Corpus(NUM_NODES)
+        assert corpus.ready_prefix == 0
+        seen = []
+        corpus.add_round_listener(lambda c: seen.append(c.ready_prefix))
+        paths, lengths = padded_matrix([[1, 2], [3]])
+        corpus.add_walks(paths, lengths)
+        assert corpus.ready_prefix == 2
+        corpus.add_walks(paths, lengths)
+        assert corpus.ready_prefix == 4
+        # One notification per flushed round, carrying the new prefix.
+        assert seen == [2, 4]
+
+    def test_feed_publishes_on_flush_and_gates_waiters(self):
+        import threading
+
+        from repro.walks.corpus import CorpusFeed
+
+        corpus = Corpus(NUM_NODES)
+        feed = CorpusFeed(corpus)
+        assert feed.ready_walks() == 0 and not feed.finished
+        observed = []
+
+        def consumer():
+            observed.append(feed.wait_ready(2, timeout=10.0))
+            observed.append(feed.wait_finished(timeout=10.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        paths, lengths = padded_matrix([[0, 1], [2, 3, 4]])
+        corpus.add_walks(paths, lengths)  # listener publishes prefix 2
+        feed.finish()
+        thread.join(timeout=10.0)
+        assert not thread.is_alive()
+        assert observed == [2, 2]
+
+    def test_feed_rejects_shrinking_prefix(self):
+        from repro.walks.corpus import CorpusFeed
+
+        corpus = Corpus(NUM_NODES)
+        feed = CorpusFeed(corpus)
+        feed.publish(3)
+        with pytest.raises(ValueError, match="only grow"):
+            feed.publish(1)
+
+    def test_wait_ready_past_the_final_prefix_is_an_error(self):
+        """Asking for walks the finished producer never made is a
+        plan/corpus mismatch, not a timing issue."""
+        from repro.walks.corpus import CorpusFeed
+
+        corpus = Corpus(NUM_NODES)
+        feed = CorpusFeed(corpus)
+        corpus.add_walk([1, 2, 3])
+        feed.finish()
+        assert feed.wait_ready(1) == 1
+        with pytest.raises(RuntimeError, match="finished at 1"):
+            feed.wait_ready(5)
+
+    def test_wait_ready_timeout(self):
+        from repro.walks.corpus import CorpusFeed
+
+        feed = CorpusFeed(Corpus(NUM_NODES))
+        with pytest.raises(TimeoutError):
+            feed.wait_ready(1, timeout=0.01)
