@@ -17,6 +17,8 @@ substrate it depends on:
                           DistDGL, DistGER-GPU
 * ``repro.tasks``      -- link prediction, multi-label classification,
                           clustering, recommendation, grid search
+* ``repro.serving``    -- online half: shared/mmap embedding store,
+                          batched deterministic top-k, query workers
 
 Quickstart::
 
@@ -26,7 +28,7 @@ Quickstart::
     print(result.embeddings.shape, result.wall_seconds)
 """
 
-from repro.api import available_methods, embed_graph
+from repro.api import available_methods, embed_graph, serve_embeddings
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load as load_dataset
 from repro.graph.datasets import load_suite
@@ -62,4 +64,5 @@ __all__ = [
     "embed_graph",
     "load_dataset",
     "load_suite",
+    "serve_embeddings",
 ]

@@ -229,6 +229,70 @@ def embed_graph(
     return system.embed(graph)
 
 
+def serve_embeddings(
+    embeddings,
+    workers: int = 0,
+    metric: str = "cosine",
+    candidates=None,
+    normalized_cache: bool = False,
+    store_mode: Optional[str] = None,
+):
+    """Open a :class:`~repro.serving.engine.QueryEngine` over embeddings.
+
+    The online counterpart of :func:`embed_graph`: where that call turns
+    a graph into an ``(n, d)`` matrix, this one turns the matrix into a
+    query service answering batched top-k similarity requests -- the
+    paper's motivating recommendation workload (§1).
+
+    Parameters
+    ----------
+    embeddings:
+        An ``(n, d)`` array (e.g. ``result.embeddings``), an
+        :class:`~repro.serving.store.EmbeddingStore`, or a path --
+        ``.npy`` files are memory-mapped zero-copy, anything else is
+        parsed as the word2vec text format of the ``embed`` CLI.
+    workers:
+        0 answers queries in-process; ``>= 1`` starts that many query
+        worker processes sharing the store zero-copy.  Responses are
+        byte-identical either way.
+    metric, candidates, normalized_cache:
+        Engine defaults; see :class:`~repro.serving.engine.QueryEngine`.
+    store_mode:
+        Backing mode for array/text inputs (``"shared"``/``"mmap"``/
+        ``"memory"``); default picks ``"shared"`` when workers are
+        requested and ``"memory"`` otherwise.
+
+    Examples
+    --------
+    >>> import numpy as np
+    >>> engine = serve_embeddings(np.eye(4), metric="dot")
+    >>> engine.query([0], k=2).ids.tolist()   # ties break by node id
+    [[1, 2]]
+    >>> engine.close()
+    """
+    from repro.serving import EmbeddingStore, QueryEngine
+
+    close_store = False
+    if isinstance(embeddings, str):
+        mode = store_mode or ("mmap" if embeddings.endswith(".npy")
+                              else ("shared" if workers else "memory"))
+        store = EmbeddingStore.open(embeddings, mode=mode)
+        close_store = True
+    elif isinstance(embeddings, EmbeddingStore):
+        store = embeddings
+    else:
+        mode = store_mode or ("shared" if workers else "memory")
+        import numpy as np
+
+        store = EmbeddingStore.from_array(np.asarray(embeddings),
+                                          mode=mode)
+        close_store = True
+    return QueryEngine(store, workers=workers, metric=metric,
+                       candidates=candidates,
+                       normalized_cache=normalized_cache,
+                       close_store=close_store)
+
+
 def available_methods() -> list:
     """Names accepted by :func:`embed_graph`."""
     return sorted(_METHODS)

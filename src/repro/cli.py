@@ -1,6 +1,6 @@
 """Command-line interface.
 
-Six subcommands cover the common workflows:
+Seven subcommands cover the common workflows:
 
 * ``embed``     -- run any reproduced system on a dataset stand-in or an
                    edge-list file and save embeddings in word2vec format.
@@ -8,6 +8,9 @@ Six subcommands cover the common workflows:
 * ``partition`` -- compare partitioning schemes on a dataset.
 * ``cluster``   -- embed, k-means the vectors, report NMI/modularity.
 * ``similar``   -- nearest embedding neighbours of a node.
+* ``serve``     -- answer top-k queries from a saved embedding file,
+                   in-process or on a worker pool; optionally replay a
+                   Zipf trace and report QPS + latency percentiles.
 * ``stats``     -- structural statistics of a dataset or edge list.
 
 Examples::
@@ -19,6 +22,8 @@ Examples::
     python -m repro partition --dataset LJ --machines 4
     python -m repro cluster --dataset FL --k 6
     python -m repro similar --dataset LJ --node 0 --k 10
+    python -m repro serve --embeddings /tmp/lj.emb --nodes 0,1,2 --k 5
+    python -m repro serve --embeddings /tmp/lj.npy --workers 4 --trace 10000
     python -m repro stats --dataset TW
 """
 
@@ -26,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from repro.api import available_methods, embed_graph, walk_methods
@@ -262,6 +268,64 @@ def cmd_similar(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    import numpy as np
+
+    from repro.api import serve_embeddings
+    from repro.serving.trace import zipf_query_trace
+
+    if args.nodes is None and args.trace is None:
+        print("error: give --nodes to answer queries or --trace N to "
+              "replay a synthetic trace", file=sys.stderr)
+        return 2
+    with serve_embeddings(args.embeddings, workers=args.workers,
+                          metric=args.metric) as engine:
+        n = engine.store.num_nodes
+        kind = engine.store.mode
+        print(f"serving {n} x {engine.store.dim} embeddings "
+              f"({kind} store, "
+              f"{'in-process' if not args.workers else f'{args.workers} workers'})")
+        if args.nodes is not None:
+            nodes = np.asarray([int(x) for x in args.nodes.split(",")],
+                               dtype=np.int64)
+            bad = nodes[(nodes < 0) | (nodes >= n)]
+            if bad.size:
+                print(f"error: node {int(bad[0])} outside |V|={n}",
+                      file=sys.stderr)
+                return 2
+            result = engine.query(nodes, k=args.k)
+            for row, node in enumerate(nodes):
+                hits = ", ".join(f"{nid}:{score:+.4f}"
+                                 for nid, score in result.as_lists()[row])
+                print(f"  {int(node):8d} -> {hits}")
+            return 0
+        batches = zipf_query_trace(args.trace, n, batch_size=args.batch,
+                                   seed=args.seed)
+        # Keep the pool busy: pipeline up to 2 x workers requests.
+        depth = max(1, 2 * args.workers)
+        pending, answered = [], 0
+        start = time.perf_counter()
+        for batch in batches:
+            pending.append((engine.submit(batch, k=args.k), batch.size))
+            while len(pending) >= depth:
+                handle, size = pending.pop(0)
+                handle.result()
+                answered += size
+        for handle, size in pending:
+            handle.result()
+            answered += size
+        wall = time.perf_counter() - start
+        print(f"replayed {answered} queries in {len(batches)} batches "
+              f"of <= {args.batch}: {answered / wall:,.0f} queries/s "
+              f"({wall:.2f}s wall)")
+        for worker, stats in engine.latency_summary().items():
+            print(f"  {worker:16s} n={int(stats['count']):6d} "
+                  f"mean={stats['mean'] * 1e3:7.2f}ms "
+                  f"p50={stats['p50'] * 1e3:7.2f}ms "
+                  f"p99={stats['p99'] * 1e3:7.2f}ms")
+    return 0
+
+
 def cmd_stats(args) -> int:
     from repro.graph import (
         approximate_diameter,
@@ -358,6 +422,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_sim.add_argument("--embeddings", metavar="FILE",
                        help="reuse saved embeddings instead of re-embedding")
     p_sim.set_defaults(func=cmd_similar)
+
+    p_serve = sub.add_parser("serve",
+                             help="top-k query serving from saved embeddings")
+    p_serve.add_argument("--embeddings", metavar="FILE", required=True,
+                         help="saved embeddings: .npy (memory-mapped "
+                              "zero-copy) or word2vec text")
+    p_serve.add_argument("--workers", type=int, default=0,
+                         help="query worker processes; 0 = in-process "
+                              "(default: 0)")
+    p_serve.add_argument("--k", type=int, default=10)
+    p_serve.add_argument("--metric", default="cosine",
+                         choices=["cosine", "dot"])
+    p_serve.add_argument("--nodes", metavar="ID,ID,...",
+                         help="answer one batch for these node ids")
+    p_serve.add_argument("--trace", type=int, metavar="N",
+                         help="replay a Zipf-skewed trace of N queries and "
+                              "report QPS + latency percentiles")
+    p_serve.add_argument("--batch", type=int, default=64,
+                         help="request batch size for --trace (default: 64)")
+    p_serve.add_argument("--seed", type=int, default=0,
+                         help="trace seed (default: 0)")
+    p_serve.set_defaults(func=cmd_serve)
 
     p_stats = sub.add_parser("stats", help="structural graph statistics")
     _add_graph_args(p_stats)

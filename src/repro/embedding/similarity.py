@@ -47,31 +47,27 @@ def top_k_similar(
     ``metric`` is ``"cosine"`` or ``"dot"``; ``candidates`` restricts the
     search (e.g. to the item side of a bipartite graph).  Returns
     ``[(node_id, score), ...]`` best first.
-    """
-    check_positive("k", k)
-    if metric not in ("cosine", "dot"):
-        raise ValueError(f"unknown metric {metric!r}; use 'cosine' or 'dot'")
-    if candidates is None:
-        candidates = np.arange(embeddings.shape[0], dtype=np.int64)
-    else:
-        candidates = np.asarray(candidates, dtype=np.int64)
-    candidates = candidates[candidates != node]
-    if candidates.size == 0:
-        return []
 
-    if metric == "cosine":
-        matrix = _normalise_rows(embeddings[candidates])
-        query = embeddings[node]
-        norm = float(np.linalg.norm(query))
-        query = query / norm if norm > 0 else query
-    else:
-        matrix = embeddings[candidates]
-        query = embeddings[node]
-    scores = matrix @ query
-    k = min(k, candidates.size)
-    top = np.argpartition(-scores, k - 1)[:k]
-    top = top[np.argsort(-scores[top], kind="stable")]
-    return [(int(candidates[i]), float(scores[i])) for i in top]
+    This is the single-query convenience wrapper around the serving
+    layer's :class:`~repro.serving.scorer.BatchTopKScorer`, and inherits
+    its guarantees: ties broken by smallest node id (a bare
+    ``np.argpartition`` picks an arbitrary subset when equal scores
+    straddle the k-boundary, so equal-score results used to differ run
+    to run), duplicate candidate ids deduplicated, zero-norm (cold)
+    embeddings scoring a well-defined 0 under cosine, and ``k`` larger
+    than the candidate set returning every candidate once.  Sustained
+    query traffic should build one scorer (or a
+    :class:`~repro.serving.engine.QueryEngine`) and reuse it -- this
+    helper recomputes the norm cache on every call.
+    """
+    from repro.serving.scorer import BatchTopKScorer
+
+    check_positive("k", k)
+    scorer = BatchTopKScorer(embeddings)
+    result = scorer.top_k(np.asarray([node], dtype=np.int64), k=k,
+                          metric=metric, candidates=candidates,
+                          exclude_self=True)
+    return result.as_lists()[0]
 
 
 def similarity_matrix(

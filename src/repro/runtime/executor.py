@@ -60,6 +60,13 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.utils.sharedmem import (
+    SharedArray,
+    SharedArrayHandle,
+    SharedGroup as _SharedGroup,
+    attach_shared_array,
+)
+
 __all__ = [
     "EXECUTION_CHOICES",
     "AsyncPartition",
@@ -145,119 +152,9 @@ def resolved_worker_count(workers: int) -> int:
 # Shared-memory ndarrays
 # --------------------------------------------------------------------- #
 
-
-class SharedArrayHandle(NamedTuple):
-    """Picklable descriptor of a shared-memory ndarray."""
-
-    name: str
-    shape: Tuple[int, ...]
-    dtype: str
-
-
-def _attach_untracked(name: str):
-    """Open an existing segment without telling the resource tracker.
-
-    CPython registers attached segments with the resource tracker too
-    (bpo-39959); since forked workers share the parent's tracker and its
-    per-name registry is a set, every attach/unregister pair from a worker
-    would silently drop (or noisily double-drop) the *parent's* tracking
-    entry.  Ownership here is strict -- only the creating
-    :class:`SharedArray` unlinks -- so worker attaches suppress the
-    registration instead.
-    """
-    from multiprocessing import resource_tracker, shared_memory
-
-    original = resource_tracker.register
-    resource_tracker.register = lambda *args, **kwargs: None
-    try:
-        return shared_memory.SharedMemory(name=name)
-    finally:
-        resource_tracker.register = original
-
-
-#: Worker-side registry keeping attached segments (and their buffers) alive
-#: for the life of the process.
-_ATTACHED: Dict[str, "object"] = {}
-
-
-def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
-    """Attach to a shared segment and view it as an ndarray (worker side).
-
-    The underlying segment is kept open in a process-wide registry, so the
-    returned array stays valid for the attaching process's lifetime;
-    attaching the same handle twice reuses the mapping.
-    """
-    shm = _ATTACHED.get(handle.name)
-    if shm is None:
-        shm = _attach_untracked(handle.name)
-        _ATTACHED[handle.name] = shm
-    return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
-                      buffer=shm.buf)
-
-
-class SharedArray:
-    """A parent-owned shared-memory ndarray.
-
-    ``create``/``empty`` allocate the segment; ``handle`` is the picklable
-    descriptor workers pass to :func:`attach_shared_array`; ``close``
-    unlinks the segment (owner's responsibility, exactly once).
-    """
-
-    def __init__(self, shm, handle: SharedArrayHandle) -> None:
-        self._shm = shm
-        self.handle = handle
-        self.array = np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
-                                buffer=shm.buf)
-
-    @classmethod
-    def empty(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
-        from multiprocessing import shared_memory
-
-        dt = np.dtype(dtype)
-        size = max(1, int(np.prod(shape)) * dt.itemsize)
-        shm = shared_memory.SharedMemory(create=True, size=size)
-        return cls(shm, SharedArrayHandle(shm.name, tuple(shape), dt.str))
-
-    @classmethod
-    def create(cls, source: np.ndarray) -> "SharedArray":
-        """Allocate a segment holding a copy of ``source``."""
-        out = cls.empty(source.shape, source.dtype)
-        out.array[...] = source
-        return out
-
-    def close(self) -> None:
-        """Release and unlink the segment (idempotent)."""
-        if self._shm is None:
-            return
-        self.array = None
-        try:
-            self._shm.close()
-            self._shm.unlink()
-        except FileNotFoundError:  # pragma: no cover - already unlinked
-            pass
-        self._shm = None
-
-
-class _SharedGroup:
-    """Owner-side bundle of shared arrays with one-shot cleanup."""
-
-    def __init__(self) -> None:
-        self._arrays: List[SharedArray] = []
-
-    def share(self, source: np.ndarray) -> SharedArrayHandle:
-        shared = SharedArray.create(source)
-        self._arrays.append(shared)
-        return shared.handle
-
-    def empty(self, shape, dtype) -> SharedArray:
-        shared = SharedArray.empty(shape, dtype)
-        self._arrays.append(shared)
-        return shared
-
-    def close(self) -> None:
-        for shared in self._arrays:
-            shared.close()
-        self._arrays = []
+# The shared-ndarray plumbing lives in :mod:`repro.utils.sharedmem` (it
+# also backs the serving layer's embedding store, with a file-backed mmap
+# mode); the executor re-exports the names above for its callers.
 
 
 class SharedCSRHandle(NamedTuple):
@@ -324,6 +221,19 @@ class ProcessExecutor:
                 future.cancel()
             self.shutdown()
             raise
+
+    def submit(self, fn: Callable, *args):
+        """Submit one task, returning its future (request/response use).
+
+        Unlike :meth:`run`, a failing task does **not** tear the pool
+        down -- the exception surfaces from ``future.result()`` and the
+        pool keeps serving (the serving front end's per-request error
+        semantics).  Hard worker deaths still poison the pool and
+        surface as ``BrokenProcessPool``.
+        """
+        if self._pool is None:
+            raise RuntimeError("executor already shut down")
+        return self._pool.submit(fn, *args)
 
     def shutdown(self) -> None:
         if self._pool is not None:

@@ -1,0 +1,371 @@
+"""Batched, deterministic top-k similarity scoring (the serving hot path).
+
+Every online query against a trained embedding matrix reduces to "score
+one query vector against a catalogue, return the best k" -- the
+recommendation workload of the paper's §1 and the similarity-ranking
+evaluation protocol shared by the random-walk embedding literature.
+:class:`BatchTopKScorer` is that kernel, built for sustained traffic:
+
+* **batched** -- a request carries ``q`` query nodes and is scored with
+  one matmul against the catalogue, not ``q`` scans;
+* **cached** -- row norms (and optionally the normalised matrix) are
+  computed once at construction, never per query, and a fixed candidate
+  catalogue is gathered once;
+* **deterministic** -- top-k selection breaks score ties by smallest
+  node id (:func:`deterministic_top_k`), so equal-score results are
+  byte-identical run to run and across serving processes.  This is the
+  fix for the ``np.argpartition`` tie nondeterminism that
+  ``top_k_similar`` inherited: argpartition picks an *arbitrary* subset
+  when ties straddle the k-boundary;
+* **well-defined on cold nodes** -- zero-norm embeddings score 0 under
+  cosine (never NaN), duplicate candidate ids are deduplicated, a query
+  node absent from the catalogue simply is not self-excluded, and
+  ``k`` larger than the catalogue pads with ``(-1, -inf)``.
+
+Scoring works on whatever array the store exposes -- an in-process
+matrix, a shared-memory segment or a read-only ``.npy`` mmap -- without
+copying it.  Float contract: a given *request batch* is scored by one
+matmul, so identical batches produce identical bytes wherever they run;
+the multi-worker front end (:mod:`repro.serving.engine`) dispatches whole
+request batches to single workers to inherit that guarantee.
+"""
+
+from __future__ import annotations
+
+from typing import List, NamedTuple, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.validation import check_positive
+
+__all__ = [
+    "BatchTopKScorer",
+    "TopKResult",
+    "deterministic_top_k",
+    "row_norms",
+]
+
+METRICS = ("cosine", "dot")
+
+
+def row_norms(matrix: np.ndarray) -> np.ndarray:
+    """L2 norm of every row, as float64 (exact and dtype-stable)."""
+    matrix = np.asarray(matrix)
+    return np.sqrt(np.einsum("ij,ij->i", matrix, matrix,
+                             dtype=np.float64))
+
+
+def deterministic_top_k(scores: np.ndarray, k: int) -> np.ndarray:
+    """Indices of the ``k`` largest scores, ties broken by smallest index.
+
+    Returns indices ordered best-first by ``(-score, index)``.  Unlike a
+    bare ``np.argpartition`` -- which picks an arbitrary subset when
+    equal scores straddle the k-boundary -- the selection *and* the
+    ordering are pure functions of the score array, which is what lets
+    serving parity tests demand byte-equal responses under ties.
+    """
+    scores = np.asarray(scores)
+    n = scores.size
+    if k >= n:
+        sel = np.arange(n, dtype=np.int64)
+        order = np.lexsort((sel, -scores))
+        return sel[order]
+    # kth largest value; everything strictly above it is in, ties at the
+    # boundary are admitted in ascending-index order until k is full.
+    kth = -np.partition(-scores, k - 1)[k - 1]
+    above = np.flatnonzero(scores > kth)
+    ties = np.flatnonzero(scores == kth)
+    sel = np.concatenate([above, ties[:k - above.size]])
+    order = np.lexsort((sel, -scores[sel]))
+    return sel[order].astype(np.int64, copy=False)
+
+
+class TopKResult(NamedTuple):
+    """Batched top-k answer: ``(q, k)`` node ids and scores, best first.
+
+    Rows with fewer than ``k`` admissible candidates are padded with
+    id ``-1`` / score ``-inf`` (a fixed, comparable padding so responses
+    stay byte-comparable).
+    """
+
+    ids: np.ndarray
+    scores: np.ndarray
+
+    def as_lists(self) -> List[List[Tuple[int, float]]]:
+        """Per-query ``[(node_id, score), ...]`` lists, padding trimmed."""
+        out: List[List[Tuple[int, float]]] = []
+        for row_ids, row_scores in zip(self.ids, self.scores):
+            out.append([(int(i), float(s))
+                        for i, s in zip(row_ids, row_scores) if i >= 0])
+        return out
+
+
+def _checked_candidates(candidates: np.ndarray,
+                        num_nodes: int) -> np.ndarray:
+    """Sorted, deduplicated, bounds-checked candidate ids."""
+    candidates = np.unique(np.asarray(candidates, dtype=np.int64))
+    if candidates.size and (candidates[0] < 0
+                            or candidates[-1] >= num_nodes):
+        raise ValueError(
+            f"candidate ids must lie in [0, {num_nodes}); got range "
+            f"[{candidates[0]}, {candidates[-1]}]")
+    return candidates
+
+
+class BatchTopKScorer:
+    """Vectorized top-k scorer over a (possibly shared) embedding matrix.
+
+    Parameters
+    ----------
+    embeddings:
+        The ``(n, d)`` matrix.  Never copied; a read-only mmap or a
+        shared-memory view works as-is.
+    candidates:
+        Optional fixed catalogue (e.g. the item side of a bipartite
+        graph).  Deduplicated, sorted and gathered **once**; per-call
+        ``candidates`` still override it.  ``None`` means all nodes.
+    normalized_cache:
+        Precompute the row-normalised matrix once (extra ``n * d``
+        memory) so cosine queries skip the per-batch norm division.
+        Numerically this is the same deterministic elementwise division
+        either way -- the cache only moves it out of the hot path.
+    norms:
+        Precomputed :func:`row_norms` of ``embeddings`` (e.g. shipped by
+        the store so workers skip the O(n d) pass); computed here when
+        omitted.
+    """
+
+    def __init__(self, embeddings: np.ndarray,
+                 candidates: Optional[np.ndarray] = None,
+                 normalized_cache: bool = False,
+                 norms: Optional[np.ndarray] = None) -> None:
+        embeddings = np.asarray(embeddings)
+        if embeddings.ndim != 2:
+            raise ValueError(
+                f"embeddings must be 2-D, got shape {embeddings.shape}")
+        self.embeddings = embeddings
+        self.num_nodes = int(embeddings.shape[0])
+        self.norms = (np.asarray(norms, dtype=np.float64)
+                      if norms is not None else row_norms(embeddings))
+        if self.norms.shape != (self.num_nodes,):
+            raise ValueError("norms must have one entry per node")
+        # Zero-norm (cold/untrained) rows divide by 1 instead of 0: their
+        # dot products are exactly 0, so cosine is defined as 0, not NaN.
+        self._safe_norms = np.where(self.norms > 0.0, self.norms, 1.0)
+        self._normalized: Optional[np.ndarray] = None
+        if normalized_cache:
+            self._normalized = embeddings / \
+                self._safe_norms[:, None].astype(embeddings.dtype)
+        self._default_cand: Optional[np.ndarray] = None
+        self._default_gather: Optional[dict] = None
+        if candidates is not None:
+            self._default_cand = _checked_candidates(candidates,
+                                                     self.num_nodes)
+            self._default_gather = self._gather(self._default_cand)
+
+    # ------------------------------------------------------------- #
+    # Candidate gathering
+    # ------------------------------------------------------------- #
+
+    def _gather(self, cand: np.ndarray) -> dict:
+        """Materialise the catalogue's matrices (full-matrix = views)."""
+        full = cand.size == self.num_nodes
+        return {
+            "ids": cand,
+            "matrix": self.embeddings if full else self.embeddings[cand],
+            "safe_norms": (self._safe_norms if full
+                           else self._safe_norms[cand]),
+            "normalized": (None if self._normalized is None
+                           else (self._normalized if full
+                                 else self._normalized[cand])),
+            # Norm-descending scan order for ANN-style pruning (stable,
+            # ids break norm ties, so the order is deterministic).
+            "prune_order": None,
+        }
+
+    def _resolve_candidates(self, candidates) -> dict:
+        if candidates is None:
+            if self._default_gather is not None:
+                return self._default_gather
+            self._default_cand = np.arange(self.num_nodes,
+                                           dtype=np.int64)
+            self._default_gather = self._gather(self._default_cand)
+            return self._default_gather
+        return self._gather(_checked_candidates(candidates,
+                                                self.num_nodes))
+
+    # ------------------------------------------------------------- #
+    # Scoring
+    # ------------------------------------------------------------- #
+
+    def top_k(self, nodes: np.ndarray, k: int = 10,
+              metric: str = "cosine",
+              candidates: Optional[np.ndarray] = None,
+              exclude_self: bool = True,
+              exclude: Optional[Sequence[np.ndarray]] = None,
+              prune: bool = False) -> TopKResult:
+        """Top-``k`` catalogue nodes for each query node, best first.
+
+        ``exclude`` optionally bars per-query node-id arrays (e.g. each
+        user's training interactions) from that query's results;
+        ``exclude_self`` bars the query node itself when it appears in
+        the catalogue.  ``prune=True`` enables exact norm-bound pruning
+        for the ``dot`` metric (see :meth:`_top_k_pruned`).
+        """
+        check_positive("k", k)
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; use "
+                             f"{' or '.join(repr(m) for m in METRICS)}")
+        nodes = np.atleast_1d(np.asarray(nodes, dtype=np.int64))
+        if nodes.size and (nodes.min() < 0
+                           or nodes.max() >= self.num_nodes):
+            raise ValueError(
+                f"query nodes must lie in [0, {self.num_nodes})")
+        if exclude is not None and len(exclude) != nodes.size:
+            raise ValueError("exclude must hold one id array per query")
+        gathered = self._resolve_candidates(candidates)
+        if prune and metric == "dot" and gathered["ids"].size > k:
+            return self._top_k_pruned(nodes, k, gathered, exclude_self,
+                                      exclude)
+        queries = self.embeddings[nodes]
+        scores = self._score(queries, nodes, metric, gathered)
+        return self._select(scores, nodes, k, gathered, exclude_self,
+                            exclude)
+
+    def top_k_vectors(self, vectors: np.ndarray, k: int = 10,
+                      metric: str = "cosine",
+                      candidates: Optional[np.ndarray] = None,
+                      exclude: Optional[Sequence[np.ndarray]] = None
+                      ) -> TopKResult:
+        """Top-``k`` for raw query *vectors* (analogy-style queries)."""
+        check_positive("k", k)
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; use "
+                             f"{' or '.join(repr(m) for m in METRICS)}")
+        vectors = np.atleast_2d(np.asarray(vectors))
+        if exclude is not None and len(exclude) != vectors.shape[0]:
+            raise ValueError("exclude must hold one id array per query")
+        gathered = self._resolve_candidates(candidates)
+        scores = self._score(vectors, None, metric, gathered)
+        return self._select(scores, None, k, gathered, False, exclude)
+
+    def _score(self, queries: np.ndarray, nodes: Optional[np.ndarray],
+               metric: str, gathered: dict) -> np.ndarray:
+        """``(q, c)`` score matrix: one matmul per request batch."""
+        if metric == "cosine" and gathered["normalized"] is not None:
+            scores = np.asarray(gathered["normalized"] @ queries.T,
+                                dtype=np.float64).T
+            qn = (self.norms[nodes] if nodes is not None
+                  else row_norms(queries))
+            scores /= np.where(qn > 0.0, qn, 1.0)[:, None]
+            return scores
+        scores = np.asarray(gathered["matrix"] @ queries.T,
+                            dtype=np.float64).T
+        if metric == "cosine":
+            scores /= gathered["safe_norms"][None, :]
+            qn = (self.norms[nodes] if nodes is not None
+                  else row_norms(queries))
+            scores /= np.where(qn > 0.0, qn, 1.0)[:, None]
+        return scores
+
+    def _select(self, scores: np.ndarray, nodes: Optional[np.ndarray],
+                k: int, gathered: dict, exclude_self: bool,
+                exclude: Optional[Sequence[np.ndarray]]) -> TopKResult:
+        """Mask exclusions, then deterministic per-row top-k."""
+        cand = gathered["ids"]
+        if exclude_self and nodes is not None and cand.size:
+            pos = np.searchsorted(cand, nodes)
+            hit = (pos < cand.size) & \
+                (cand[np.minimum(pos, cand.size - 1)] == nodes)
+            scores[np.flatnonzero(hit), pos[hit]] = -np.inf
+        if exclude is not None and cand.size:
+            for row, barred in enumerate(exclude):
+                barred = np.asarray(barred, dtype=np.int64)
+                if not barred.size:
+                    continue
+                pos = np.searchsorted(cand, barred)
+                hit = (pos < cand.size) & \
+                    (cand[np.minimum(pos, cand.size - 1)] == barred)
+                scores[row, pos[hit]] = -np.inf
+        q = scores.shape[0]
+        out_ids = np.full((q, k), -1, dtype=np.int64)
+        out_scores = np.full((q, k), -np.inf, dtype=np.float64)
+        for row in range(q):
+            row_scores = scores[row]
+            top = deterministic_top_k(row_scores, k)
+            keep = row_scores[top] > -np.inf
+            top = top[keep]
+            out_ids[row, :top.size] = cand[top]
+            out_scores[row, :top.size] = row_scores[top]
+        return TopKResult(out_ids, out_scores)
+
+    # ------------------------------------------------------------- #
+    # ANN-style norm pruning (dot metric, exact)
+    # ------------------------------------------------------------- #
+
+    def _top_k_pruned(self, nodes: np.ndarray, k: int, gathered: dict,
+                      exclude_self: bool,
+                      exclude: Optional[Sequence[np.ndarray]],
+                      chunk: int = 4096) -> TopKResult:
+        """Exact dot-product top-k scanning candidates by descending norm.
+
+        Cauchy-Schwarz bounds every unseen candidate's dot product by
+        ``||c|| * ||q||``; scanning in norm-descending order, once that
+        bound falls *strictly* below the current kth-best score no
+        remaining candidate can enter the top-k -- ties at the bound are
+        kept scanning, so the smallest-id tie-break is preserved and the
+        result equals the full scan's bytes.
+        """
+        cand = gathered["ids"]
+        if gathered["prune_order"] is None:
+            norms = gathered["safe_norms"] * (self.norms[cand] > 0.0)
+            gathered["prune_order"] = np.lexsort((cand, -norms))
+        order = gathered["prune_order"]
+        cand_norms = self.norms[cand]
+        q = nodes.size
+        out_ids = np.full((q, k), -1, dtype=np.int64)
+        out_scores = np.full((q, k), -np.inf, dtype=np.float64)
+        for row, node in enumerate(nodes):
+            query = self.embeddings[node]
+            qnorm = float(self.norms[node])
+            barred = set()
+            if exclude_self:
+                barred.add(int(node))
+            if exclude is not None:
+                barred.update(int(b) for b in np.asarray(exclude[row]))
+            kept_ids: List[np.ndarray] = []
+            kept_scores: List[np.ndarray] = []
+            kth_best = -np.inf
+            n_kept = 0
+            for lo in range(0, order.size, chunk):
+                idx = order[lo:lo + chunk]
+                if n_kept >= k and \
+                        float(cand_norms[idx[0]]) * qnorm < kth_best:
+                    break  # bound strictly below kth best: done
+                chunk_scores = np.asarray(
+                    self.embeddings[cand[idx]] @ query, dtype=np.float64)
+                if barred:
+                    mask = np.fromiter(
+                        (int(c) not in barred for c in cand[idx]),
+                        dtype=bool, count=idx.size)
+                    idx, chunk_scores = idx[mask], chunk_scores[mask]
+                if not idx.size:
+                    continue
+                kept_ids.append(cand[idx])
+                kept_scores.append(chunk_scores)
+                n_kept += idx.size
+                if n_kept >= k:
+                    flat_scores = np.concatenate(kept_scores)
+                    kth_best = float(
+                        -np.partition(-flat_scores, k - 1)[k - 1])
+            if not kept_ids:
+                continue
+            ids = np.concatenate(kept_ids)
+            scores = np.concatenate(kept_scores)
+            # Tie-break on the original node id, not scan position.
+            by_id = np.argsort(ids, kind="stable")
+            ids, scores = ids[by_id], scores[by_id]
+            top = deterministic_top_k(scores, k)
+            out_ids[row, :top.size] = ids[top]
+            out_scores[row, :top.size] = scores[top]
+        return TopKResult(out_ids, out_scores)

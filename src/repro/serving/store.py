@@ -1,0 +1,195 @@
+"""Shared embedding store: open a trained matrix once, query it anywhere.
+
+The batch pipeline ends with an ``(n, d)`` embedding matrix; the serving
+layer starts with it.  :class:`EmbeddingStore` owns that matrix in one of
+three backing modes and hands query workers zero-copy views:
+
+* ``"shared"`` -- a POSIX shared-memory segment
+  (:class:`~repro.utils.sharedmem.SharedArray`).  One copy in RAM total,
+  however many query workers attach; the default for serving a matrix
+  that is already in memory.
+* ``"mmap"`` -- a file-backed ``.npy`` map (the new
+  :meth:`SharedArray.create_file` / :meth:`SharedArray.from_file` mode).
+  The matrix is opened straight from disk, pages are shared read-only
+  through the OS cache, nothing is loaded up front -- matrices larger
+  than RAM serve fine, which is also the first step of the out-of-core
+  roadmap item.
+* ``"memory"`` -- a plain in-process array; no cross-process handle, for
+  single-process use and tests.
+
+The store also owns the scorer's warm-up artifacts: row norms are
+computed **once** in the parent and shipped through shared memory, so no
+query worker pays the O(n d) pass.  ``handle`` is the picklable
+descriptor the multi-worker front end passes to
+:meth:`EmbeddingStore.attach`.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import NamedTuple, Optional
+
+import numpy as np
+
+from repro.serving.scorer import row_norms
+from repro.utils.sharedmem import (
+    SharedArray,
+    SharedArrayHandle,
+    SharedGroup,
+    attach_shared_array,
+)
+
+__all__ = ["EmbeddingStore", "StoreHandle"]
+
+MODES = ("shared", "mmap", "memory")
+
+
+class StoreHandle(NamedTuple):
+    """Picklable descriptor of a store (embedding matrix + norm cache)."""
+
+    embeddings: SharedArrayHandle
+    norms: SharedArrayHandle
+
+
+class EmbeddingStore:
+    """Owner of a served embedding matrix and its norm cache.
+
+    Build with :meth:`from_array` (serve a matrix you already hold),
+    :meth:`open` (map a saved ``.npy`` / load a word2vec text file), or
+    :meth:`attach` (worker side).  ``close`` releases the owner's
+    segments exactly once; attached stores never unlink.
+    """
+
+    def __init__(self, embeddings: np.ndarray, norms: np.ndarray,
+                 mode: str, group: Optional[SharedGroup],
+                 handle: Optional[StoreHandle]) -> None:
+        self.embeddings = embeddings
+        self.norms = norms
+        self.mode = mode
+        self._group = group
+        self._handle = handle
+
+    # ------------------------------------------------------------- #
+    # Constructors
+    # ------------------------------------------------------------- #
+
+    @classmethod
+    def from_array(cls, embeddings: np.ndarray, mode: str = "shared",
+                   path: Optional[str] = None) -> "EmbeddingStore":
+        """Serve ``embeddings`` from the chosen backing ``mode``.
+
+        ``mode="mmap"`` writes the matrix to ``path`` (``.npy``) and maps
+        it back, leaving a reusable on-disk artifact; ``"shared"`` copies
+        it into a shared-memory segment; ``"memory"`` keeps the array
+        as-is (no cross-process handle).
+        """
+        if mode not in MODES:
+            raise ValueError(f"unknown store mode {mode!r}; options: "
+                             f"{'/'.join(MODES)}")
+        embeddings = np.asarray(embeddings)
+        if embeddings.ndim != 2:
+            raise ValueError(
+                f"embeddings must be 2-D, got shape {embeddings.shape}")
+        norms = row_norms(embeddings)
+        if mode == "memory":
+            return cls(embeddings, norms, mode, None, None)
+        group = SharedGroup()
+        try:
+            if mode == "mmap":
+                if path is None:
+                    raise ValueError("mode='mmap' needs a path to map")
+                emb_shared = group.adopt(
+                    SharedArray.create_file(path, embeddings))
+            else:
+                emb_shared = group.adopt(SharedArray.create(embeddings))
+            norms_shared = group.adopt(SharedArray.create(norms))
+            handle = StoreHandle(emb_shared.handle, norms_shared.handle)
+            return cls(emb_shared.array, norms_shared.array, mode, group,
+                       handle)
+        except BaseException:
+            group.close()
+            raise
+
+    @classmethod
+    def open(cls, path: str, mode: str = "mmap") -> "EmbeddingStore":
+        """Open a saved matrix for serving.
+
+        ``.npy`` files are memory-mapped zero-copy (or copied into shared
+        memory under ``mode="shared"``); anything else is parsed as the
+        word2vec text format of :func:`repro.graph.io.save_embeddings`
+        and then backed per ``mode``.
+        """
+        if path.endswith(".npy"):
+            if mode == "mmap":
+                group = SharedGroup()
+                try:
+                    shared = group.adopt(SharedArray.from_file(path,
+                                                               mode="r"))
+                    norms_shared = group.adopt(
+                        SharedArray.create(row_norms(shared.array)))
+                    handle = StoreHandle(shared.handle,
+                                         norms_shared.handle)
+                    return cls(shared.array, norms_shared.array, "mmap",
+                               group, handle)
+                except BaseException:
+                    group.close()
+                    raise
+            return cls.from_array(np.load(path), mode=mode, path=None)
+        from repro.graph.io import load_embeddings
+
+        return cls.from_array(load_embeddings(path), mode=mode,
+                              path=path + ".npy" if mode == "mmap"
+                              else None)
+
+    @classmethod
+    def attach(cls, handle: StoreHandle) -> "EmbeddingStore":
+        """Worker-side view of a parent-owned store (never unlinks)."""
+        return cls(attach_shared_array(handle.embeddings),
+                   attach_shared_array(handle.norms),
+                   "attached", None, handle)
+
+    # ------------------------------------------------------------- #
+    # Introspection
+    # ------------------------------------------------------------- #
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.embeddings.shape[0])
+
+    @property
+    def dim(self) -> int:
+        return int(self.embeddings.shape[1])
+
+    @property
+    def handle(self) -> StoreHandle:
+        """Picklable descriptor for :meth:`attach` (shared/mmap only)."""
+        if self._handle is None:
+            raise ValueError(
+                "a mode='memory' store has no cross-process handle; "
+                "build it with mode='shared' or 'mmap'")
+        return self._handle
+
+    def save(self, path: str) -> None:
+        """Persist the matrix as ``.npy`` (the mmap-openable format)."""
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        np.save(path, np.asarray(self.embeddings))
+
+    # ------------------------------------------------------------- #
+    # Lifecycle
+    # ------------------------------------------------------------- #
+
+    def close(self) -> None:
+        """Release owned segments/maps (idempotent; no-op when attached)."""
+        if self._group is not None:
+            group, self._group = self._group, None
+            group.close()
+        self.embeddings = None
+        self.norms = None
+
+    def __enter__(self) -> "EmbeddingStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,57 @@
+"""Simulated query traces (the serving benchmark's traffic model).
+
+Real recommendation traffic is heavily skewed -- a small fraction of
+users generates most requests.  :func:`zipf_query_trace` reproduces that
+shape deterministically: node popularity follows a Zipf law over a
+seeded random rank assignment, and queries arrive in fixed-size request
+batches (the unit the front end dispatches to workers).  The QPS bench
+replays a scaled-down "million-user" trace through
+:class:`~repro.serving.engine.QueryEngine` and gates sustained
+queries/sec and p99 latency.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, default_rng
+from repro.utils.validation import check_positive
+
+__all__ = ["zipf_query_trace"]
+
+
+def zipf_query_trace(
+    num_queries: int,
+    num_nodes: int,
+    batch_size: int = 64,
+    exponent: float = 1.1,
+    seed: SeedLike = 0,
+    nodes: Optional[np.ndarray] = None,
+) -> List[np.ndarray]:
+    """Zipf-skewed query batches over ``num_nodes`` (or given ``nodes``).
+
+    Popularity rank ``r`` gets weight ``r ** -exponent``; which node
+    holds which rank is a seeded permutation, so the trace is a pure
+    function of ``(seed, sizes)``.  Returns ``ceil(num_queries /
+    batch_size)`` int64 arrays; the last may be short.
+    """
+    check_positive("num_queries", num_queries)
+    check_positive("batch_size", batch_size)
+    if exponent <= 0:
+        raise ValueError(f"exponent must be positive, got {exponent}")
+    if nodes is not None:
+        nodes = np.asarray(nodes, dtype=np.int64)
+        num_nodes = int(nodes.size)
+    check_positive("num_nodes", num_nodes)
+    rng = default_rng(seed)
+    weights = np.arange(1, num_nodes + 1, dtype=np.float64) ** -exponent
+    probs = weights / weights.sum()
+    rank_of = rng.permutation(num_nodes)
+    draws = rng.choice(num_nodes, size=num_queries, p=probs)
+    queries = rank_of[draws].astype(np.int64)
+    if nodes is not None:
+        queries = nodes[queries]
+    return [queries[lo:lo + batch_size]
+            for lo in range(0, num_queries, batch_size)]

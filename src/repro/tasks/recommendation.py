@@ -84,20 +84,23 @@ def rank_items(
 
     Items in ``exclude`` (the user's training interactions) are never
     recommended -- recommending what the user already has is the classic
-    leak in this evaluation.
+    leak in this evaluation.  Ranking runs on the serving layer's
+    :class:`~repro.serving.scorer.BatchTopKScorer`, so ties break
+    deterministically by item id, duplicate/unsorted ``item_ids`` are
+    handled, and excluded items are *dropped* rather than padded back in
+    when ``k`` exceeds the admissible catalogue (the old ``-inf`` scores
+    could still be "recommended").  The batch evaluation protocol
+    (:func:`evaluate_recommendation`) scores all users in one call; this
+    per-user wrapper builds a throwaway scorer.
     """
+    from repro.serving.scorer import BatchTopKScorer
+
     check_positive("k", k)
-    scores = embeddings[item_ids] @ embeddings[user]
-    if exclude.size:
-        # Positions of excluded ids within the (sorted) item_ids array.
-        pos = np.searchsorted(item_ids, exclude)
-        ok = (pos < item_ids.size) & (item_ids[np.minimum(pos, item_ids.size - 1)]
-                                      == exclude)
-        scores[pos[ok]] = -np.inf
-    k = min(k, item_ids.size)
-    top = np.argpartition(-scores, k - 1)[:k]
-    top = top[np.argsort(-scores[top], kind="stable")]
-    return item_ids[top]
+    scorer = BatchTopKScorer(embeddings, candidates=item_ids)
+    result = scorer.top_k(np.asarray([user], dtype=np.int64), k=k,
+                          metric="dot", exclude=[exclude])
+    ids = result.ids[0]
+    return ids[ids >= 0]
 
 
 @dataclass
@@ -139,10 +142,21 @@ def evaluate_recommendation(
         raise ValueError("embeddings must cover every node of the graph")
     item_ids = info.item_ids
 
+    # One batched scorer call ranks every evaluable user against the
+    # item catalogue -- the same kernel the serving layer runs online.
+    from repro.serving.scorer import BatchTopKScorer
+
+    users = np.fromiter(split.test_items.keys(), dtype=np.int64,
+                        count=len(split.test_items))
+    empty = np.empty(0, dtype=np.int64)
+    excludes = [split.train_items.get(int(u), empty) for u in users]
+    scorer = BatchTopKScorer(embeddings, candidates=item_ids)
+    ranked = scorer.top_k(users, k=k, metric="dot", exclude=excludes)
+
     precisions, recalls, hits, rranks = [], [], [], []
-    for user, truth in split.test_items.items():
-        exclude = split.train_items.get(user, np.empty(0, dtype=np.int64))
-        recs = rank_items(embeddings, user, item_ids, exclude, k)
+    for row, (user, truth) in enumerate(split.test_items.items()):
+        recs = ranked.ids[row]
+        recs = recs[recs >= 0]
         truth_set = set(int(t) for t in truth)
         relevant = [int(r) in truth_set for r in recs]
         num_hits = sum(relevant)

@@ -1,0 +1,305 @@
+"""Shared-memory and file-backed ndarrays (the zero-copy substrate).
+
+Every multi-process component of the reproduction moves bulk data the
+same way: the owner materialises an array once -- in a POSIX shared
+memory segment or a file-backed ``.npy`` mmap -- and ships only a tiny
+picklable :class:`SharedArrayHandle`; workers attach and get a zero-copy
+ndarray view.  The process executor shares CSR graphs, kernel tables and
+replica matrices like this (:mod:`repro.runtime.executor`), and the
+serving layer shares trained embedding matrices across query workers
+(:mod:`repro.serving.store`).
+
+Two backing modes, same handles, same views:
+
+* **shm** (:meth:`SharedArray.empty` / :meth:`SharedArray.create`) --
+  anonymous ``multiprocessing.shared_memory`` segments.  Strictly
+  parent-owned: only the creating :class:`SharedArray` unlinks, exactly
+  once, and attachers never register with the resource tracker (see
+  :func:`_attach_untracked`).
+* **mmap** (:meth:`SharedArray.create_file` / :meth:`SharedArray.
+  from_file`) -- a standard ``.npy`` file opened as a memory map.  The
+  file persists across processes *and runs* (nothing to unlink), pages
+  are shared read-only by every attacher through the OS page cache, and
+  matrices larger than RAM stay usable -- the first step of the
+  out-of-core roadmap item.  Workers always attach read-only; writes are
+  the owner's business.
+
+Leak discipline: allocation is atomic-or-unlinked.  Every classmethod
+constructor unlinks its segment if anything raises between the raw
+allocation and the returned wrapper, ``close()`` is idempotent, and a
+``__del__`` backstop reclaims segments whose owner forgot (or crashed
+past) the explicit close -- so a failure mid-``attach``/``create`` or a
+dying serving worker cannot orphan ``/dev/shm`` entries
+(``tests/test_serving_store.py`` counts segments around forced crashes).
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, List, NamedTuple, Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "SharedArray",
+    "SharedArrayHandle",
+    "SharedGroup",
+    "attach_shared_array",
+]
+
+
+class SharedArrayHandle(NamedTuple):
+    """Picklable descriptor of a shared ndarray.
+
+    ``path is None`` names a shared-memory segment; otherwise the handle
+    describes a file-backed ``.npy`` mmap (``name`` is unused then).
+    """
+
+    name: str
+    shape: Tuple[int, ...]
+    dtype: str
+    path: Optional[str] = None
+
+
+def _attach_untracked(name: str):
+    """Open an existing segment without telling the resource tracker.
+
+    CPython registers attached segments with the resource tracker too
+    (bpo-39959); since forked workers share the parent's tracker and its
+    per-name registry is a set, every attach/unregister pair from a worker
+    would silently drop (or noisily double-drop) the *parent's* tracking
+    entry.  Ownership here is strict -- only the creating
+    :class:`SharedArray` unlinks -- so worker attaches suppress the
+    registration instead.
+    """
+    from multiprocessing import resource_tracker, shared_memory
+
+    original = resource_tracker.register
+    resource_tracker.register = lambda *args, **kwargs: None
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = original
+
+
+#: Worker-side registry keeping attached segments (and their buffers) alive
+#: for the life of the process.  Keyed by segment name or mmap path.
+_ATTACHED: Dict[str, "object"] = {}
+
+
+def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
+    """Attach to a shared array and view it as an ndarray (worker side).
+
+    Shared-memory handles keep the underlying segment open in a
+    process-wide registry, so the returned array stays valid for the
+    attaching process's lifetime; attaching the same handle twice reuses
+    the mapping.  File-backed handles are opened as **read-only** memory
+    maps -- attachers share pages through the OS cache and cannot
+    corrupt the owner's data.
+    """
+    if handle.path is not None:
+        mm = _ATTACHED.get(handle.path)
+        if mm is None:
+            mm = np.lib.format.open_memmap(handle.path, mode="r")
+            _ATTACHED[handle.path] = mm
+        if tuple(mm.shape) != tuple(handle.shape) or \
+                mm.dtype != np.dtype(handle.dtype):
+            raise ValueError(
+                f"mmap file {handle.path!r} holds "
+                f"{mm.dtype.str}{tuple(mm.shape)}, handle expects "
+                f"{handle.dtype}{tuple(handle.shape)}")
+        return mm
+    shm = _ATTACHED.get(handle.name)
+    if shm is None:
+        shm = _attach_untracked(handle.name)
+        _ATTACHED[handle.name] = shm
+    return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
+                      buffer=shm.buf)
+
+
+class SharedArray:
+    """An owner-held shared ndarray (shm segment or ``.npy`` mmap).
+
+    ``empty``/``create`` allocate a shared-memory segment;
+    ``create_file``/``from_file`` write/open a file-backed mmap.
+    ``handle`` is the picklable descriptor workers pass to
+    :func:`attach_shared_array`; ``close`` releases the mapping and (for
+    shm segments) unlinks it -- owner's responsibility, exactly once,
+    with a ``__del__`` backstop so failure paths cannot leak segments.
+    """
+
+    def __init__(self, shm, handle: SharedArrayHandle,
+                 mmap: Optional[np.memmap] = None) -> None:
+        self._shm = shm
+        self._mmap = mmap
+        self.handle = handle
+        if mmap is not None:
+            self.array: Optional[np.ndarray] = mmap
+        else:
+            self.array = self._wrap_buffer(handle.shape, handle.dtype,
+                                           shm.buf)
+
+    @staticmethod
+    def _wrap_buffer(shape, dtype, buf) -> np.ndarray:
+        """View ``buf`` as an ndarray (separate for fault injection)."""
+        return np.ndarray(shape, dtype=np.dtype(dtype), buffer=buf)
+
+    @property
+    def kind(self) -> str:
+        """``"shm"`` or ``"mmap"``."""
+        return "mmap" if self.handle.path is not None else "shm"
+
+    # ------------------------------------------------------------- #
+    # Shared-memory mode
+    # ------------------------------------------------------------- #
+
+    @classmethod
+    def empty(cls, shape: Tuple[int, ...], dtype) -> "SharedArray":
+        from multiprocessing import shared_memory
+
+        dt = np.dtype(dtype)
+        size = max(1, int(np.prod(shape)) * dt.itemsize)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        try:
+            return cls(shm, SharedArrayHandle(shm.name, tuple(shape),
+                                              dt.str))
+        except BaseException:
+            # Anything failing between allocation and the returned
+            # wrapper (ndarray construction, handle build) must not
+            # orphan the segment.
+            shm.close()
+            shm.unlink()
+            raise
+
+    @classmethod
+    def create(cls, source: np.ndarray) -> "SharedArray":
+        """Allocate a segment holding a copy of ``source``."""
+        source = np.asarray(source)
+        out = cls.empty(source.shape, source.dtype)
+        try:
+            out.array[...] = source
+        except BaseException:
+            out.close()
+            raise
+        return out
+
+    # ------------------------------------------------------------- #
+    # File-backed mmap mode
+    # ------------------------------------------------------------- #
+
+    @classmethod
+    def create_file(cls, path: str, source: np.ndarray) -> "SharedArray":
+        """Write ``source`` to ``path`` as ``.npy`` and map it back.
+
+        The returned array is the (read-write) mmap, already flushed, so
+        the bytes on disk equal ``source`` before any worker attaches.
+        A failure mid-write removes the partial file.
+        """
+        source = np.asarray(source)
+        directory = os.path.dirname(path)
+        if directory:
+            os.makedirs(directory, exist_ok=True)
+        try:
+            mm = np.lib.format.open_memmap(
+                path, mode="w+", dtype=source.dtype, shape=source.shape)
+            mm[...] = source
+            mm.flush()
+        except BaseException:
+            if os.path.exists(path):
+                os.unlink(path)
+            raise
+        handle = SharedArrayHandle("", tuple(source.shape),
+                                   source.dtype.str, path=os.fspath(path))
+        return cls(None, handle, mmap=mm)
+
+    @classmethod
+    def from_file(cls, path: str, mode: str = "r") -> "SharedArray":
+        """Map an existing ``.npy`` file (``mode="r"`` or ``"r+"``)."""
+        if mode not in ("r", "r+"):
+            raise ValueError(f"mode must be 'r' or 'r+', got {mode!r}")
+        mm = np.lib.format.open_memmap(path, mode=mode)
+        handle = SharedArrayHandle("", tuple(mm.shape), mm.dtype.str,
+                                   path=os.fspath(path))
+        return cls(None, handle, mmap=mm)
+
+    # ------------------------------------------------------------- #
+    # Lifecycle
+    # ------------------------------------------------------------- #
+
+    def flush(self) -> None:
+        """Flush a writable mmap's dirty pages to disk (no-op for shm)."""
+        if self._mmap is not None and getattr(self._mmap, "mode", "r") \
+                != "r":
+            self._mmap.flush()
+
+    def close(self) -> None:
+        """Release the mapping; unlink shm segments (idempotent).
+
+        File-backed arrays keep their file -- it is the persistent
+        artifact other processes (and future runs) open.
+        """
+        if self._mmap is not None:
+            self.flush()
+            self._mmap = None
+            self.array = None
+            return
+        if self._shm is None:
+            return
+        self.array = None
+        try:
+            self._shm.close()
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - already unlinked
+            pass
+        self._shm = None
+
+    def __del__(self) -> None:  # leak backstop, not the contract
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    def __enter__(self) -> "SharedArray":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class SharedGroup:
+    """Owner-side bundle of shared arrays with one-shot cleanup.
+
+    ``close`` releases every member even if one of them fails, then
+    re-raises the first error -- a partial cleanup may not strand the
+    remaining segments.
+    """
+
+    def __init__(self) -> None:
+        self._arrays: List[SharedArray] = []
+
+    def share(self, source: np.ndarray) -> SharedArrayHandle:
+        shared = SharedArray.create(source)
+        self._arrays.append(shared)
+        return shared.handle
+
+    def empty(self, shape, dtype) -> SharedArray:
+        shared = SharedArray.empty(shape, dtype)
+        self._arrays.append(shared)
+        return shared
+
+    def adopt(self, shared: SharedArray) -> SharedArray:
+        """Take ownership of an externally-built array's cleanup."""
+        self._arrays.append(shared)
+        return shared
+
+    def close(self) -> None:
+        arrays, self._arrays = self._arrays, []
+        first_error: Optional[BaseException] = None
+        for shared in arrays:
+            try:
+                shared.close()
+            except BaseException as exc:  # pragma: no cover - defensive
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:  # pragma: no cover - defensive
+            raise first_error

@@ -107,3 +107,67 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "mpgp" in out
         assert "hash" in out
+
+
+class TestServe:
+    @pytest.fixture
+    def saved_embeddings(self, tmp_path):
+        rng = np.random.default_rng(6)
+        matrix = rng.integers(-2, 3, size=(30, 8)).astype(np.float32)
+        path = tmp_path / "emb.npy"
+        np.save(path, matrix)
+        return str(path), matrix
+
+    def test_serve_requires_a_query_mode(self, saved_embeddings, capsys):
+        path, _ = saved_embeddings
+        code = main(["serve", "--embeddings", path])
+        assert code == 2
+        assert "--nodes" in capsys.readouterr().err
+
+    def test_serve_answers_node_queries(self, saved_embeddings, capsys):
+        path, matrix = saved_embeddings
+        code = main(["serve", "--embeddings", path,
+                     "--nodes", "0,3", "--k", "4", "--metric", "dot"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "serving 30 x 8 embeddings" in out
+        # Answers match the library path byte-for-byte.
+        from repro.serving import BatchTopKScorer
+
+        want = BatchTopKScorer(matrix).top_k(
+            np.array([0, 3]), k=4, metric="dot").as_lists()
+        for row, expected in zip(out.strip().splitlines()[1:], want):
+            for node_id, _ in expected:
+                assert f"{node_id}:" in row
+
+    def test_serve_rejects_out_of_range_node(self, saved_embeddings,
+                                             capsys):
+        path, _ = saved_embeddings
+        code = main(["serve", "--embeddings", path, "--nodes", "999"])
+        assert code == 2
+        assert "outside" in capsys.readouterr().err
+
+    def test_serve_replays_trace_with_workers(self, saved_embeddings,
+                                              capsys):
+        path, _ = saved_embeddings
+        code = main(["serve", "--embeddings", path, "--trace", "200",
+                     "--batch", "32", "--workers", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed 200 queries" in out
+        assert "queries/s" in out
+        assert "p99" in out
+
+    def test_serve_word2vec_text_in_process_trace(self, tmp_path,
+                                                  capsys):
+        from repro.graph.io import save_embeddings
+
+        rng = np.random.default_rng(2)
+        path = tmp_path / "vectors.emb"
+        save_embeddings(str(path), rng.standard_normal((12, 4)))
+        code = main(["serve", "--embeddings", str(path), "--trace", "50",
+                     "--batch", "10"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "in-process" in out
+        assert "replayed 50 queries" in out

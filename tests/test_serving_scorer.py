@@ -1,0 +1,306 @@
+"""Property suite for the batched top-k scorer (the serving hot path).
+
+The contract under test (see :mod:`repro.serving.scorer`): batched
+scoring over any candidate catalogue must match a brute-force per-query
+loop -- same selection, same order, same scores -- for both metrics,
+with ties broken by smallest node id, cold (zero-norm) nodes scoring a
+well-defined 0 under cosine, duplicate candidate ids deduplicated, and
+``k`` beyond the catalogue padding with ``(-1, -inf)``.  Integer-valued
+matrices make dot products exactly representable, so equality here means
+equality of *bytes*, which is what the multi-worker parity gate builds
+on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serving.scorer import (
+    BatchTopKScorer,
+    deterministic_top_k,
+    row_norms,
+)
+
+# --------------------------------------------------------------------- #
+# Brute-force reference
+# --------------------------------------------------------------------- #
+
+
+def brute_force_top_k(embeddings, node, k, metric, candidates=None,
+                      exclude_self=True, exclude=()):
+    """Per-query reference: score every candidate, sort by (-score, id)."""
+    n = embeddings.shape[0]
+    cand = (np.unique(np.asarray(candidates, dtype=np.int64))
+            if candidates is not None else np.arange(n, dtype=np.int64))
+    barred = set(int(b) for b in exclude)
+    if exclude_self:
+        barred.add(int(node))
+    query = embeddings[node].astype(np.float64)
+    qnorm = float(np.linalg.norm(query)) or 1.0
+    scored = []
+    for c in cand:
+        if int(c) in barred:
+            continue
+        score = float(embeddings[int(c)].astype(np.float64) @ query)
+        if metric == "cosine":
+            cnorm = float(np.linalg.norm(
+                embeddings[int(c)].astype(np.float64))) or 1.0
+            score = score / cnorm / qnorm
+        scored.append((int(c), score))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored[:k]
+
+
+def assert_matches_reference(embeddings, nodes, k, metric,
+                             candidates=None, exclude=None, **kwargs):
+    scorer = BatchTopKScorer(embeddings, **kwargs)
+    result = scorer.top_k(np.asarray(nodes, dtype=np.int64), k=k,
+                          metric=metric, candidates=candidates,
+                          exclude=exclude)
+    for row, node in enumerate(nodes):
+        barred = exclude[row] if exclude is not None else ()
+        want = brute_force_top_k(embeddings, node, k, metric,
+                                 candidates=candidates, exclude=barred)
+        got = result.as_lists()[row]
+        assert [i for i, _ in got] == [i for i, _ in want], (
+            f"node {node}: ids {got} != reference {want}")
+        np.testing.assert_allclose([s for _, s in got],
+                                   [s for _, s in want],
+                                   rtol=1e-12, atol=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# deterministic_top_k unit behaviour
+# --------------------------------------------------------------------- #
+
+
+class TestDeterministicTopK:
+    def test_plain_descending(self):
+        scores = np.array([0.1, 0.9, 0.5, 0.7])
+        np.testing.assert_array_equal(deterministic_top_k(scores, 2),
+                                      [1, 3])
+
+    def test_ties_break_by_smallest_index(self):
+        scores = np.array([1.0, 1.0, 1.0, 1.0, 0.5])
+        np.testing.assert_array_equal(deterministic_top_k(scores, 2),
+                                      [0, 1])
+        np.testing.assert_array_equal(deterministic_top_k(scores, 3),
+                                      [0, 1, 2])
+
+    def test_ties_straddling_boundary_after_strict_winners(self):
+        # 9.0 is strictly above; the 1.0 tie pool fills the rest by id.
+        scores = np.array([1.0, 9.0, 1.0, 1.0, 1.0])
+        np.testing.assert_array_equal(deterministic_top_k(scores, 3),
+                                      [1, 0, 2])
+
+    def test_k_at_least_n_returns_all_sorted(self):
+        scores = np.array([0.5, 2.0, 0.5])
+        for k in (3, 10):
+            np.testing.assert_array_equal(deterministic_top_k(scores, k),
+                                          [1, 0, 2])
+
+    @given(st.lists(st.integers(-5, 5), min_size=1, max_size=40),
+           st.integers(1, 45))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_lexsort_reference(self, values, k):
+        scores = np.asarray(values, dtype=np.float64)
+        full = np.lexsort((np.arange(scores.size), -scores))
+        want = full[:min(k, scores.size)]
+        np.testing.assert_array_equal(deterministic_top_k(scores, k),
+                                      want)
+
+
+# --------------------------------------------------------------------- #
+# Batched scorer vs brute force
+# --------------------------------------------------------------------- #
+
+matrix_strategy = st.tuples(
+    st.integers(3, 16),     # nodes
+    st.integers(1, 6),      # dim
+    st.integers(0, 10_000),  # seed
+)
+
+
+class TestScorerMatchesBruteForce:
+    @given(matrix_strategy, st.sampled_from(["cosine", "dot"]),
+           st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_random_matrices_all_candidates(self, spec, metric, k):
+        n, d, seed = spec
+        rng = np.random.default_rng(seed)
+        emb = rng.standard_normal((n, d))
+        nodes = rng.integers(0, n, size=min(4, n))
+        assert_matches_reference(emb, nodes, k, metric)
+
+    @given(matrix_strategy, st.sampled_from(["cosine", "dot"]),
+           st.integers(1, 20))
+    @settings(max_examples=60, deadline=None)
+    def test_tied_integer_matrices(self, spec, metric, k):
+        # Tiny integer alphabet forces massive score ties: the id
+        # tie-break (not argpartition luck) must decide every boundary.
+        n, d, seed = spec
+        rng = np.random.default_rng(seed)
+        emb = rng.integers(-1, 2, size=(n, d)).astype(np.float64)
+        nodes = rng.integers(0, n, size=min(4, n))
+        assert_matches_reference(emb, nodes, k, metric)
+
+    @given(matrix_strategy, st.sampled_from(["cosine", "dot"]))
+    @settings(max_examples=40, deadline=None)
+    def test_candidate_masks_with_duplicates(self, spec, metric):
+        n, d, seed = spec
+        rng = np.random.default_rng(seed)
+        emb = rng.integers(-2, 3, size=(n, d)).astype(np.float64)
+        # Duplicated, unsorted candidate pool (bipartite catalogue shape).
+        cand = rng.integers(0, n, size=n + 3)
+        nodes = rng.integers(0, n, size=2)
+        assert_matches_reference(emb, nodes, 5, metric, candidates=cand)
+
+    @given(matrix_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_zero_norm_rows_score_zero_cosine(self, spec):
+        n, d, seed = spec
+        rng = np.random.default_rng(seed)
+        emb = rng.standard_normal((n, d))
+        emb[0] = 0.0          # cold query node
+        emb[n - 1] = 0.0      # cold candidate
+        assert_matches_reference(emb, [0, n - 1], n, "cosine")
+        result = BatchTopKScorer(emb).top_k([0], k=n, metric="cosine",
+                                            exclude_self=False)
+        assert not np.isnan(result.scores).any()
+        row = dict(result.as_lists()[0])
+        assert row[0] == 0.0  # cold vs itself: defined, not NaN
+
+    def test_per_query_exclude_arrays(self):
+        rng = np.random.default_rng(4)
+        emb = rng.integers(-2, 3, size=(10, 4)).astype(np.float64)
+        nodes = [1, 5]
+        exclude = [np.array([0, 2, 9]), np.array([], dtype=np.int64)]
+        assert_matches_reference(emb, nodes, 6, "dot", exclude=exclude)
+
+    def test_normalized_cache_and_shipped_norms_match(self):
+        rng = np.random.default_rng(9)
+        emb = rng.standard_normal((20, 5))
+        nodes = np.arange(6)
+        base = BatchTopKScorer(emb).top_k(nodes, k=7)
+        cached = BatchTopKScorer(emb, normalized_cache=True).top_k(
+            nodes, k=7)
+        shipped = BatchTopKScorer(emb, norms=row_norms(emb)).top_k(
+            nodes, k=7)
+        np.testing.assert_array_equal(base.ids, cached.ids)
+        np.testing.assert_allclose(base.scores, cached.scores,
+                                   rtol=1e-12)
+        assert base.ids.tobytes() == shipped.ids.tobytes()
+        assert base.scores.tobytes() == shipped.scores.tobytes()
+
+
+class TestEdgeCases:
+    def test_k_beyond_candidates_pads(self):
+        emb = np.eye(4)
+        result = BatchTopKScorer(emb).top_k([0], k=10,
+                                            candidates=[1, 2])
+        assert result.ids.shape == (1, 10)
+        np.testing.assert_array_equal(result.ids[0][:2].tolist(), [1, 2])
+        assert (result.ids[0][2:] == -1).all()
+        assert np.isneginf(result.scores[0][2:]).all()
+        assert len(result.as_lists()[0]) == 2
+
+    def test_query_node_outside_candidates_not_self_excluded(self):
+        emb = np.eye(4) + 1.0
+        result = BatchTopKScorer(emb).top_k([3], k=3, candidates=[0, 1])
+        # node 3 is not in the catalogue; both candidates survive.
+        assert [i for i, _ in result.as_lists()[0]] == [0, 1]
+
+    def test_exclude_self_false_keeps_query_node(self):
+        emb = np.eye(3)
+        got = BatchTopKScorer(emb).top_k([1], k=1, metric="dot",
+                                         exclude_self=False)
+        assert got.ids[0, 0] == 1
+
+    def test_validation_errors(self):
+        emb = np.eye(4)
+        scorer = BatchTopKScorer(emb)
+        with pytest.raises(ValueError, match="metric"):
+            scorer.top_k([0], k=1, metric="euclid")
+        with pytest.raises(ValueError, match="k must be"):
+            scorer.top_k([0], k=0)
+        with pytest.raises(ValueError, match="query nodes"):
+            scorer.top_k([7], k=1)
+        with pytest.raises(ValueError, match="candidate ids"):
+            scorer.top_k([0], k=1, candidates=[99])
+        with pytest.raises(ValueError, match="one id array per query"):
+            scorer.top_k([0, 1], k=1, exclude=[np.array([2])])
+        with pytest.raises(ValueError, match="2-D"):
+            BatchTopKScorer(np.zeros(5))
+        with pytest.raises(ValueError, match="one entry per node"):
+            BatchTopKScorer(emb, norms=np.ones(3))
+
+    def test_fixed_catalogue_gathers_once_and_per_call_overrides(self):
+        rng = np.random.default_rng(2)
+        emb = rng.integers(-2, 3, size=(12, 3)).astype(np.float64)
+        fixed = BatchTopKScorer(emb, candidates=np.arange(6))
+        fresh = BatchTopKScorer(emb)
+        a = fixed.top_k([7], k=4, metric="dot")
+        b = fresh.top_k([7], k=4, metric="dot", candidates=np.arange(6))
+        assert a.ids.tobytes() == b.ids.tobytes()
+        c = fixed.top_k([7], k=4, metric="dot",
+                        candidates=np.arange(6, 12))
+        d = fresh.top_k([7], k=4, metric="dot",
+                        candidates=np.arange(6, 12))
+        assert c.ids.tobytes() == d.ids.tobytes()
+
+    def test_top_k_vectors_matches_node_queries(self):
+        rng = np.random.default_rng(3)
+        emb = rng.standard_normal((15, 4))
+        by_node = BatchTopKScorer(emb).top_k([4], k=5,
+                                             exclude_self=False)
+        by_vec = BatchTopKScorer(emb).top_k_vectors(emb[4][None, :], k=5)
+        np.testing.assert_array_equal(by_node.ids, by_vec.ids)
+        np.testing.assert_allclose(by_node.scores, by_vec.scores,
+                                   rtol=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# Exact norm pruning
+# --------------------------------------------------------------------- #
+
+
+class TestNormPruning:
+    @given(st.integers(0, 5000), st.integers(1, 12))
+    @settings(max_examples=40, deadline=None)
+    def test_pruned_equals_full_scan_bytes(self, seed, k):
+        rng = np.random.default_rng(seed)
+        emb = rng.integers(-3, 4, size=(60, 4)).astype(np.float64)
+        emb[seed % 60] = 0.0  # a cold candidate in the pool
+        nodes = rng.integers(0, 60, size=3)
+        scorer = BatchTopKScorer(emb)
+        full = scorer.top_k(nodes, k=k, metric="dot")
+        pruned = scorer.top_k(nodes, k=k, metric="dot", prune=True)
+        assert full.ids.tobytes() == pruned.ids.tobytes()
+        assert full.scores.tobytes() == pruned.scores.tobytes()
+
+    def test_prune_actually_prunes_with_small_chunks(self):
+        rng = np.random.default_rng(1)
+        emb = rng.integers(-3, 4, size=(300, 8)).astype(np.float64)
+        scorer = BatchTopKScorer(emb)
+        full = scorer.top_k([5], k=3, metric="dot")
+        pruned = scorer._top_k_pruned(
+            np.asarray([5], dtype=np.int64), 3,
+            scorer._resolve_candidates(None), True, None, chunk=16)
+        assert full.ids.tobytes() == pruned.ids.tobytes()
+        assert full.scores.tobytes() == pruned.scores.tobytes()
+
+    def test_prune_with_exclusions_and_candidates(self):
+        rng = np.random.default_rng(8)
+        emb = rng.integers(-2, 3, size=(80, 5)).astype(np.float64)
+        cand = np.arange(10, 70)
+        exclude = [np.array([11, 12, 13])]
+        scorer = BatchTopKScorer(emb)
+        full = scorer.top_k([0], k=5, metric="dot", candidates=cand,
+                            exclude=exclude)
+        pruned = scorer.top_k([0], k=5, metric="dot", candidates=cand,
+                              exclude=exclude, prune=True)
+        assert full.ids.tobytes() == pruned.ids.tobytes()
+        assert full.scores.tobytes() == pruned.scores.tobytes()
