@@ -160,3 +160,37 @@ def test_table3_flat_corpus_memory_no_worse(benchmark):
         f"flat corpus ({flat_bytes} B) must not exceed the legacy layout "
         f"({legacy_bytes} B)"
     )
+
+
+def test_table3_spilled_corpus_resident_gate(benchmark, tmp_path):
+    """Out-of-core companion: a spilled corpus keeps the token block
+    file-backed, so its resident share (occurrence counters + bounded
+    staging) is a small fraction of the mapped bytes -- the property the
+    ``backing="mmap"`` RSS ceiling (bench_ooc_memory_ceiling.py) builds
+    on."""
+    graph = powerlaw_cluster(min(IPC_NODES, 5000), attach=6,
+                             triangle_prob=0.3, seed=0)
+    assignment = WorkloadBalancePartitioner().partition(graph, 4).assignment
+    cluster = Cluster(4, assignment, seed=5)
+
+    def build_spilled():
+        cfg = WalkConfig.distger(max_rounds=2, min_rounds=2,
+                                 backing="mmap", spill_dir=str(tmp_path))
+        return DistributedWalkEngine(graph, cluster, cfg).run().corpus
+
+    corpus = run_once(benchmark, build_spilled)
+    try:
+        split = corpus.storage_bytes()
+        print_table(
+            "Table 3 companion: spilled corpus resident vs mapped bytes",
+            ["pool", "bytes"],
+            [["resident (counters + staging)", split["resident"]],
+             ["mapped (token + offset blocks)", split["mapped"]]],
+        )
+        assert split["mapped"] >= corpus.total_tokens * 8
+        assert split["resident"] < split["mapped"], (
+            f"spilled corpus keeps {split['resident']} B resident vs "
+            f"{split['mapped']} B mapped -- the spill is not out-of-core"
+        )
+    finally:
+        corpus.close()

@@ -45,6 +45,17 @@ for byte -- the knobs trade wall-clock only
 overlap speedup).  Per-phase overrides still win:
 ``walk_overrides={"execution": "serial"}`` keeps just the walks serial.
 
+``backing`` and ``spill_dir`` are pipeline-wide the same way:
+``embed_graph(g, execution="process", backing="mmap")`` materialises the
+read-only blocks the workers attach -- the CSR arrays, the kernel
+acceptance/alias tables, MPGP's per-arc common-neighbour table, and the
+flat corpus itself -- as file-backed ``.npy`` maps under ``spill_dir``
+instead of ``/dev/shm`` segments, so resident memory stays bounded by
+the working set rather than the corpus (the out-of-core mode;
+``benchmarks/bench_ooc_memory_ceiling.py`` gates the RSS ceiling and the
+shm/mmap byte parity).  Defaults come from ``REPRO_BACKING`` /
+``REPRO_SPILL_DIR``.
+
 The walk corpus itself is a flat token block + offsets
 (:class:`repro.walks.corpus.Corpus`), which is what keeps the process
 hand-offs cheap: walk rounds compact straight into the block, the flat
@@ -94,7 +105,7 @@ _MPGP_METHODS = ("distger", "distger-gpu")
 # while the prefixed aliases below address the trainer and partitioner.
 #: Pipeline-wide executor knobs: these exist on WalkConfig, TrainConfig
 #: and PartitionConfig alike and a flat value fans out to every phase.
-_SHARED_EXEC_FIELDS = ("execution", "workers")
+_SHARED_EXEC_FIELDS = ("execution", "workers", "backing", "spill_dir")
 _TRAIN_FIELDS = frozenset(
     f.name for f in dataclasses.fields(TrainConfig)
 ) - {"dim", "epochs", "seed", "backend", "rng_protocol",

@@ -76,6 +76,7 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
 
 _BACKEND_CHOICES = ["auto", "vectorized", "loop"]
 _EXECUTION_CHOICES = ["serial", "process", "pipeline"]
+_BACKING_CHOICES = ["shm", "mmap"]
 
 
 def _add_system_args(parser: argparse.ArgumentParser) -> None:
@@ -108,6 +109,18 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=None,
                         help="worker processes for --execution "
                              "process/pipeline (default: min(4, cores))")
+    parser.add_argument("--backing", default=None,
+                        choices=_BACKING_CHOICES,
+                        help="transport of the read-only blocks workers "
+                             "attach under --execution process/pipeline: "
+                             "'shm' (/dev/shm segments) or 'mmap' "
+                             "(file-backed .npy maps -- the out-of-core "
+                             "mode; byte-identical results, bounded "
+                             "resident memory; default: REPRO_BACKING or "
+                             "shm)")
+    parser.add_argument("--spill-dir", default=None, metavar="DIR",
+                        help="spill root for --backing mmap (default: "
+                             "REPRO_SPILL_DIR or the system temp dir)")
 
 
 def _backend_kwargs(args) -> dict:
@@ -123,6 +136,10 @@ def _backend_kwargs(args) -> dict:
         kwargs["execution"] = args.execution
     if getattr(args, "workers", None) is not None:
         kwargs["workers"] = args.workers
+    if getattr(args, "backing", None):
+        kwargs["backing"] = args.backing
+    if getattr(args, "spill_dir", None):
+        kwargs["spill_dir"] = args.spill_dir
     return kwargs
 
 
@@ -192,12 +209,13 @@ _BACKEND_SCHEMES = ("mpgp", "mpgp-parallel")
 def cmd_partition(args) -> int:
     graph = _load_graph(args)
     schemes = args.schemes or list(_PARTITIONERS)
-    exec_flags = args.backend or args.execution or args.workers is not None
+    exec_flags = (args.backend or args.execution or args.workers is not None
+                  or args.backing or args.spill_dir)
     if exec_flags:
         skipped = [n for n in schemes if n not in _BACKEND_SCHEMES]
         if skipped:
-            print(f"note: --backend/--execution/--workers apply to "
-                  f"{'/'.join(_BACKEND_SCHEMES)} only; ignored for "
+            print(f"note: --backend/--execution/--workers/--backing apply "
+                  f"to {'/'.join(_BACKEND_SCHEMES)} only; ignored for "
                   f"{', '.join(skipped)}")
     print(f"{'scheme':20s} {'seconds':>8s} {'cut%':>7s} {'balance':>8s} "
           f"{'walk locality':>13s}")
@@ -210,6 +228,10 @@ def cmd_partition(args) -> int:
                 scheme_kwargs["execution"] = args.execution
             if args.workers is not None:
                 scheme_kwargs["workers"] = args.workers
+            if args.backing:
+                scheme_kwargs["backing"] = args.backing
+            if args.spill_dir:
+                scheme_kwargs["spill_dir"] = args.spill_dir
             partitioner = _PARTITIONERS[name](**scheme_kwargs)
         else:
             partitioner = _PARTITIONERS[name]()
@@ -403,6 +425,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "processes (default: serial)")
     p_part.add_argument("--workers", type=int, default=None,
                         help="worker processes for --execution process")
+    p_part.add_argument("--backing", default=None, choices=_BACKING_CHOICES,
+                        help="segment-worker transport: shm segments or "
+                             "file-backed mmaps (default: REPRO_BACKING)")
+    p_part.add_argument("--spill-dir", default=None, metavar="DIR",
+                        help="spill root for --backing mmap")
     p_part.set_defaults(func=cmd_partition)
 
     p_cluster = sub.add_parser("cluster",

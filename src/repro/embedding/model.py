@@ -10,15 +10,17 @@ end of training.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
 from repro.embedding.schedules import SCHEDULES
 from repro.embedding.vocab import Vocabulary
 from repro.runtime.executor import (
+    default_backing,
     default_execution,
     default_workers,
+    resolve_backing,
     resolve_execution,
 )
 from repro.utils.rng import SeedLike, default_rng
@@ -111,6 +113,13 @@ class TrainConfig:
     #: Worker processes under execution="process"/"pipeline"; 0 = auto
     #: (min(4, cores)).
     workers: int = field(default_factory=default_workers)
+    #: "shm" | "mmap" -- transport of the shared corpus/shard blocks the
+    #: slice workers attach (replica matrices always stay shm: workers
+    #: write them).  Default from ``REPRO_BACKING`` ("shm" when unset).
+    backing: str = field(default_factory=default_backing)
+    #: Spill root under backing="mmap" (None: ``REPRO_SPILL_DIR`` or the
+    #: system temp dir).
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         check_positive("dim", self.dim)
@@ -139,6 +148,7 @@ class TrainConfig:
                 "(counter-based per-machine negative streams)"
             )
         resolve_execution(self.execution)
+        resolve_backing(self.backing)
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
         if self.execution in ("process", "pipeline") and \

@@ -269,6 +269,15 @@ class DistributedTrainer:
                 [stream.key for stream in neg_streams],
                 corpus=self.corpus if keep is None else None,
                 shards=shards if keep is None else None)
+        # Descriptor-shipping rounds never materialise walks in the
+        # parent: slice spans are sized from the offsets table alone so
+        # a file-backed corpus's token pages are only ever faulted by
+        # the workers that train them (the backing="mmap" RSS ceiling).
+        # The audit flag re-pickles batches, so it forces the slow path.
+        plan_lengths = None
+        if process_trainer is not None and process_trainer.ships_descriptors \
+                and not process_trainer.audits:
+            plan_lengths = self.corpus.walk_lengths
         try:
             for _epoch in range(cfg.epochs):
                 # Cursor into each machine's shard.
@@ -300,16 +309,19 @@ class DistributedTrainer:
                                 # producer is actually behind).
                                 ready_walks = self.feed.wait_ready(
                                     walk_index + 1)
-                            walk = self.corpus.walk(walk_index)
-                            if keep is not None:
-                                walk = self._subsample_walk(
-                                    walk, keep, rngs[machine]
-                                )
-                            if walk.size:
-                                batch.append(walk)
-                                slice_tokens += int(walk.size)
+                            if plan_lengths is not None:
+                                slice_tokens += int(plan_lengths[walk_index])
+                            else:
+                                walk = self.corpus.walk(walk_index)
+                                if keep is not None:
+                                    walk = self._subsample_walk(
+                                        walk, keep, rngs[machine]
+                                    )
+                                if walk.size:
+                                    batch.append(walk)
+                                    slice_tokens += int(walk.size)
                             cursors[machine] += 1
-                        if not batch:
+                        if slice_tokens == 0:
                             continue
                         lr = schedule(tokens_done / max(1, total_tokens))
                         tokens_done += slice_tokens

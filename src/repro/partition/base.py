@@ -11,14 +11,16 @@ from __future__ import annotations
 import time
 from abc import ABC, abstractmethod
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Optional
 
 import numpy as np
 
 from repro.graph.csr import CSRGraph
 from repro.runtime.executor import (
+    default_backing,
     default_execution,
     default_workers,
+    resolve_backing,
     resolve_execution,
 )
 from repro.utils.rng import SeedLike
@@ -70,6 +72,12 @@ class PartitionConfig:
     #: Worker processes under execution="process"/"pipeline"; 0 = auto
     #: (min(4, cores)).
     workers: int = field(default_factory=default_workers)
+    #: "shm" | "mmap" -- transport of the CSR + common-neighbour table
+    #: the segment workers attach.  Default from ``REPRO_BACKING``.
+    backing: str = field(default_factory=default_backing)
+    #: Spill root under backing="mmap" (None: ``REPRO_SPILL_DIR`` or the
+    #: system temp dir).
+    spill_dir: Optional[str] = None
     seed: SeedLike = 0
 
     def __post_init__(self) -> None:
@@ -77,6 +85,7 @@ class PartitionConfig:
         check_positive("num_segments", self.num_segments)
         resolve_backend(self.backend)
         resolve_execution(self.execution)
+        resolve_backing(self.backing)
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
 

@@ -75,7 +75,7 @@ from repro.partition.base import (
 )
 from repro.partition.galloping import galloping_intersect_size
 from repro.partition.streaming_orders import get_order
-from repro.runtime.executor import resolve_execution
+from repro.runtime.executor import resolve_backing, resolve_execution
 from repro.utils.rng import SeedLike
 from repro.utils.validation import check_positive
 
@@ -180,8 +180,9 @@ def _mpgp_stream(
 class MPGPPartitioner(Partitioner):
     """Sequential MPGP (paper default: DFS+degree stream, γ = 2).
 
-    ``execution``/``workers`` are accepted for config uniformity with the
-    other phases but the sequential stream always runs serially: every
+    ``execution``/``workers``/``backing``/``spill_dir`` are accepted for
+    config uniformity with the other phases but the sequential stream
+    always runs serially: every
     placement reads all earlier placements, so there is no independent
     work to fan out (use :class:`ParallelMPGPPartitioner` for the
     segment-parallel variant).
@@ -191,22 +192,28 @@ class MPGPPartitioner(Partitioner):
 
     def __init__(self, gamma: float = 2.0, order: str = "dfs+degree",
                  seed: SeedLike = 0, backend: str = "auto",
-                 execution: str = "serial", workers: int = 0) -> None:
+                 execution: str = "serial", workers: int = 0,
+                 backing: str = "shm",
+                 spill_dir: Optional[str] = None) -> None:
         check_positive("gamma", gamma)
         resolve_backend(backend)
         resolve_execution(execution)
+        resolve_backing(backing)
         self.gamma = gamma
         self.order = order
         self.seed = seed
         self.backend = backend
         self.execution = execution
         self.workers = workers
+        self.backing = backing
+        self.spill_dir = spill_dir
 
     @classmethod
     def from_config(cls, config: PartitionConfig) -> "MPGPPartitioner":
         return cls(gamma=config.gamma, order=config.order, seed=config.seed,
                    backend=config.backend, execution=config.execution,
-                   workers=config.workers)
+                   workers=config.workers, backing=config.backing,
+                   spill_dir=config.spill_dir)
 
     def resolved_backend(self) -> str:
         return resolve_backend(self.backend)
@@ -323,7 +330,9 @@ class ParallelMPGPPartitioner(Partitioner):
     def __init__(self, gamma: float = 2.0, order: str = "bfs+degree",
                  num_segments: int = 4, seed: SeedLike = 0,
                  use_threads: bool = False, backend: str = "auto",
-                 execution: str = "serial", workers: int = 0) -> None:
+                 execution: str = "serial", workers: int = 0,
+                 backing: str = "shm",
+                 spill_dir: Optional[str] = None) -> None:
         # ``use_threads`` exists for fidelity with the paper's parallel
         # implementation; under the CPython GIL the independent-segment
         # structure (less PF2 work per segment) is what delivers the
@@ -333,6 +342,7 @@ class ParallelMPGPPartitioner(Partitioner):
         check_positive("num_segments", num_segments)
         resolve_backend(backend)
         resolve_execution(execution)
+        resolve_backing(backing)
         self.gamma = gamma
         self.order = order
         self.num_segments = num_segments
@@ -341,13 +351,16 @@ class ParallelMPGPPartitioner(Partitioner):
         self.backend = backend
         self.execution = execution
         self.workers = workers
+        self.backing = backing
+        self.spill_dir = spill_dir
 
     @classmethod
     def from_config(cls, config: PartitionConfig) -> "ParallelMPGPPartitioner":
         return cls(gamma=config.gamma, order=config.order,
                    num_segments=config.num_segments, seed=config.seed,
                    backend=config.backend, execution=config.execution,
-                   workers=config.workers)
+                   workers=config.workers, backing=config.backing,
+                   spill_dir=config.spill_dir)
 
     def resolved_backend(self) -> str:
         return resolve_backend(self.backend)
@@ -366,7 +379,8 @@ class ParallelMPGPPartitioner(Partitioner):
 
             seg_parts_list = run_partition_segments(
                 graph, segments, num_parts, self.gamma, arc_cm,
-                self.workers)
+                self.workers, backing=self.backing,
+                spill_dir=self.spill_dir)
         else:
             def run_segment(segment: np.ndarray) -> np.ndarray:
                 return _mpgp_stream(graph, segment, num_parts, self.gamma,

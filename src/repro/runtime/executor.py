@@ -61,13 +61,19 @@ from typing import Callable, Dict, List, NamedTuple, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.utils.sharedmem import (
+    BACKING_CHOICES,
     SharedArray,
     SharedArrayHandle,
     SharedGroup as _SharedGroup,
     attach_shared_array,
+    default_backing,
+    default_spill_dir,
+    detach_shared_array,
+    resolve_backing,
 )
 
 __all__ = [
+    "BACKING_CHOICES",
     "EXECUTION_CHOICES",
     "AsyncPartition",
     "ProcessExecutor",
@@ -77,9 +83,13 @@ __all__ = [
     "SharedArrayHandle",
     "StreamingWalkRunner",
     "attach_shared_array",
+    "default_backing",
     "default_execution",
+    "default_spill_dir",
     "default_workers",
+    "detach_shared_array",
     "pipeline_depth",
+    "resolve_backing",
     "resolve_execution",
     "resolved_worker_count",
     "run_partition_async",
@@ -364,7 +374,9 @@ class ProcessWalkRunner:
         self._n = n
         cap = config.max_length if config.mode != "routine" else \
             config.walk_length
-        self._group = _SharedGroup()
+        self._group = _SharedGroup(
+            backing=getattr(config, "backing", "shm"),
+            spill_dir=getattr(config, "spill_dir", None))
         try:
             graph_handle = share_graph(self._group, graph)
             assignment_handle = self._group.share(cluster.assignment)
@@ -500,7 +512,9 @@ class StreamingWalkRunner:
                                 else pipeline_depth(), self._max_rounds))
         cap = config.max_length if config.mode != "routine" else \
             config.walk_length
-        self._group = _SharedGroup()
+        self._group = _SharedGroup(
+            backing=getattr(config, "backing", "shm"),
+            spill_dir=getattr(config, "spill_dir", None))
         self._pool: Optional[ProcessPoolExecutor] = None
         try:
             graph_handle = share_graph(self._group, graph)
@@ -778,7 +792,9 @@ class ProcessSliceTrainer:
                  shards: Optional[Sequence[np.ndarray]] = None) -> None:
         m = len(replicas)
         dim = int(replicas[0].phi_in.shape[1])
-        self._group = _SharedGroup()
+        self._group = _SharedGroup(
+            backing=getattr(config, "backing", "shm"),
+            spill_dir=getattr(config, "spill_dir", None))
         try:
             phi_in = self._group.empty((m, vocab.size, dim), np.float32)
             phi_out = self._group.empty((m, vocab.size, dim), np.float32)
@@ -794,9 +810,18 @@ class ProcessSliceTrainer:
                     [np.asarray(s, dtype=np.int64) for s in shards])
                 shard_offsets = np.zeros(len(shards) + 1, dtype=np.int64)
                 np.cumsum([s.size for s in shards], out=shard_offsets[1:])
+                if getattr(corpus, "is_spilled", False) and \
+                        corpus.total_tokens:
+                    # The corpus already lives on shareable .npy files:
+                    # hand workers handles over those -- no O(corpus)
+                    # copy into a second segment/file.
+                    tokens_handle, offsets_handle = corpus.spill_handles()
+                else:
+                    tokens_handle = self._group.share(corpus.tokens)
+                    offsets_handle = self._group.share(corpus.offsets)
                 corpus_handles = (
-                    self._group.share(corpus.tokens),
-                    self._group.share(corpus.offsets),
+                    tokens_handle,
+                    offsets_handle,
                     self._group.share(shard_flat),
                     self._group.share(shard_offsets),
                 )
@@ -811,6 +836,9 @@ class ProcessSliceTrainer:
         self._keys = [int(key) for key in neg_keys]
         self._counters = [0] * m
         self._audit = os.environ.get("REPRO_IPC_AUDIT", "") not in ("", "0")
+        #: True when the IPC audit wants materialised batches in every
+        #: plan (the trainer's lengths-only plan fast path checks this).
+        self.audits = self._audit
         #: Pickled bytes of the per-round task messages actually shipped.
         self.ipc_task_bytes = 0
         #: Counterfactual pickled-batch bytes (only under REPRO_IPC_AUDIT).
@@ -904,14 +932,18 @@ def _partition_segment_task(segment: np.ndarray) -> np.ndarray:
 
 def run_partition_segments(graph, segments, num_parts: int, gamma: float,
                            arc_cm: Optional[np.ndarray],
-                           workers: int) -> List[np.ndarray]:
+                           workers: int, backing: str = "shm",
+                           spill_dir: Optional[str] = None
+                           ) -> List[np.ndarray]:
     """Partition parallel-MPGP's segments on worker processes.
 
     Returns each segment's per-node part labels (aligned with the segment
     order), exactly as the serial per-segment loop produces them --
     segments share no state, so the fan-out is a pure reordering.
+    ``backing="mmap"`` ships the CSR + common-neighbour table as spill
+    files instead of shm segments (same labels either way).
     """
-    group = _SharedGroup()
+    group = _SharedGroup(backing=backing, spill_dir=spill_dir)
     try:
         graph_handle = share_graph(group, graph)
         arc_handle = None if arc_cm is None else group.share(arc_cm)

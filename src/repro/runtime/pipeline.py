@@ -41,6 +41,15 @@ with wall-clock improvements from partition/sampling overlap and
 flush/sampling overlap (``benchmarks/bench_fig5_pipeline_overlap.py``
 gates the end-to-end speedup; ``tests/test_runtime_executor_parity.py``
 pins the bytes).
+
+``backing="mmap"`` composes orthogonally with the overlap: the walk
+engine spills the corpus before the first round, so every streamed
+flush drains into the file-backed block and its pages are dropped from
+the parent's residency; the runners' shared groups (CSR, kernel tables)
+spill the same way.  The backing is a pure transport choice -- nothing
+in the dataflow above observes it, so the byte-parity argument is
+unchanged (``tests/test_ooc_backing.py`` pins pipeline×mmap against
+serial×shm).
 """
 
 from __future__ import annotations

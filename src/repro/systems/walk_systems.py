@@ -147,11 +147,17 @@ class RandomWalkSystem(EmbeddingSystem):
                 feed=feed,
             )
             train_result = trainer.train()
+        corpus_storage = walk_result.corpus.storage_bytes()
         stats: Dict[str, float] = {
             "avg_walk_length": walk_result.stats.average_length,
             "walks": walk_result.stats.total_walks,
             "rounds": walk_result.stats.rounds,
             "corpus_tokens": walk_result.corpus.total_tokens,
+            # Out-of-core accounting: a spilled corpus's token block is
+            # file-backed (page cache), not heap -- the memory gates read
+            # the split, not the total.
+            "corpus_resident_bytes": corpus_storage["resident"],
+            "corpus_mapped_bytes": corpus_storage["mapped"],
             "train_tokens": train_result.tokens_processed,
             "train_throughput": train_result.throughput,
             "sync_rounds": train_result.sync_rounds,

@@ -24,28 +24,70 @@ Two backing modes, same handles, same views:
   out-of-core roadmap item.  Workers always attach read-only; writes are
   the owner's business.
 
+The mode every executor uses is one knob: ``backing="shm"`` (default)
+or ``"mmap"`` -- env ``REPRO_BACKING``, CLI ``--backing`` -- resolved by
+:func:`default_backing`/:func:`resolve_backing` and consumed by
+:class:`SharedGroup`.  Under ``mmap`` backing a group materialises its
+``share``\\ d (read-only input) arrays as temp-spill ``.npy`` files and
+``madvise``\\ s the owner's pages away, so the resident cost of sharing
+a CSR graph, kernel table, or corpus block drops to near zero; mutable
+worker-written buffers (``empty``) always stay shm.
+
 Leak discipline: allocation is atomic-or-unlinked.  Every classmethod
-constructor unlinks its segment if anything raises between the raw
-allocation and the returned wrapper, ``close()`` is idempotent, and a
-``__del__`` backstop reclaims segments whose owner forgot (or crashed
+constructor unlinks its segment (closing the mapping first, for files)
+if anything raises between the raw allocation and the returned wrapper,
+``close()`` is idempotent and really releases mmap file descriptors, and
+a ``__del__`` backstop reclaims segments whose owner forgot (or crashed
 past) the explicit close -- so a failure mid-``attach``/``create`` or a
 dying serving worker cannot orphan ``/dev/shm`` entries
-(``tests/test_serving_store.py`` counts segments around forced crashes).
+(``tests/test_serving_store.py`` counts segments around forced crashes,
+``tests/test_sharedmem_lifecycle.py`` counts mmap fds the same way).
 """
 
 from __future__ import annotations
 
 import os
+import shutil
+import sys
+import tempfile
 from typing import Dict, List, NamedTuple, Optional, Tuple
 
 import numpy as np
 
 __all__ = [
+    "BACKING_CHOICES",
     "SharedArray",
     "SharedArrayHandle",
     "SharedGroup",
     "attach_shared_array",
+    "attached_count",
+    "default_backing",
+    "default_spill_dir",
+    "detach_shared_array",
+    "resolve_backing",
 ]
+
+#: Where the big shared structures live: ``/dev/shm`` segments or
+#: file-backed ``.npy`` spill mmaps.
+BACKING_CHOICES = ("shm", "mmap")
+
+
+def default_backing() -> str:
+    """Backing mode from ``REPRO_BACKING`` (default ``"shm"``)."""
+    return os.environ.get("REPRO_BACKING", "shm")
+
+
+def resolve_backing(backing: str) -> str:
+    """Validate a backing-mode knob value."""
+    if backing not in BACKING_CHOICES:
+        raise ValueError(
+            f"backing must be one of {BACKING_CHOICES}, got {backing!r}")
+    return backing
+
+
+def default_spill_dir() -> Optional[str]:
+    """Spill root from ``REPRO_SPILL_DIR`` (None: system temp dir)."""
+    return os.environ.get("REPRO_SPILL_DIR") or None
 
 
 class SharedArrayHandle(NamedTuple):
@@ -87,6 +129,45 @@ def _attach_untracked(name: str):
 _ATTACHED: Dict[str, "object"] = {}
 
 
+def _close_memmap(mm: Optional[np.memmap], force: bool = False) -> None:
+    """Close a memmap's raw ``mmap.mmap`` (releasing its fd) if safe.
+
+    numpy does **not** keep a buffer export on the underlying mmap
+    object, so ``mmap.close()`` always succeeds -- and any ndarray still
+    pointing into the mapping would read unmapped memory afterwards
+    (a segfault, not an exception).  The caller hands over its *only*
+    reference; if anything else still references the memmap (escaped
+    views hold it via ``.base``), the close is skipped and reclamation
+    falls back to GC: when the last view dies, the memmap deallocates,
+    the raw map loses its final reference, and the fd closes.
+
+    Contract: the caller holds **exactly one** reference (a local it
+    will drop right after this returns) and passes it here.  Expected
+    count is therefore 3: caller's local + the parameter binding +
+    ``getrefcount``'s own argument; anything above that is an escaped
+    reference and vetoes the close.  ``force=True`` skips the veto --
+    for failure paths where no view can have escaped but the in-flight
+    exception's traceback frames still reference the memmap (a raising
+    ``flush`` holds it as ``self``).
+    """
+    if mm is None:
+        return
+    if not force and sys.getrefcount(mm) > 3:
+        return
+    underlying = getattr(mm, "_mmap", None)
+    del mm
+    if underlying is not None:
+        try:
+            underlying.close()
+        except BufferError:  # pragma: no cover - exported elsewhere
+            pass
+
+
+def _handle_matches(mm: np.ndarray, handle: SharedArrayHandle) -> bool:
+    return tuple(mm.shape) == tuple(handle.shape) and \
+        mm.dtype == np.dtype(handle.dtype)
+
+
 def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
     """Attach to a shared array and view it as an ndarray (worker side).
 
@@ -95,19 +176,30 @@ def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
     attaching process's lifetime; attaching the same handle twice reuses
     the mapping.  File-backed handles are opened as **read-only** memory
     maps -- attachers share pages through the OS cache and cannot
-    corrupt the owner's data.
+    corrupt the owner's data.  A cached mmap whose shape/dtype no longer
+    matches the handle (the owner rewrote the file -- a new spill
+    generation, a resized store) is detached and reopened before the
+    attach is allowed to fail.
     """
     if handle.path is not None:
         mm = _ATTACHED.get(handle.path)
+        if mm is not None and not _handle_matches(mm, handle):
+            detach_shared_array(handle.path)
+            mm = None
         if mm is None:
             mm = np.lib.format.open_memmap(handle.path, mode="r")
+            if not _handle_matches(mm, handle):
+                # Genuine mismatch: the file on disk disagrees with the
+                # handle.  Close the fresh map before raising -- a failed
+                # attach must not leak an fd or poison the cache.
+                shape, dtype = tuple(mm.shape), mm.dtype.str
+                _close_memmap(mm)
+                del mm
+                raise ValueError(
+                    f"mmap file {handle.path!r} holds "
+                    f"{dtype}{shape}, handle expects "
+                    f"{handle.dtype}{tuple(handle.shape)}")
             _ATTACHED[handle.path] = mm
-        if tuple(mm.shape) != tuple(handle.shape) or \
-                mm.dtype != np.dtype(handle.dtype):
-            raise ValueError(
-                f"mmap file {handle.path!r} holds "
-                f"{mm.dtype.str}{tuple(mm.shape)}, handle expects "
-                f"{handle.dtype}{tuple(handle.shape)}")
         return mm
     shm = _ATTACHED.get(handle.name)
     if shm is None:
@@ -115,6 +207,33 @@ def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
         _ATTACHED[handle.name] = shm
     return np.ndarray(handle.shape, dtype=np.dtype(handle.dtype),
                       buffer=shm.buf)
+
+
+def detach_shared_array(key: str) -> bool:
+    """Drop one cached attach (segment name or mmap path) from the registry.
+
+    Closes the cached mapping -- for mmaps the underlying map *and its
+    file descriptor* -- so long-lived processes that reopen stores do
+    not accumulate mappings, and tests can assert none dangle.  Returns
+    False when nothing was attached under ``key``.  A detached mmap that
+    callers still hold views into is left for GC instead of closed (a
+    closed map would read as unmapped memory under them); the registry
+    entry is dropped either way.
+    """
+    obj = _ATTACHED.pop(key, None)
+    if obj is None:
+        return False
+    if isinstance(obj, np.memmap):
+        _close_memmap(obj)
+        del obj
+    else:
+        obj.close()
+    return True
+
+
+def attached_count() -> int:
+    """Number of live entries in the attach registry (test observability)."""
+    return len(_ATTACHED)
 
 
 class SharedArray:
@@ -129,9 +248,11 @@ class SharedArray:
     """
 
     def __init__(self, shm, handle: SharedArrayHandle,
-                 mmap: Optional[np.memmap] = None) -> None:
+                 mmap: Optional[np.memmap] = None,
+                 delete_on_close: bool = False) -> None:
         self._shm = shm
         self._mmap = mmap
+        self._delete_on_close = delete_on_close
         self.handle = handle
         if mmap is not None:
             self.array: Optional[np.ndarray] = mmap
@@ -188,29 +309,43 @@ class SharedArray:
     # ------------------------------------------------------------- #
 
     @classmethod
-    def create_file(cls, path: str, source: np.ndarray) -> "SharedArray":
+    def create_file(cls, path: str, source: np.ndarray,
+                    delete_on_close: bool = False) -> "SharedArray":
         """Write ``source`` to ``path`` as ``.npy`` and map it back.
 
         The returned array is the (read-write) mmap, already flushed, so
         the bytes on disk equal ``source`` before any worker attaches.
-        A failure mid-write removes the partial file.
+        A failure mid-write closes the mapping and removes the partial
+        file -- in that order, because unlinking a file that is still
+        mapped leaks the mapping and fails outright on platforms that
+        refuse to unlink open files.  ``delete_on_close=True`` marks the
+        file a temp spill artifact that ``close`` removes.
         """
         source = np.asarray(source)
         directory = os.path.dirname(path)
         if directory:
             os.makedirs(directory, exist_ok=True)
+        mm = None
         try:
             mm = np.lib.format.open_memmap(
                 path, mode="w+", dtype=source.dtype, shape=source.shape)
             mm[...] = source
             mm.flush()
         except BaseException:
+            if mm is not None:
+                # Close before unlinking: removing a still-mapped file
+                # leaks the mapping (and fails outright on platforms
+                # that refuse to unlink open files).  Forced -- nothing
+                # has seen this array yet, only the exception's own
+                # traceback frames still reference it.
+                _close_memmap(mm, force=True)
+                mm = None
             if os.path.exists(path):
                 os.unlink(path)
             raise
         handle = SharedArrayHandle("", tuple(source.shape),
                                    source.dtype.str, path=os.fspath(path))
-        return cls(None, handle, mmap=mm)
+        return cls(None, handle, mmap=mm, delete_on_close=delete_on_close)
 
     @classmethod
     def from_file(cls, path: str, mode: str = "r") -> "SharedArray":
@@ -232,16 +367,47 @@ class SharedArray:
                 != "r":
             self._mmap.flush()
 
+    def release_pages(self) -> None:
+        """Drop the owner's resident pages of a file-backed array.
+
+        Flushes dirty pages, then ``madvise(MADV_DONTNEED)``\\ s the
+        mapping: the data stays in the file (and the OS page cache) and
+        every attacher re-faults it on demand, but the owner's RSS no
+        longer charges for bytes it only wrote once to share.  No-op for
+        shm arrays and on platforms without ``madvise``.
+        """
+        if self._mmap is None:
+            return
+        self.flush()
+        import mmap as _mmap_module
+
+        underlying = getattr(self._mmap, "_mmap", None)
+        if underlying is not None and hasattr(underlying, "madvise") and \
+                hasattr(_mmap_module, "MADV_DONTNEED"):
+            underlying.madvise(_mmap_module.MADV_DONTNEED)
+
     def close(self) -> None:
         """Release the mapping; unlink shm segments (idempotent).
 
-        File-backed arrays keep their file -- it is the persistent
-        artifact other processes (and future runs) open.
+        File-backed arrays really close the underlying map and its file
+        descriptor (escaped views fall back to GC), so long-lived
+        processes that cycle through stores do not accumulate mappings.
+        The file itself is kept -- it is the persistent artifact other
+        processes (and future runs) open -- unless the array was created
+        with ``delete_on_close=True`` (temp spill files).
         """
         if self._mmap is not None:
             self.flush()
+            mm = self._mmap
             self._mmap = None
             self.array = None
+            _close_memmap(mm)
+            del mm
+            if self._delete_on_close and self.handle.path is not None:
+                try:
+                    os.unlink(self.handle.path)
+                except FileNotFoundError:  # pragma: no cover - already gone
+                    pass
             return
         if self._shm is None:
             return
@@ -269,16 +435,48 @@ class SharedArray:
 class SharedGroup:
     """Owner-side bundle of shared arrays with one-shot cleanup.
 
-    ``close`` releases every member even if one of them fails, then
-    re-raises the first error -- a partial cleanup may not strand the
-    remaining segments.
+    ``backing`` routes the **read-only inputs** (``share``): under
+    ``"shm"`` they become ``/dev/shm`` segments, under ``"mmap"`` they
+    are spilled as ``.npy`` files into a private temp directory under
+    ``spill_dir`` (default: ``REPRO_SPILL_DIR`` or the system temp dir)
+    and the owner's pages are released immediately -- workers attach
+    read-only through the page cache.  Mutable worker-*written* buffers
+    (``empty``) always stay shm: they are small (round slots, replica
+    matrices) and need write access from attachers.
+
+    ``close`` releases every member even if one of them fails, removes
+    the spill directory, then re-raises the first error -- a partial
+    cleanup may not strand the remaining segments or files.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, backing: str = "shm",
+                 spill_dir: Optional[str] = None) -> None:
+        self.backing = resolve_backing(backing)
+        self._spill_root = spill_dir
+        self._spill_dir: Optional[str] = None
+        self._counter = 0
         self._arrays: List[SharedArray] = []
 
+    def _next_spill_path(self) -> str:
+        if self._spill_dir is None:
+            root = self._spill_root or default_spill_dir() or \
+                tempfile.gettempdir()
+            os.makedirs(root, exist_ok=True)
+            self._spill_dir = tempfile.mkdtemp(prefix="repro-spill-",
+                                               dir=root)
+        self._counter += 1
+        return os.path.join(self._spill_dir, f"a{self._counter:04d}.npy")
+
     def share(self, source: np.ndarray) -> SharedArrayHandle:
-        shared = SharedArray.create(source)
+        source = np.asarray(source)
+        if self.backing == "mmap" and source.size:
+            shared = SharedArray.create_file(self._next_spill_path(),
+                                             source, delete_on_close=True)
+            # The owner only wrote this copy to share it; drop its pages.
+            shared.release_pages()
+        else:
+            # Zero-size arrays cannot be mmapped; shm pads to one byte.
+            shared = SharedArray.create(source)
         self._arrays.append(shared)
         return shared.handle
 
@@ -301,5 +499,8 @@ class SharedGroup:
             except BaseException as exc:  # pragma: no cover - defensive
                 if first_error is None:
                     first_error = exc
+        if self._spill_dir is not None:
+            shutil.rmtree(self._spill_dir, ignore_errors=True)
+            self._spill_dir = None
         if first_error is not None:  # pragma: no cover - defensive
             raise first_error

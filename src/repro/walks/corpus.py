@@ -22,6 +22,18 @@ Both storage arrays grow by amortised doubling, so ``add_walk`` stays
 O(len(walk)) and ``add_walks`` does one reserve + one bounds check + one
 ``bincount`` per batch.
 
+Out-of-core spill
+-----------------
+:meth:`Corpus.spill_to` moves ``tokens``/``offsets`` onto file-backed
+``.npy`` mmaps (the walk engine calls it under ``backing="mmap"``).  A
+spilled corpus keeps the exact same API and byte layout, but appends go
+through a bounded in-RAM staging buffer that every :meth:`add_walks`
+round flushes to disk (dropping the flushed pages from the resident
+set), so sampling a corpus of any size holds O(round + staging) bytes in
+RAM instead of O(corpus).  :meth:`storage_bytes` reports the
+resident-vs-mapped split; :meth:`spill_handles` lets the process trainer
+share the blocks zero-copy straight from the spill files.
+
 Persistence: :meth:`save` writes the flat arrays as ``.npz`` (the compact
 format; default), or the legacy one-walk-per-line text format when the
 path ends in ``.txt``; :meth:`load` sniffs the format, so corpora written
@@ -32,9 +44,11 @@ and zero-length walks exactly.
 from __future__ import annotations
 
 import os
+import shutil
+import tempfile
 import threading
 import time
-from typing import Callable, Iterator, List, Optional, Sequence
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -42,6 +56,25 @@ from repro.utils.stats import kl_divergence
 
 #: Zip local-file-header magic -- how :meth:`Corpus.load` detects ``.npz``.
 _NPZ_MAGIC = b"PK\x03\x04"
+
+#: Elements copied per step when a spilled block is rewritten onto a
+#: larger file -- with the per-chunk page release below this bounds the
+#: resident cost of growth to one chunk (8 MB), not O(corpus).
+_SPILL_COPY_CHUNK = 1 << 20
+
+#: Default staging bound (tokens) of a spilled corpus: appends accumulate
+#: in RAM up to this many tokens between flushes.
+_SPILL_STAGE_TOKENS = 1 << 20
+
+
+def _advise_dontneed(mm: np.ndarray) -> None:
+    """Drop a memmap's resident pages (data stays in file + page cache)."""
+    import mmap as _mmap_module
+
+    underlying = getattr(mm, "_mmap", None)
+    if underlying is not None and hasattr(underlying, "madvise") and \
+            hasattr(_mmap_module, "MADV_DONTNEED"):
+        underlying.madvise(_mmap_module.MADV_DONTNEED)
 
 
 class _WalkSequence(Sequence):
@@ -83,6 +116,12 @@ class Corpus:
         self._n_walks = 0
         self._occurrences = np.zeros(self.num_nodes, dtype=np.int64)
         self._round_listeners: List[Callable[["Corpus"], None]] = []
+        # Out-of-core spill state (see spill_to); counters above always
+        # include staged-but-unflushed appends.
+        self._spill_dir: Optional[str] = None
+        self._stage: List[Tuple[np.ndarray, np.ndarray]] = []
+        self._stage_tokens = 0
+        self._stage_limit = _SPILL_STAGE_TOKENS
 
     # ------------------------------------------------------------------ #
     # Building
@@ -103,13 +142,38 @@ class Corpus:
             grown[:self._n_walks + 1] = self._offsets[:self._n_walks + 1]
             self._offsets = grown
 
+    def _count_occurrences(self, flat: np.ndarray) -> None:
+        if flat.size:
+            if flat.size * 4 >= self.num_nodes:
+                # Batch appends: one bincount over the whole block.
+                self._occurrences += np.bincount(flat,
+                                                 minlength=self.num_nodes)
+            else:
+                # Small appends (add_walk from the loop engines, text
+                # loading): O(len(walk)), not O(num_nodes) -- integer
+                # counts, so both paths land on identical state.
+                np.add.at(self._occurrences, flat, 1)
+
     def _append_flat(self, flat: np.ndarray, lengths: np.ndarray) -> None:
         """Append pre-validated walks given as a flat block + lengths.
 
         The internal fast path shared by ``add_walk``/``add_walks``/
         ``merge``/``load``; unlike the public builders it accepts
         zero-length walks (needed for lossless save/load round trips).
+        A spilled corpus stages the append in RAM (counters advance
+        immediately; the flat views materialise at the next flush).
         """
+        if self._spill_dir is not None:
+            flat = np.array(flat, dtype=np.int64, copy=True).ravel()
+            lengths = np.array(lengths, dtype=np.int64, copy=True).ravel()
+            self._stage.append((flat, lengths))
+            self._stage_tokens += int(flat.size)
+            self._n_tokens += int(flat.size)
+            self._n_walks += int(lengths.size)
+            self._count_occurrences(flat)
+            if self._stage_tokens >= self._stage_limit:
+                self._flush_staging()
+            return
         self._reserve(int(flat.size), int(lengths.size))
         start = self._n_tokens
         self._tokens[start:start + flat.size] = flat
@@ -121,16 +185,7 @@ class Corpus:
                       self._n_walks + 1 + lengths.size] += base
         self._n_tokens += int(flat.size)
         self._n_walks += int(lengths.size)
-        if flat.size:
-            if flat.size * 4 >= self.num_nodes:
-                # Batch appends: one bincount over the whole block.
-                self._occurrences += np.bincount(flat,
-                                                 minlength=self.num_nodes)
-            else:
-                # Small appends (add_walk from the loop engines, text
-                # loading): O(len(walk)), not O(num_nodes) -- integer
-                # counts, so both paths land on identical state.
-                np.add.at(self._occurrences, flat, 1)
+        self._count_occurrences(flat)
 
     def add_walk(self, walk: Sequence[int]) -> None:
         """Append one walk and update occurrence counts."""
@@ -170,6 +225,11 @@ class Corpus:
         if flat.min() < 0 or flat.max() >= self.num_nodes:
             raise ValueError("walk contains node ids outside the universe")
         self._append_flat(flat, lengths)
+        if self._spill_dir is not None:
+            # Round boundary: push the round to disk and drop its pages,
+            # so resident memory stays O(round) while sampling -- and the
+            # ready prefix the listeners publish is resident on disk.
+            self._flush_staging()
         # Round-completion notification: batch flushes are the unit the
         # streaming executor publishes, so consumers (CorpusFeed) learn
         # the new ready prefix exactly once per flushed round.
@@ -191,9 +251,19 @@ class Corpus:
     def __getstate__(self):
         # Listeners are process-local streaming wiring (a CorpusFeed
         # holds a threading.Condition); a pickled corpus carries the
-        # walks, never the live handshake.
+        # walks, never the live handshake.  A spilled corpus materialises
+        # its blocks: the receiver has no claim on our temp files'
+        # lifetime, so the pickle must be self-contained.
+        if self._stage:
+            self._flush_staging()
         state = self.__dict__.copy()
         state["_round_listeners"] = []
+        if self._spill_dir is not None:
+            state["_tokens"] = np.array(self._tokens[:self._n_tokens])
+            state["_offsets"] = np.array(self._offsets[:self._n_walks + 1])
+            state["_spill_dir"] = None
+            state["_stage"] = []
+            state["_stage_tokens"] = 0
         return state
 
     def merge(self, other: "Corpus") -> None:
@@ -231,18 +301,201 @@ class Corpus:
         return corpus
 
     # ------------------------------------------------------------------ #
+    # Out-of-core spill
+    # ------------------------------------------------------------------ #
+
+    @property
+    def is_spilled(self) -> bool:
+        """True once :meth:`spill_to` moved the flat blocks onto mmaps."""
+        return self._spill_dir is not None
+
+    @property
+    def spill_dir(self) -> Optional[str]:
+        """Directory holding ``tokens.npy``/``offsets.npy`` (or None)."""
+        return self._spill_dir
+
+    def spill_to(self, directory: Optional[str] = None,
+                 stage_tokens: int = _SPILL_STAGE_TOKENS) -> str:
+        """Move the flat walk storage onto file-backed ``.npy`` mmaps.
+
+        ``tokens`` and ``offsets`` are rewritten (chunked, so the copy
+        itself is O(chunk) resident) onto ``tokens.npy``/``offsets.npy``
+        under a fresh private subdirectory of ``directory`` (default:
+        ``REPRO_SPILL_DIR`` or the system temp dir), and the corpus keeps
+        growing through them: appends accumulate in a bounded in-RAM
+        staging buffer (at most ``stage_tokens`` tokens) that every
+        :meth:`add_walks` round flushes to disk.  All views, statistics
+        and persistence behave identically -- byte for byte -- to the
+        in-RAM corpus; only residency changes.
+
+        Returns the spill directory.  Idempotent on an already-spilled
+        corpus.  The files are temp artifacts deleted by :meth:`close`
+        (or garbage collection); :meth:`save` is the persistence path.
+        """
+        if self._spill_dir is not None:
+            return self._spill_dir
+        root = directory or os.environ.get("REPRO_SPILL_DIR") or \
+            tempfile.gettempdir()
+        os.makedirs(root, exist_ok=True)
+        self._spill_dir = tempfile.mkdtemp(prefix="repro-corpus-", dir=root)
+        self._stage_limit = max(1, int(stage_tokens))
+        self._tokens = self._spill_block("tokens.npy", self._tokens,
+                                         self._n_tokens)
+        self._offsets = self._spill_block("offsets.npy", self._offsets,
+                                          self._n_walks + 1)
+        return self._spill_dir
+
+    def _spill_block(self, name: str, arr: np.ndarray,
+                     n_valid: int) -> np.ndarray:
+        path = os.path.join(self._spill_dir, name)
+        mm = np.lib.format.open_memmap(path, mode="w+", dtype=np.int64,
+                                       shape=(max(int(n_valid), 1),))
+        for start in range(0, int(n_valid), _SPILL_COPY_CHUNK):
+            stop = min(int(n_valid), start + _SPILL_COPY_CHUNK)
+            mm[start:stop] = arr[start:stop]
+            # Sync and drop the chunk's dirty pages so the copy itself
+            # never charges more than one chunk of residency.
+            mm.flush()
+            _advise_dontneed(mm)
+        mm.flush()
+        return mm
+
+    def _resize_block(self, name: str, old: np.ndarray, n_valid: int,
+                      new_cap: int) -> np.ndarray:
+        """Rewrite spilled block ``name`` onto a file of ``new_cap`` slots.
+
+        Chunked copy into a sibling file, atomic ``os.replace``, reopen.
+        Existing views keep reading the replaced inode (same bytes for
+        the valid prefix); the superseded maps are reclaimed by
+        refcounting once the last view dies.
+        """
+        path = os.path.join(self._spill_dir, name)
+        tmp = path + ".next"
+        new = np.lib.format.open_memmap(tmp, mode="w+", dtype=np.int64,
+                                        shape=(max(int(new_cap), 1),))
+        for start in range(0, int(n_valid), _SPILL_COPY_CHUNK):
+            stop = min(int(n_valid), start + _SPILL_COPY_CHUNK)
+            new[start:stop] = old[start:stop]
+            # Release both sides chunk-wise: reads fault ``old``'s pages
+            # back in and writes dirty ``new``'s -- without the per-chunk
+            # drop a resize would transiently charge 2x the block size.
+            new.flush()
+            _advise_dontneed(new)
+            _advise_dontneed(old)
+        new.flush()
+        del new, old
+        os.replace(tmp, path)
+        return np.lib.format.open_memmap(path, mode="r+")
+
+    def _flush_staging(self) -> None:
+        """Write staged appends onto the spilled blocks.
+
+        Grows the files by amortised doubling first, replays the staged
+        ``(flat, lengths)`` rounds exactly as the in-RAM ``_append_flat``
+        would have (same cumsum, same bases -- byte-identical blocks),
+        syncs, and drops the token pages from the resident set.
+        """
+        if not self._stage:
+            return
+        stage, self._stage = self._stage, []
+        self._stage_tokens = 0
+        staged_tokens = sum(int(f.size) for f, _l in stage)
+        staged_walks = sum(int(l.size) for _f, l in stage)
+        disk_tokens = self._n_tokens - staged_tokens
+        disk_walks = self._n_walks - staged_walks
+        if self._n_tokens > self._tokens.size:
+            old, self._tokens = self._tokens, None
+            self._tokens = self._resize_block(
+                "tokens.npy", old, disk_tokens,
+                max(self._n_tokens, 2 * old.size))
+        if self._n_walks + 1 > self._offsets.size:
+            old, self._offsets = self._offsets, None
+            self._offsets = self._resize_block(
+                "offsets.npy", old, disk_walks + 1,
+                max(self._n_walks + 1, 2 * old.size))
+        t = disk_tokens
+        w = disk_walks
+        base = int(self._offsets[w])
+        for flat, lengths in stage:
+            self._tokens[t:t + flat.size] = flat
+            out = self._offsets[w + 1:w + 1 + lengths.size]
+            np.cumsum(lengths, out=out)
+            out += base
+            t += int(flat.size)
+            w += int(lengths.size)
+            base = int(self._offsets[w])
+        self._tokens.flush()
+        self._offsets.flush()
+        _advise_dontneed(self._tokens)
+
+    def spill_handles(self):
+        """Zero-copy share of a spilled corpus: handles over its own files.
+
+        Returns ``(tokens_handle, offsets_handle)``
+        :class:`repro.utils.sharedmem.SharedArrayHandle`\\ s that workers
+        attach read-only, skipping the O(corpus) copy
+        ``SharedGroup.share`` would pay.  Shrinks the blocks to logical
+        size first (attachers validate shapes against the file).
+        Requires a spilled, non-empty corpus.
+        """
+        from repro.utils.sharedmem import SharedArrayHandle
+
+        if self._spill_dir is None:
+            raise RuntimeError("corpus is not spilled; call spill_to first")
+        if self._n_tokens == 0:
+            raise RuntimeError("an empty corpus has no spill handles")
+        self.shrink_to_fit()
+        dt = np.dtype(np.int64).str
+        return (
+            SharedArrayHandle("", (self._n_tokens,), dt,
+                              path=os.path.join(self._spill_dir,
+                                                "tokens.npy")),
+            SharedArrayHandle("", (self._n_walks + 1,), dt,
+                              path=os.path.join(self._spill_dir,
+                                                "offsets.npy")),
+        )
+
+    def close(self) -> None:
+        """Delete a spilled corpus's backing files (idempotent no-op
+        otherwise).
+
+        The corpus stays fully usable: its maps keep reading the
+        unlinked inodes (the disk space is reclaimed when the last map
+        dies), and appends after close transparently migrate back to
+        in-RAM storage (the next ``_reserve`` copies the logical
+        prefix).  No O(corpus) materialisation happens here -- the
+        ``__del__`` backstop must stay cheap.
+        """
+        if self._spill_dir is None:
+            return
+        if self._stage:
+            self._flush_staging()
+        spill_dir, self._spill_dir = self._spill_dir, None
+        shutil.rmtree(spill_dir, ignore_errors=True)
+
+    def __del__(self) -> None:  # leak backstop, not the contract
+        try:
+            self.close()
+        except Exception:  # pragma: no cover - interpreter teardown
+            pass
+
+    # ------------------------------------------------------------------ #
     # Flat + list views
     # ------------------------------------------------------------------ #
 
     @property
     def tokens(self) -> np.ndarray:
         """The flat token block (int64 view, one entry per corpus token)."""
+        if self._stage:
+            self._flush_staging()
         return self._tokens[:self._n_tokens]
 
     @property
     def offsets(self) -> np.ndarray:
         """Monotone walk boundaries: walk ``i`` is
         ``tokens[offsets[i]:offsets[i + 1]]`` (int64[num_walks + 1])."""
+        if self._stage:
+            self._flush_staging()
         return self._offsets[:self._n_walks + 1]
 
     @property
@@ -252,6 +505,8 @@ class Corpus:
 
     def walk(self, index: int) -> np.ndarray:
         """Walk ``index`` as a zero-copy view into the token block."""
+        if self._stage:
+            self._flush_staging()
         if index < 0:
             index += self._n_walks
         if not 0 <= index < self._n_walks:
@@ -314,20 +569,58 @@ class Corpus:
 
         Called by the walk engine once sampling finishes, so the corpus
         the training phase holds (and shares across workers) carries no
-        growth slack; further appends simply grow again.
+        growth slack; further appends simply grow again.  For a spilled
+        corpus the *files* are resized to exact logical size, which also
+        makes :meth:`spill_handles` shapes match the on-disk headers.
         """
+        if self._spill_dir is not None:
+            if self._stage:
+                self._flush_staging()
+            if self._tokens.size > max(self._n_tokens, 1):
+                old, self._tokens = self._tokens, None
+                self._tokens = self._resize_block(
+                    "tokens.npy", old, self._n_tokens, self._n_tokens)
+            if self._offsets.size > self._n_walks + 1:
+                old, self._offsets = self._offsets, None
+                self._offsets = self._resize_block(
+                    "offsets.npy", old, self._n_walks + 1,
+                    self._n_walks + 1)
+            return
         if self._tokens.size > self._n_tokens:
             self._tokens = self._tokens[:self._n_tokens].copy()
         if self._offsets.size > self._n_walks + 1:
             self._offsets = self._offsets[:self._n_walks + 1].copy()
 
+    def storage_bytes(self) -> Dict[str, int]:
+        """Resident-vs-mapped split of the flat walk storage.
+
+        ``resident`` counts bytes that occupy RAM no matter what (the
+        occurrence counters, plus any staged appends); ``mapped`` counts
+        the file-backed blocks of a spilled corpus, which the OS pages
+        in and out on demand.  For an in-RAM corpus everything is
+        resident and ``mapped`` is 0.  ``bench_table3_memory.py`` and
+        ``bench_ooc_memory_ceiling.py`` gate on this split.
+        """
+        stage_bytes = sum(int(f.nbytes + l.nbytes) for f, l in self._stage)
+        if self._spill_dir is not None:
+            return {
+                "resident": int(self._occurrences.nbytes + stage_bytes),
+                "mapped": int(self._tokens.nbytes + self._offsets.nbytes),
+            }
+        return {
+            "resident": int(self._tokens.nbytes + self._offsets.nbytes
+                            + self._occurrences.nbytes + stage_bytes),
+            "mapped": 0,
+        }
+
     def memory_bytes(self) -> int:
         """Bytes held by the flat walk storage + counters (memory-table
         benchmarks).  Counts the **allocated** arrays, doubling headroom
         included -- :meth:`shrink_to_fit` drops the headroom when a
-        corpus stops growing."""
-        return int(self._tokens.nbytes + self._offsets.nbytes
-                   + self._occurrences.nbytes)
+        corpus stops growing.  Resident and file-backed bytes both
+        count; :meth:`storage_bytes` reports the split."""
+        split = self.storage_bytes()
+        return split["resident"] + split["mapped"]
 
     # ------------------------------------------------------------------ #
     # Persistence

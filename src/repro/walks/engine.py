@@ -96,8 +96,10 @@ from repro.graph.csr import CSRGraph
 from repro.runtime.bsp import BSPEngine, StepResult
 from repro.runtime.cluster import Cluster
 from repro.runtime.executor import (
+    default_backing,
     default_execution,
     default_workers,
+    resolve_backing,
     resolve_execution,
 )
 from repro.runtime.message import BYTES_PER_FIELD
@@ -147,6 +149,14 @@ class WalkConfig:
     #: Worker processes under execution="process"/"pipeline"; 0 = auto
     #: (min(4, cores)).
     workers: int = field(default_factory=default_workers)
+    #: "shm" | "mmap" -- where the shared read-only inputs (CSR, kernel
+    #: tables) and the corpus live.  ``"mmap"`` spills them to
+    #: file-backed ``.npy`` maps so resident memory stays O(round), not
+    #: O(corpus).  Default from ``REPRO_BACKING`` ("shm" when unset).
+    backing: str = field(default_factory=default_backing)
+    #: Spill root under backing="mmap" (None: ``REPRO_SPILL_DIR`` or the
+    #: system temp dir).
+    spill_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         if self.mode not in ("incom", "fullpath", "routine"):
@@ -154,6 +164,7 @@ class WalkConfig:
         if self.backend not in ("auto", "vectorized", "loop"):
             raise ValueError(f"unknown backend {self.backend!r}")
         resolve_execution(self.execution)
+        resolve_backing(self.backing)
         if self.workers < 0:
             raise ValueError(f"workers must be non-negative, got {self.workers}")
         if self.rng_protocol not in ("auto", "walker", "cluster"):
@@ -292,6 +303,14 @@ class DistributedWalkEngine:
                                                      dtype=np.int64)
             return WalkResult(corpus=corpus, stats=stats,
                               walk_machines=walk_machines)
+
+        if cfg.backing == "mmap":
+            # Out-of-core sampling: walks land on file-backed blocks,
+            # rounds append through the bounded staging buffer, and the
+            # trainer later shares the blocks zero-copy from the spill
+            # files.  A pure transport change -- corpora stay
+            # byte-identical to shm/in-RAM runs.
+            corpus.spill_to(cfg.spill_dir)
 
         if cfg.mode == "routine":
             rounds = cfg.walks_per_node

@@ -132,6 +132,12 @@ def vectorized_routine_corpus(
     matters (examples, large-scale studies), and the engine when message
     and compute counters are the point.  ``walk_length`` counts **tokens**
     per walk (source included), matching the engine and the paper's L.
+
+    Corpora built here append through the same staged path as the
+    engine's, so calling :meth:`Corpus.spill_to` on the result (or on an
+    empty corpus before the loop) moves the flat block out of core; each
+    round's flush drains to the file-backed block and resident memory
+    stays O(round), not O(corpus).
     """
     check_positive("walk_length", walk_length)
     check_positive("walks_per_node", walks_per_node)
