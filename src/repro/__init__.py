@@ -19,6 +19,8 @@ substrate it depends on:
                           clustering, recommendation, grid search
 * ``repro.serving``    -- online half: shared/mmap embedding store,
                           batched deterministic top-k, query workers
+* ``repro.dynamic``    -- dynamic graphs: delta-CSR edge streams, walk
+                          invalidation, warm-start re-embedding
 
 Quickstart::
 
@@ -28,7 +30,12 @@ Quickstart::
     print(result.embeddings.shape, result.wall_seconds)
 """
 
-from repro.api import available_methods, embed_graph, serve_embeddings
+from repro.api import (
+    apply_edge_stream,
+    available_methods,
+    embed_graph,
+    serve_embeddings,
+)
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load as load_dataset
 from repro.graph.datasets import load_suite
@@ -59,6 +66,7 @@ __all__ = [
     "SystemComparison",
     "SystemResult",
     "__version__",
+    "apply_edge_stream",
     "available_methods",
     "compare_systems",
     "embed_graph",

@@ -240,6 +240,106 @@ def embed_graph(
     return system.embed(graph)
 
 
+def apply_edge_stream(
+    graph: CSRGraph,
+    stream,
+    prev,
+    method: str = "distger",
+    num_machines: int = 4,
+    dim: int = 64,
+    epochs: int = 2,
+    seed: int = 0,
+    kernel: Optional[str] = None,
+    update_epochs: int = 1,
+    audit: str = "auto",
+    train_scope: str = "stale",
+    store=None,
+    **system_kwargs,
+):
+    """Apply an edge stream to an embedded graph and refresh in place.
+
+    The dynamic counterpart of :func:`embed_graph`: ``prev`` is that
+    call's :class:`~repro.systems.base.SystemResult` (or a previous
+    :class:`~repro.dynamic.UpdateResult` when chaining update steps) for
+    ``graph``, and ``stream`` is an
+    :class:`~repro.dynamic.EdgeStream` of insertions/deletions.  Instead
+    of re-running the full partition → sample → train pipeline, the
+    update applies the stream to the CSR in O(churn), invalidates only
+    the walks the churn made stale, resamples those through the
+    vectorized engine with their original counter-based streams, and
+    warm-starts a reduced-epoch training pass from the previous
+    embeddings (see :mod:`repro.dynamic.update`).  ``prev.corpus`` is
+    patched **in place**.
+
+    ``method``/``num_machines``/``dim``/``epochs``/``seed``/``kernel``
+    and the flat walk/train overrides must repeat what produced
+    ``prev`` — they reconstruct the exact configs so the resample is
+    byte-faithful to a full re-run on the same sources.
+    ``update_epochs`` (default 1) is the reduced refinement schedule;
+    ``train_scope`` what it sweeps (``"stale"`` — only the resampled
+    walks, under full-corpus statistics — or ``"full"``); ``audit``
+    picks the invalidation scan (``"auto"``/``"node"``/
+    ``"arc"``); ``store`` optionally names a live
+    :class:`~repro.serving.store.EmbeddingStore` to refresh when the new
+    embeddings land.
+
+    Returns an :class:`~repro.dynamic.UpdateResult`; chain further
+    streams with ``apply_edge_stream(result.graph, next_stream, result,
+    ...)``.
+
+    Examples
+    --------
+    >>> from repro.graph import powerlaw_cluster
+    >>> from repro.dynamic import random_churn
+    >>> graph = powerlaw_cluster(60, attach=3, seed=1)
+    >>> result = embed_graph(graph, num_machines=2, dim=8, epochs=1, seed=0)
+    >>> stream = random_churn(graph, 0.02, seed=3)
+    >>> update = apply_edge_stream(graph, stream, result, num_machines=2,
+    ...                            dim=8, epochs=1, seed=0)
+    >>> update.embeddings.shape[1]
+    8
+    >>> update.graph.num_edges == graph.num_edges  # churn is 50/50 ins/del
+    True
+    """
+    from repro.dynamic import update_embedding
+
+    key = method.lower()
+    if key not in _WALK_METHODS:
+        raise ValueError(
+            f"dynamic updates need a walk corpus to patch; method "
+            f"{method!r} is not walk-based ({', '.join(_WALK_METHODS)})")
+    cls = _METHODS[key]
+    kwargs = dict(num_machines=num_machines, dim=dim, epochs=epochs,
+                  seed=seed, **_route_overrides(key, dict(system_kwargs)))
+    if kernel is not None:
+        if key in ("distger", "distger-gpu", "knightking"):
+            kwargs["kernel"] = kernel
+        else:
+            raise ValueError(f"method {method!r} does not accept a kernel")
+    system = cls(**kwargs)
+    if getattr(prev, "corpus", None) is None:
+        raise ValueError(
+            "prev must carry the walk corpus to patch (a SystemResult "
+            "from a walk-based embed_graph call, or an UpdateResult)")
+    return update_embedding(
+        graph, stream,
+        corpus=prev.corpus,
+        embeddings=prev.embeddings,
+        model=getattr(prev, "model", None),
+        walk_machines=getattr(prev, "walk_machines", None),
+        assignment=getattr(prev, "assignment", None),
+        walk_config=system.walk_config,
+        train_config=system.train_config,
+        learner=system.learner,
+        num_machines=num_machines,
+        seed=seed,
+        update_epochs=update_epochs,
+        audit=audit,
+        train_scope=train_scope,
+        store=store,
+    )
+
+
 def serve_embeddings(
     embeddings,
     workers: int = 0,

@@ -1,9 +1,14 @@
 """Command-line interface.
 
-Seven subcommands cover the common workflows:
+Eight subcommands cover the common workflows:
 
 * ``embed``     -- run any reproduced system on a dataset stand-in or an
                    edge-list file and save embeddings in word2vec format.
+* ``update``    -- embed, then apply an edge stream (a ``+/- u v`` file
+                   or synthetic churn) through the dynamic path: delta-CSR
+                   merge, walk invalidation, selective resampling,
+                   warm-start re-training; reports the speedup over the
+                   full recompute.
 * ``evaluate``  -- link-prediction AUC of a method on a dataset.
 * ``partition`` -- compare partitioning schemes on a dataset.
 * ``cluster``   -- embed, k-means the vectors, report NMI/modularity.
@@ -18,6 +23,8 @@ Examples::
     python -m repro embed --dataset LJ --method distger --dim 64 \
         --out /tmp/lj.emb
     python -m repro embed --edges graph.txt --method knightking
+    python -m repro update --dataset FL --churn 0.01 --out /tmp/fl.emb
+    python -m repro update --dataset FL --stream edits.txt
     python -m repro evaluate --dataset LJ --method distger --trials 3
     python -m repro partition --dataset LJ --machines 4
     python -m repro cluster --dataset FL --k 6
@@ -169,6 +176,58 @@ def cmd_embed(args) -> int:
         print(f"walk corpus ({result.corpus.num_walks} walks, "
               f"{result.corpus.total_tokens} tokens) written to "
               f"{args.save_corpus}")
+    return 0
+
+
+def cmd_update(args) -> int:
+    from repro.api import apply_edge_stream
+    from repro.dynamic import EdgeStream, random_churn
+
+    if (args.stream is None) == (args.churn is None):
+        print("error: give exactly one of --stream FILE or --churn FRACTION",
+              file=sys.stderr)
+        return 2
+    if args.method not in walk_methods():
+        print(f"error: method {args.method!r} samples no walk corpus; "
+              f"dynamic updates apply to {', '.join(walk_methods())}",
+              file=sys.stderr)
+        return 2
+    graph = _load_graph(args)
+    print(f"Embedding |V|={graph.num_nodes}, |E|={graph.num_edges} "
+          f"with {args.method} on {args.machines} simulated machines ...")
+    result = embed_graph(graph, method=args.method,
+                         num_machines=args.machines, dim=args.dim,
+                         epochs=args.epochs, seed=args.seed,
+                         kernel=args.kernel, **_backend_kwargs(args))
+    print(f"full embed: {result.wall_seconds:.2f}s wall")
+    if args.stream:
+        stream = EdgeStream.from_text(args.stream)
+    else:
+        stream = random_churn(graph, args.churn, seed=args.stream_seed)
+    print(f"applying {stream.num_inserts} insertions + "
+          f"{stream.num_deletes} deletions ...")
+    update = apply_edge_stream(
+        graph, stream, result, method=args.method,
+        num_machines=args.machines, dim=args.dim, epochs=args.epochs,
+        seed=args.seed, kernel=args.kernel,
+        update_epochs=args.update_epochs, audit=args.audit,
+        train_scope=args.train_scope, **_backend_kwargs(args))
+    stale = int(update.stats.get("stale_walks", 0))
+    total = int(update.stats.get("total_walks", 0))
+    print(f"update: {update.wall_seconds:.2f}s wall "
+          f"({stale}/{total} walks resampled; "
+          f"delta {update.phase('delta'):.3f}s, "
+          f"invalidate {update.phase('invalidate'):.3f}s, "
+          f"resample {update.phase('resample'):.3f}s, "
+          f"train {update.phase('train'):.3f}s)")
+    if update.wall_seconds > 0:
+        print(f"speedup vs full recompute: "
+              f"{result.wall_seconds / update.wall_seconds:.1f}x")
+    print(f"new graph: |V|={update.graph.num_nodes}, "
+          f"|E|={update.graph.num_edges}")
+    if args.out:
+        save_embeddings(args.out, update.embeddings)
+        print(f"updated embeddings written to {args.out}")
     return 0
 
 
@@ -405,6 +464,35 @@ def build_parser() -> argparse.ArgumentParser:
                               "(token block + offsets) by default, legacy "
                               "text when FILE ends in .txt")
     p_embed.set_defaults(func=cmd_embed)
+
+    p_update = sub.add_parser(
+        "update", help="embed, then apply an edge stream incrementally")
+    _add_graph_args(p_update)
+    _add_system_args(p_update)
+    p_update.add_argument("--stream", metavar="FILE",
+                          help="edge-edit file: one '+ u v [w]' or '- u v' "
+                               "per line ('#' comments)")
+    p_update.add_argument("--churn", type=float, metavar="FRACTION",
+                          help="synthetic churn instead of --stream: "
+                               "FRACTION of |E| edits, half insertions "
+                               "half deletions")
+    p_update.add_argument("--stream-seed", type=int, default=1,
+                          help="seed for --churn (default: 1)")
+    p_update.add_argument("--update-epochs", type=int, default=1,
+                          help="warm-start refinement epochs (default: 1)")
+    p_update.add_argument("--audit", default="auto",
+                          choices=["auto", "node", "arc"],
+                          help="walk invalidation audit: kernel-aware node "
+                               "scan (auto/node) or traversed-pair arc scan "
+                               "(fast, incomplete under insertions)")
+    p_update.add_argument("--train-scope", default="stale",
+                          choices=["stale", "full"],
+                          help="what the refinement epochs sweep: only the "
+                               "resampled walks under full-corpus stats "
+                               "(stale, default) or the whole corpus (full)")
+    p_update.add_argument("--out", metavar="FILE",
+                          help="write updated embeddings (word2vec text)")
+    p_update.set_defaults(func=cmd_update)
 
     p_eval = sub.add_parser("evaluate", help="link-prediction AUC")
     _add_graph_args(p_eval)

@@ -53,7 +53,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Type
+from typing import Dict, List, NamedTuple, Optional, Sequence, Type
 
 import numpy as np
 
@@ -87,6 +87,52 @@ LEARNERS: Dict[str, Type[BaseLearner]] = {
 _NEGATIVE_STREAM_SALT = 3
 
 
+class WarmStart(NamedTuple):
+    """Previous embeddings to seed training from, in **node-id space**.
+
+    The dynamic-update path (:func:`repro.dynamic.update_embedding`)
+    passes the previous run's output here so a churn step trains a
+    reduced-epoch refinement instead of starting from word2vec noise.
+    ``phi_in`` is the published embedding matrix; ``phi_out`` optionally
+    carries the previous model's context matrix (recommended — with a
+    zeroed ``phi_out`` the first updates re-learn it from scratch).
+    Nodes beyond ``phi_in``'s row count (ids minted by the edge stream)
+    keep the word2vec initialisation.
+    """
+
+    phi_in: np.ndarray
+    phi_out: Optional[np.ndarray] = None
+
+
+def seed_model_from_warm_start(model: EmbeddingModel, vocab: Vocabulary,
+                               warm: WarmStart, dim: int) -> None:
+    """Overwrite ``model``'s word2vec init with a previous run's vectors.
+
+    The previous matrices are in node-id space (how results are
+    published); the current vocabulary's ``node_to_row`` scatters them
+    into row space.  The current corpus may order rows differently
+    (occurrence counts shifted) and may hold more nodes — only the
+    common id prefix is seeded, so ids minted after the previous run
+    keep the word2vec initialisation.
+    """
+    prev_in = np.asarray(warm.phi_in)
+    if prev_in.ndim != 2 or prev_in.shape[1] != dim:
+        raise ValueError(
+            f"warm-start phi_in shape {prev_in.shape} does not match "
+            f"dim={dim}")
+    n = min(prev_in.shape[0], vocab.size)
+    rows = vocab.node_to_row[:n]
+    model.phi_in[rows] = prev_in[:n].astype(np.float32, copy=False)
+    prev_out = warm.phi_out
+    if prev_out is not None:
+        prev_out = np.asarray(prev_out)
+        if prev_out.shape != prev_in.shape:
+            raise ValueError(
+                f"warm-start phi_out shape {prev_out.shape} does not "
+                f"match phi_in {prev_in.shape}")
+        model.phi_out[rows] = prev_out[:n].astype(np.float32, copy=False)
+
+
 @dataclass
 class TrainResult:
     """Output of distributed training."""
@@ -117,6 +163,7 @@ class DistributedTrainer:
         learner: str = "dsgl",
         walk_machines: Optional[Sequence[int]] = None,
         feed: Optional["CorpusFeed"] = None,
+        warm_start: Optional[WarmStart] = None,
     ) -> None:
         if learner not in LEARNERS:
             raise KeyError(f"unknown learner {learner!r}; options: "
@@ -143,6 +190,10 @@ class DistributedTrainer:
         if feed is None and self.walk_machines is not None and \
                 len(self.walk_machines) != corpus.num_walks:
             raise ValueError("walk_machines must align with corpus walks")
+        #: Node-space seed matrices applied to the base model before the
+        #: replicas are cloned (and before the process executor shares
+        #: them), so every execution mode trains from identical bytes.
+        self.warm_start = warm_start
 
     # ------------------------------------------------------------------ #
 
@@ -223,6 +274,9 @@ class DistributedTrainer:
         sampler = NegativeSampler(vocab)
         keep = self._keep_probabilities()
         base_model = EmbeddingModel(vocab, cfg.dim, seed=cfg.seed)
+        if self.warm_start is not None:
+            seed_model_from_warm_start(base_model, vocab, self.warm_start,
+                                       cfg.dim)
         replicas = [base_model if i == 0 else base_model.clone()
                     for i in range(m)]
         rngs = spawn_rngs(cfg.seed, m + 1)

@@ -93,25 +93,31 @@ class CSRGraph:
                 f"weights length {w.shape[0]} does not match edge count {arr.shape[0]}"
             )
 
+        # A node mentioned only by dropped self-loops still exists, so the
+        # node-count inference and validation use the pre-drop ids.
+        max_id = int(arr.max()) if len(arr) else -1
+
         # Drop self loops.
         keep = arr[:, 0] != arr[:, 1]
         arr, w = arr[keep], w[keep]
 
-        if not directed and len(arr):
-            arr = np.concatenate([arr, arr[:, ::-1]])
-            w = np.concatenate([w, w])
-
-        n = int(num_nodes) if num_nodes is not None else (int(arr.max()) + 1 if len(arr) else 0)
-        if len(arr) and arr.max() >= n:
+        n = int(num_nodes) if num_nodes is not None else max_id + 1
+        if max_id >= n:
             raise ValueError(
-                f"num_nodes={n} too small for max node id {int(arr.max())}"
+                f"num_nodes={n} too small for max node id {max_id}"
             )
 
         if len(arr) == 0:
             return cls(np.zeros(n + 1, dtype=np.int64), np.empty(0, dtype=np.int64),
-                       None if weights is None else np.empty(0), directed=directed)
+                       None if weights is None else np.empty(0, dtype=np.float64),
+                       directed=directed)
 
-        # Sort by (src, dst), then merge duplicates.
+        # Merge duplicates on canonical pairs *before* mirroring: both
+        # stored arcs of a duplicated undirected edge must receive a
+        # byte-identical weight sum, so the summation order cannot depend
+        # on the direction each duplicate was listed in.
+        if not directed:
+            arr = np.sort(arr, axis=1)
         order = np.lexsort((arr[:, 1], arr[:, 0]))
         arr, w = arr[order], w[order]
         dup = np.concatenate([[False], np.all(arr[1:] == arr[:-1], axis=1)])
@@ -120,6 +126,12 @@ class CSRGraph:
             merged_w = np.zeros(group[-1] + 1, dtype=np.float64)
             np.add.at(merged_w, group, w)
             arr, w = arr[~dup], merged_w
+
+        if not directed:
+            arr = np.concatenate([arr, arr[:, ::-1]])
+            w = np.concatenate([w, w])
+            order = np.lexsort((arr[:, 1], arr[:, 0]))
+            arr, w = arr[order], w[order]
 
         indptr = np.zeros(n + 1, dtype=np.int64)
         counts = np.bincount(arr[:, 0], minlength=n)

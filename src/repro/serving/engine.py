@@ -50,6 +50,10 @@ def _serving_worker_init(store_handle, candidates_handle,
     store = EmbeddingStore.attach(store_handle)
     candidates = (None if candidates_handle is None
                   else attach_shared_array(candidates_handle))
+    _SERVE_STATE["store"] = store
+    _SERVE_STATE["candidates"] = candidates
+    _SERVE_STATE["normalized_cache"] = normalized_cache
+    _SERVE_STATE["generation"] = store.generation
     _SERVE_STATE["scorer"] = BatchTopKScorer(
         store.embeddings, candidates=candidates,
         normalized_cache=normalized_cache, norms=store.norms)
@@ -57,6 +61,18 @@ def _serving_worker_init(store_handle, candidates_handle,
 
 def _serving_query_task(nodes, k, metric, candidates, exclude_self,
                         exclude, prune):
+    # The scorer's construction-time caches (safe norms, normalised
+    # matrix, gathered catalogues) are only valid for the generation of
+    # the matrix they were built from; a store update in the owner bumps
+    # the shared generation slot, and the worker rebuilds before scoring
+    # rather than mixing new vectors with stale norms.
+    store: EmbeddingStore = _SERVE_STATE["store"]
+    if store.generation != _SERVE_STATE["generation"]:
+        _SERVE_STATE["generation"] = store.generation
+        _SERVE_STATE["scorer"] = BatchTopKScorer(
+            store.embeddings, candidates=_SERVE_STATE["candidates"],
+            normalized_cache=_SERVE_STATE["normalized_cache"],
+            norms=store.norms)
     scorer: BatchTopKScorer = _SERVE_STATE["scorer"]
     start = time.perf_counter()
     result = scorer.top_k(nodes, k=k, metric=metric,
@@ -132,6 +148,9 @@ class QueryEngine:
         self._group: Optional[SharedGroup] = None
         self._pool: Optional[ProcessExecutor] = None
         self._scorer: Optional[BatchTopKScorer] = None
+        self._candidates = candidates
+        self._normalized_cache = normalized_cache
+        self._scorer_generation = store.generation
         try:
             if workers == 0:
                 self._scorer = BatchTopKScorer(
@@ -175,6 +194,15 @@ class QueryEngine:
         metric = metric if metric is not None else self.metric
         nodes = np.asarray(nodes, dtype=np.int64)
         if self._pool is None:
+            if self.store.generation != self._scorer_generation:
+                # The store was updated under us (dynamic re-embedding);
+                # the scorer's norm/normalised/catalogue caches belong
+                # to the old matrix.  Rebuild before scoring.
+                self._scorer_generation = self.store.generation
+                self._scorer = BatchTopKScorer(
+                    self.store.embeddings, candidates=self._candidates,
+                    normalized_cache=self._normalized_cache,
+                    norms=self.store.norms)
             start = time.perf_counter()
             result = self._scorer.top_k(nodes, k=k, metric=metric,
                                         candidates=candidates,

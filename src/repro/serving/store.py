@@ -22,6 +22,18 @@ computed **once** in the parent and shipped through shared memory, so no
 query worker pays the O(n d) pass.  ``handle`` is the picklable
 descriptor the multi-worker front end passes to
 :meth:`EmbeddingStore.attach`.
+
+Mutable stores carry a **generation counter** so those warm-up caches
+cannot go stale.  :meth:`update` rewrites the matrix in place (the
+dynamic-update pipeline's re-embedding lands here), recomputes the norm
+cache, and bumps ``generation`` -- a shared ``int64[1]`` slot that
+attached workers see instantly.  Anything that derives state from the
+matrix (the scorer's ``_safe_norms`` / normalised-matrix / gathered
+catalogues) keys its caches on ``generation`` and rebuilds on change;
+:class:`~repro.serving.engine.QueryEngine` does exactly that on both the
+in-process and the worker path, so a :class:`~repro.serving.scorer.
+BatchTopKScorer` never scores post-update vectors against pre-update
+norms.
 """
 
 from __future__ import annotations
@@ -45,10 +57,16 @@ MODES = ("shared", "mmap", "memory")
 
 
 class StoreHandle(NamedTuple):
-    """Picklable descriptor of a store (embedding matrix + norm cache)."""
+    """Picklable descriptor of a store (embedding matrix + norm cache).
+
+    ``meta`` names the shared ``int64[1]`` generation slot; it defaults
+    to ``None`` so handles pickled before the slot existed still attach
+    (such stores simply report generation 0 forever).
+    """
 
     embeddings: SharedArrayHandle
     norms: SharedArrayHandle
+    meta: Optional[SharedArrayHandle] = None
 
 
 class EmbeddingStore:
@@ -62,12 +80,17 @@ class EmbeddingStore:
 
     def __init__(self, embeddings: np.ndarray, norms: np.ndarray,
                  mode: str, group: Optional[SharedGroup],
-                 handle: Optional[StoreHandle]) -> None:
+                 handle: Optional[StoreHandle],
+                 meta: Optional[np.ndarray] = None) -> None:
         self.embeddings = embeddings
         self.norms = norms
         self.mode = mode
         self._group = group
         self._handle = handle
+        # Shared int64[1] generation slot; memory-mode stores (no
+        # cross-process surface) fall back to a plain local counter.
+        self._meta = meta
+        self._local_generation = 0
 
     # ------------------------------------------------------------- #
     # Constructors
@@ -103,9 +126,12 @@ class EmbeddingStore:
             else:
                 emb_shared = group.adopt(SharedArray.create(embeddings))
             norms_shared = group.adopt(SharedArray.create(norms))
-            handle = StoreHandle(emb_shared.handle, norms_shared.handle)
+            meta_shared = group.adopt(
+                SharedArray.create(np.zeros(1, dtype=np.int64)))
+            handle = StoreHandle(emb_shared.handle, norms_shared.handle,
+                                 meta_shared.handle)
             return cls(emb_shared.array, norms_shared.array, mode, group,
-                       handle)
+                       handle, meta=meta_shared.array)
         except BaseException:
             group.close()
             raise
@@ -127,10 +153,13 @@ class EmbeddingStore:
                                                                mode="r"))
                     norms_shared = group.adopt(
                         SharedArray.create(row_norms(shared.array)))
+                    meta_shared = group.adopt(
+                        SharedArray.create(np.zeros(1, dtype=np.int64)))
                     handle = StoreHandle(shared.handle,
-                                         norms_shared.handle)
+                                         norms_shared.handle,
+                                         meta_shared.handle)
                     return cls(shared.array, norms_shared.array, "mmap",
-                               group, handle)
+                               group, handle, meta=meta_shared.array)
                 except BaseException:
                     group.close()
                     raise
@@ -144,9 +173,12 @@ class EmbeddingStore:
     @classmethod
     def attach(cls, handle: StoreHandle) -> "EmbeddingStore":
         """Worker-side view of a parent-owned store (never unlinks)."""
+        meta = getattr(handle, "meta", None)
         return cls(attach_shared_array(handle.embeddings),
                    attach_shared_array(handle.norms),
-                   "attached", None, handle)
+                   "attached", None, handle,
+                   meta=None if meta is None
+                   else attach_shared_array(meta))
 
     # ------------------------------------------------------------- #
     # Introspection
@@ -169,6 +201,88 @@ class EmbeddingStore:
                 "build it with mode='shared' or 'mmap'")
         return self._handle
 
+    @property
+    def generation(self) -> int:
+        """Monotonic counter bumped by every :meth:`update` /
+        :meth:`refresh_norms`.
+
+        Shared across processes for shared/mmap stores (attached workers
+        read the owner's bumps instantly); derived-cache owners compare
+        it against the generation they built at and rebuild on change.
+        Stores attached through a pre-generation handle report 0.
+        """
+        if self._meta is not None:
+            return int(self._meta[0])
+        return self._local_generation
+
+    # ------------------------------------------------------------- #
+    # Mutation (the dynamic-update seam)
+    # ------------------------------------------------------------- #
+
+    def _bump_generation(self) -> int:
+        if self._meta is not None:
+            self._meta[0] += 1
+            return int(self._meta[0])
+        self._local_generation += 1
+        return self._local_generation
+
+    def refresh_norms(self) -> int:
+        """Recompute the norm cache from the current matrix, bump
+        generation.
+
+        For callers that mutated ``embeddings`` directly (in-place
+        writes through the shared view) instead of going through
+        :meth:`update`.  Returns the new generation.
+        """
+        if self.mode == "attached":
+            raise RuntimeError(
+                "attached stores are read-only views; only the owning "
+                "store may refresh norms")
+        fresh = row_norms(self.embeddings)
+        if self.mode == "memory":
+            self.norms = fresh
+        else:
+            self.norms[...] = fresh
+        return self._bump_generation()
+
+    def update(self, new_embeddings: np.ndarray) -> int:
+        """Replace the served matrix, refresh norms, bump generation.
+
+        The write is **in place** for shared/mmap stores -- attached
+        workers keep their zero-copy views and observe the new vectors
+        plus the bumped generation without re-attaching -- so the new
+        matrix must match the current shape and the backing must be
+        writable (a store ``open``\\ ed read-only from ``.npy`` cannot be
+        updated in place; rebuild it with :meth:`from_array`).
+        Memory-mode stores simply adopt the new array, any shape.
+        Returns the new generation.
+        """
+        if self.mode == "attached":
+            raise RuntimeError(
+                "attached stores are read-only views; updates go "
+                "through the owning store")
+        new_embeddings = np.asarray(new_embeddings)
+        if new_embeddings.ndim != 2:
+            raise ValueError(f"embeddings must be 2-D, got shape "
+                             f"{new_embeddings.shape}")
+        if self.mode == "memory":
+            self.embeddings = new_embeddings
+            return self.refresh_norms()
+        if new_embeddings.shape != self.embeddings.shape:
+            raise ValueError(
+                f"in-place update needs shape {self.embeddings.shape}, "
+                f"got {new_embeddings.shape}; rebuild the store with "
+                f"from_array for a resized matrix")
+        if not self.embeddings.flags.writeable:
+            raise ValueError(
+                "store matrix is a read-only map; reopen writable or "
+                "rebuild with from_array before updating")
+        self.embeddings[...] = new_embeddings.astype(
+            self.embeddings.dtype, copy=False)
+        if isinstance(self.embeddings, np.memmap):
+            self.embeddings.flush()
+        return self.refresh_norms()
+
     def save(self, path: str) -> None:
         """Persist the matrix as ``.npy`` (the mmap-openable format)."""
         directory = os.path.dirname(path)
@@ -187,6 +301,7 @@ class EmbeddingStore:
             group.close()
         self.embeddings = None
         self.norms = None
+        self._meta = None
 
     def __enter__(self) -> "EmbeddingStore":
         return self

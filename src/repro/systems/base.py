@@ -35,6 +35,14 @@ class SystemResult:
     #: walk-based systems, ``None`` for PBG/DistDGL.  ``corpus.save(path)``
     #: writes the flat ``.npz`` format (or legacy text for ``.txt``).
     corpus: Optional[object] = None
+    #: Per-walk sampling machine ids, parallel with ``corpus`` walks; the
+    #: dynamic-update path re-uses them for spliced-in resampled walks.
+    walk_machines: Optional[np.ndarray] = None
+    #: Node→machine partition assignment of the run (walk-based systems).
+    assignment: Optional[np.ndarray] = None
+    #: Final averaged :class:`repro.embedding.model.EmbeddingModel` in row
+    #: space — carries ``phi_out``, which seeds warm-start re-training.
+    model: Optional[object] = None
 
     @property
     def wall_seconds(self) -> float:
@@ -87,6 +95,9 @@ class EmbeddingSystem(ABC):
         cluster: Cluster,
         stats: Optional[Dict[str, float]] = None,
         corpus: Optional[object] = None,
+        walk_machines: Optional[np.ndarray] = None,
+        assignment: Optional[np.ndarray] = None,
+        model: Optional[object] = None,
     ) -> SystemResult:
         return SystemResult(
             system=self.name,
@@ -96,4 +107,7 @@ class EmbeddingSystem(ABC):
             simulated_seconds=cluster.simulated_seconds(),
             stats=stats or {},
             corpus=corpus,
+            walk_machines=walk_machines,
+            assignment=assignment,
+            model=model,
         )

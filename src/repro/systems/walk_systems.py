@@ -165,8 +165,13 @@ class RandomWalkSystem(EmbeddingSystem):
         }
         stats.update({key: float(value)
                       for key, value in train_result.extras.items()})
+        walk_machines = walk_result.walk_machines
         return self._result(train_result.embeddings, timer, cluster, stats,
-                            corpus=walk_result.corpus)
+                            corpus=walk_result.corpus,
+                            walk_machines=None if walk_machines is None
+                            else np.asarray(walk_machines, dtype=np.int64),
+                            assignment=partition.assignment,
+                            model=train_result.model)
 
 
 class DistGER(RandomWalkSystem):

@@ -128,6 +128,26 @@ def _attach_untracked(name: str):
 #: for the life of the process.  Keyed by segment name or mmap path.
 _ATTACHED: Dict[str, "object"] = {}
 
+#: Stat signature of each cached mmap's backing file at attach time.
+#: A path whose current signature differs was rewritten or replaced
+#: since the cached map was opened -- the cache entry is stale even when
+#: shape and dtype still agree with the handle.
+_ATTACH_SIG: Dict[str, Optional[Tuple[int, int, int]]] = {}
+
+
+def _stat_signature(path: str) -> Optional[Tuple[int, int, int]]:
+    """``(st_ino, st_size, st_mtime_ns)`` of ``path``, None if unstatable.
+
+    Inode catches unlink-and-recreate (the old map silently keeps serving
+    the dead file's pages); size and mtime catch in-place rewrites of the
+    same inode.
+    """
+    try:
+        st = os.stat(path)
+    except OSError:
+        return None
+    return (st.st_ino, st.st_size, st.st_mtime_ns)
+
 
 def _close_memmap(mm: Optional[np.memmap], force: bool = False) -> None:
     """Close a memmap's raw ``mmap.mmap`` (releasing its fd) if safe.
@@ -176,17 +196,25 @@ def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
     attaching process's lifetime; attaching the same handle twice reuses
     the mapping.  File-backed handles are opened as **read-only** memory
     maps -- attachers share pages through the OS cache and cannot
-    corrupt the owner's data.  A cached mmap whose shape/dtype no longer
-    matches the handle (the owner rewrote the file -- a new spill
-    generation, a resized store) is detached and reopened before the
-    attach is allowed to fail.
+    corrupt the owner's data.  A cached mmap is detached and reopened
+    when the handle no longer matches its shape/dtype **or** when the
+    backing file's stat signature (inode, size, mtime) changed since the
+    map was opened -- the owner rewrote or replaced the file (a new
+    spill generation, an updated store), and shape/dtype alone cannot
+    see a same-shape rewrite, so a stale map would keep serving the old
+    bytes forever.
     """
     if handle.path is not None:
+        sig = _stat_signature(handle.path)
         mm = _ATTACHED.get(handle.path)
-        if mm is not None and not _handle_matches(mm, handle):
+        if mm is not None and (not _handle_matches(mm, handle)
+                               or sig != _ATTACH_SIG.get(handle.path)):
             detach_shared_array(handle.path)
             mm = None
         if mm is None:
+            # Signature taken *before* the open: a rewrite racing the
+            # attach leaves a too-old signature behind, so the next
+            # attach re-detects staleness and reopens -- the safe side.
             mm = np.lib.format.open_memmap(handle.path, mode="r")
             if not _handle_matches(mm, handle):
                 # Genuine mismatch: the file on disk disagrees with the
@@ -200,6 +228,7 @@ def attach_shared_array(handle: SharedArrayHandle) -> np.ndarray:
                     f"{dtype}{shape}, handle expects "
                     f"{handle.dtype}{tuple(handle.shape)}")
             _ATTACHED[handle.path] = mm
+            _ATTACH_SIG[handle.path] = sig
         return mm
     shm = _ATTACHED.get(handle.name)
     if shm is None:
@@ -221,6 +250,7 @@ def detach_shared_array(key: str) -> bool:
     entry is dropped either way.
     """
     obj = _ATTACHED.pop(key, None)
+    _ATTACH_SIG.pop(key, None)
     if obj is None:
         return False
     if isinstance(obj, np.memmap):

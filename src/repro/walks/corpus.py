@@ -67,6 +67,28 @@ _SPILL_COPY_CHUNK = 1 << 20
 _SPILL_STAGE_TOKENS = 1 << 20
 
 
+def _concat_ranges(starts: np.ndarray, lengths: np.ndarray) -> np.ndarray:
+    """Concatenated ``arange(start, start + length)`` ranges, vectorized.
+
+    All-ones deltas with each range head patched to jump from the end of
+    the previous range to its own start, then one cumsum.  Zero-length
+    ranges are filtered first -- they would alias the head writes.
+    """
+    starts = np.asarray(starts, dtype=np.int64)
+    lengths = np.asarray(lengths, dtype=np.int64)
+    nonzero = lengths > 0
+    starts, lengths = starts[nonzero], lengths[nonzero]
+    if starts.size == 0:
+        return np.empty(0, dtype=np.int64)
+    total = int(lengths.sum())
+    deltas = np.ones(total, dtype=np.int64)
+    heads = np.zeros(starts.size, dtype=np.int64)
+    np.cumsum(lengths[:-1], out=heads[1:])
+    deltas[heads] = starts
+    deltas[heads[1:]] -= starts[:-1] + lengths[:-1] - 1
+    return np.cumsum(deltas)
+
+
 def _advise_dontneed(mm: np.ndarray) -> None:
     """Drop a memmap's resident pages (data stays in file + page cache)."""
     import mmap as _mmap_module
@@ -274,13 +296,20 @@ class Corpus:
 
     @classmethod
     def from_flat(cls, num_nodes: int, tokens: np.ndarray,
-                  offsets: np.ndarray) -> "Corpus":
+                  offsets: np.ndarray,
+                  occurrences: Optional[np.ndarray] = None) -> "Corpus":
         """Build a corpus directly from a flat token block + offsets.
 
         ``offsets`` must be monotone non-decreasing with ``offsets[0] == 0``
         and ``offsets[-1] == tokens.size`` (every token belongs to exactly
         one walk); zero-length walks (equal consecutive offsets) are
         allowed.  The arrays are copied, so the corpus stays growable.
+
+        ``occurrences`` overrides the per-node counters derived from the
+        tokens: the dynamic-update path trains a stale *sub*-corpus under
+        the full corpus's frequency statistics, so the vocabulary order,
+        negative table and subsampling thresholds stay those of the whole
+        walk set (see :mod:`repro.dynamic.update`).
         """
         tokens = np.asarray(tokens, dtype=np.int64).ravel()
         offsets = np.asarray(offsets, dtype=np.int64).ravel()
@@ -298,11 +327,182 @@ class Corpus:
             raise ValueError("walk contains node ids outside the universe")
         corpus = cls(num_nodes)
         corpus._append_flat(tokens, lengths)
+        if occurrences is not None:
+            occurrences = np.asarray(occurrences, dtype=np.int64)
+            if occurrences.shape != (num_nodes,):
+                raise ValueError(
+                    f"occurrences shape {occurrences.shape} does not match "
+                    f"num_nodes={num_nodes}")
+            corpus._occurrences = occurrences.copy()
         return corpus
 
     # ------------------------------------------------------------------ #
-    # Out-of-core spill
+    # In-place mutation (dynamic updates)
     # ------------------------------------------------------------------ #
+
+    def expand_universe(self, num_nodes: int) -> None:
+        """Grow the node universe (edge streams may mint new node ids).
+
+        Occurrence counters extend with zeros; existing walks, offsets
+        and statistics are untouched.  Shrinking is refused -- walks may
+        reference any id below the current bound.
+        """
+        num_nodes = int(num_nodes)
+        if num_nodes < self.num_nodes:
+            raise ValueError(
+                f"cannot shrink universe from {self.num_nodes} to "
+                f"{num_nodes}")
+        if num_nodes == self.num_nodes:
+            return
+        grown = np.zeros(num_nodes, dtype=np.int64)
+        grown[:self.num_nodes] = self._occurrences
+        self._occurrences = grown
+        self.num_nodes = num_nodes
+
+    def replace_walks(self, indices: np.ndarray, paths: np.ndarray,
+                      lengths: np.ndarray) -> None:
+        """Splice replacement walks over existing walk ids, in place.
+
+        ``indices`` names the walks to replace; ``paths``/``lengths`` is
+        the padded-matrix batch format of :meth:`add_walks` (row ``j``
+        replaces walk ``indices[j]``).  The walk *count* never changes,
+        so ``ready_prefix`` is preserved and the round listeners fire
+        with an equal prefix -- legal for :class:`CorpusFeed`, whose
+        contract only forbids shrinking.  Occurrence counters are
+        patched incrementally (subtract the old tokens, add the new
+        ones), never recounted.
+
+        Equal-length replacements write straight into the flat block;
+        otherwise the block is rebuilt with one bulk copy per unchanged
+        run between replaced walks (``<= 2k + 1`` copies for ``k``
+        replacements).  A spilled corpus rewrites its files through a
+        sibling + atomic-replace, chunked, exactly like
+        :meth:`shrink_to_fit` -- existing zero-copy views and shared
+        handles keep reading the superseded inode, so a consumer that
+        must observe the patch re-reads ``tokens``/``offsets`` (the
+        update executor re-shares the corpus after patching).
+        """
+        indices = np.asarray(indices, dtype=np.int64).ravel()
+        lengths = np.asarray(lengths, dtype=np.int64).ravel()
+        paths = np.asarray(paths)
+        if indices.size != lengths.size or len(paths) != indices.size:
+            raise ValueError("indices, paths and lengths must be parallel")
+        if indices.size == 0:
+            return
+        order = np.argsort(indices, kind="stable")
+        indices, lengths, paths = indices[order], lengths[order], paths[order]
+        if indices[0] < 0 or indices[-1] >= self._n_walks:
+            raise ValueError("walk index out of range")
+        if indices.size > 1 and (np.diff(indices) == 0).any():
+            raise ValueError("duplicate walk indices")
+        if lengths.min() <= 0:
+            raise ValueError("every walk must hold at least one token")
+        if lengths.max() > paths.shape[1]:
+            raise ValueError(
+                f"walk length {int(lengths.max())} exceeds the path "
+                f"matrix width {paths.shape[1]}")
+        new_flat = paths[np.arange(paths.shape[1]) < lengths[:, None]]
+        new_flat = np.ascontiguousarray(new_flat, dtype=np.int64)
+        if new_flat.size and (new_flat.min() < 0
+                              or new_flat.max() >= self.num_nodes):
+            raise ValueError("walk contains node ids outside the universe")
+
+        if self._stage:
+            self._flush_staging()
+        offsets = self._offsets  # full backing array; prefix is logical
+        old_lengths = np.diff(offsets[:self._n_walks + 1])
+
+        # Incremental occurrence patch: -old tokens, +new tokens.
+        old_pos = _concat_ranges(offsets[indices], old_lengths[indices])
+        old_flat = np.asarray(self._tokens[old_pos], dtype=np.int64)
+        self._occurrences -= np.bincount(old_flat, minlength=self.num_nodes)
+        self._occurrences += np.bincount(new_flat, minlength=self.num_nodes)
+
+        if np.array_equal(lengths, old_lengths[indices]):
+            # Same shape: overwrite the rows where they sit.
+            self._tokens[old_pos] = new_flat
+            if self._spill_dir is not None:
+                self._tokens.flush()
+                _advise_dontneed(self._tokens)
+        else:
+            self._splice_rebuild(indices, lengths, new_flat, old_lengths)
+
+        for listener in self._round_listeners:
+            listener(self)
+
+    def _splice_rebuild(self, indices: np.ndarray, lengths: np.ndarray,
+                        new_flat: np.ndarray,
+                        old_lengths: np.ndarray) -> None:
+        """Rebuild ``tokens``/``offsets`` around replaced walks.
+
+        Unchanged runs between replaced walks are copied in bulk (chunked
+        with page drops when spilled); replacement rows come from
+        ``new_flat``.  The arrays come out exactly sized (no doubling
+        headroom), like :meth:`shrink_to_fit` leaves them.
+        """
+        old_offsets = self._offsets
+        new_lengths = old_lengths.copy()
+        new_lengths[indices] = lengths
+        new_offsets = np.zeros(self._n_walks + 1, dtype=np.int64)
+        np.cumsum(new_lengths, out=new_offsets[1:])
+        new_total = int(new_offsets[-1])
+
+        spilled = self._spill_dir is not None
+        if spilled:
+            tmp = os.path.join(self._spill_dir, "tokens.npy.next")
+            new_tokens = np.lib.format.open_memmap(
+                tmp, mode="w+", dtype=np.int64, shape=(max(new_total, 1),))
+        else:
+            new_tokens = np.empty(new_total, dtype=np.int64)
+
+        def copy_run(dst_start: int, src_start: int, count: int) -> None:
+            for off in range(0, count, _SPILL_COPY_CHUNK):
+                stop = min(count, off + _SPILL_COPY_CHUNK)
+                new_tokens[dst_start + off:dst_start + stop] = \
+                    self._tokens[src_start + off:src_start + stop]
+                if spilled:
+                    new_tokens.flush()
+                    _advise_dontneed(new_tokens)
+                    _advise_dontneed(self._tokens)
+
+        heads = np.zeros(indices.size, dtype=np.int64)
+        np.cumsum(lengths[:-1], out=heads[1:])
+        prev = 0  # first walk id of the next unchanged run
+        for j, walk_id in enumerate(indices.tolist()):
+            if prev < walk_id:
+                copy_run(int(new_offsets[prev]), int(old_offsets[prev]),
+                         int(old_offsets[walk_id] - old_offsets[prev]))
+            row = slice(int(new_offsets[walk_id]),
+                        int(new_offsets[walk_id + 1]))
+            new_tokens[row] = new_flat[heads[j]:heads[j] + lengths[j]]
+            prev = walk_id + 1
+        if prev < self._n_walks:
+            copy_run(int(new_offsets[prev]), int(old_offsets[prev]),
+                     int(old_offsets[self._n_walks] - old_offsets[prev]))
+
+        if spilled:
+            new_tokens.flush()
+            _advise_dontneed(new_tokens)
+            del new_tokens
+            path = os.path.join(self._spill_dir, "tokens.npy")
+            self._tokens = None
+            os.replace(tmp, path)
+            self._tokens = np.lib.format.open_memmap(path, mode="r+")
+            # Offsets change too: rewrite through the same discipline.
+            opath = os.path.join(self._spill_dir, "offsets.npy")
+            otmp = opath + ".next"
+            mm = np.lib.format.open_memmap(
+                otmp, mode="w+", dtype=np.int64, shape=(new_offsets.size,))
+            mm[:] = new_offsets
+            mm.flush()
+            del mm
+            self._offsets = None
+            os.replace(otmp, opath)
+            self._offsets = np.lib.format.open_memmap(opath, mode="r+")
+        else:
+            self._tokens = new_tokens
+            self._offsets = new_offsets
+        self._n_tokens = new_total
 
     @property
     def is_spilled(self) -> bool:

@@ -108,6 +108,41 @@ class TestCommands:
         assert "mpgp" in out
         assert "hash" in out
 
+    def test_update_requires_one_stream_source(self, capsys):
+        code = main(["update", "--dataset", "FL", "--scale", "0.2"])
+        assert code == 2
+        assert "--stream" in capsys.readouterr().err
+        code = main(["update", "--dataset", "FL", "--scale", "0.2",
+                     "--churn", "0.01", "--stream", "x.txt"])
+        assert code == 2
+
+    def test_update_with_random_churn(self, tmp_path, capsys):
+        out = str(tmp_path / "upd.emb")
+        code = main([
+            "update", "--dataset", "FL", "--scale", "0.2",
+            "--method", "distger", "--dim", "8", "--epochs", "1",
+            "--machines", "2", "--churn", "0.02", "--audit", "arc",
+            "--out", out,
+        ])
+        assert code == 0
+        text = capsys.readouterr().out
+        assert "walks resampled" in text
+        assert "speedup vs full recompute" in text
+        matrix = load_embeddings(out)
+        assert matrix.shape[1] == 8
+        assert np.isfinite(matrix).all()
+
+    def test_update_from_stream_file(self, tmp_path, capsys):
+        stream = tmp_path / "edits.txt"
+        stream.write_text("- 0 1\n+ 2 40\n")
+        code = main([
+            "update", "--dataset", "FL", "--scale", "0.2",
+            "--method", "distger", "--dim", "8", "--epochs", "1",
+            "--machines", "2", "--stream", str(stream),
+        ])
+        assert code == 0
+        assert "1 insertions + 1 deletions" in capsys.readouterr().out
+
 
 class TestServe:
     @pytest.fixture

@@ -43,9 +43,44 @@ class TestConstruction:
                                 directed=True)
         assert g.edge_weight(0, 1) == pytest.approx(5.0)
 
+    def test_duplicate_weights_mirror_arcs_byte_equal(self):
+        # Duplicates listed in both directions must sum in one canonical
+        # order, so the two stored arcs carry bit-identical weights.
+        w = [0.1, 0.2, 0.30000000000000004, 1.7, 2.9]
+        g = CSRGraph.from_edges([(0, 1), (1, 0), (0, 1), (1, 0), (0, 1)],
+                                weights=w)
+        assert g.edge_weight(0, 1) == g.edge_weight(1, 0)  # exact, not approx
+
     def test_num_nodes_too_small_rejected(self):
         with pytest.raises(ValueError, match="num_nodes"):
             CSRGraph.from_edges([(0, 5)], num_nodes=3)
+
+    def test_all_self_loops_keeps_nodes(self):
+        # Node 5 exists even though its only mention is a dropped loop.
+        g = CSRGraph.from_edges([(5, 5)])
+        assert g.num_nodes == 6
+        assert g.num_edges == 0
+        assert g.degree(5) == 0
+
+    def test_self_loop_ids_validated_against_num_nodes(self):
+        with pytest.raises(ValueError, match="num_nodes"):
+            CSRGraph.from_edges([(5, 5)], num_nodes=3)
+
+    def test_isolated_node_from_loop_plus_edges(self):
+        g = CSRGraph.from_edges([(0, 1), (7, 7)])
+        assert g.num_nodes == 8
+        assert g.degree(7) == 0
+        assert g.has_edge(0, 1)
+
+    def test_empty_weighted_graph_weight_dtype(self):
+        g = CSRGraph.from_edges([], num_nodes=4, weights=[])
+        assert g.is_weighted
+        assert g.weights.dtype == np.float64
+
+    def test_all_self_loops_weighted_dtype(self):
+        g = CSRGraph.from_edges([(2, 2)], weights=[3.0])
+        assert g.num_nodes == 3
+        assert g.weights is not None and g.weights.dtype == np.float64
 
     def test_negative_ids_rejected(self):
         with pytest.raises(ValueError, match="non-negative"):
