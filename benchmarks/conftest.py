@@ -4,3 +4,14 @@ import os
 import sys
 
 sys.path.insert(0, os.path.dirname(__file__))
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--backend", action="store", default="model",
+        choices=("model", "torch"),
+        help="bench_table9_gpu accelerator mode: 'model' times the CPU "
+             "pipeline and projects GPU seconds through the cost model; "
+             "'torch' really executes training on torch tensors and "
+             "reports measured seconds (requires the optional torch "
+             "dependency; CUDA when available)")

@@ -28,7 +28,11 @@ shared counter-based negative streams) and ``partition_backend`` onto
 DistGER's MPGP partitioner (on-demand galloping vs the precomputed
 per-arc common-neighbour table).  Each phase's loop/vectorized pair is
 result-identical under its parity protocol, so these knobs trade speed
-only.
+only.  ``train_backend="torch"`` (optional dependency, validated eagerly
+with an install hint) runs the batched slice plans on torch tensors; its
+``torch_device``/``torch_dtype`` knobs are TrainConfig fields and route
+flat like any other -- the CPU tier holds the same byte-parity contract,
+the CUDA tier is gated on task quality instead.
 
 ``execution`` and ``workers`` are pipeline-wide: ``embed_graph(g,
 execution="process", workers=4)`` pushes walk rounds, training slices and

@@ -82,6 +82,9 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
 
 
 _BACKEND_CHOICES = ["auto", "vectorized", "loop"]
+#: The trainer additionally offers the torch device backend (optional
+#: dependency; validated eagerly with an install hint by TrainConfig).
+_TRAIN_BACKEND_CHOICES = _BACKEND_CHOICES + ["torch"]
 _EXECUTION_CHOICES = ["serial", "process", "pipeline"]
 _BACKING_CHOICES = ["shm", "mmap"]
 
@@ -99,8 +102,19 @@ def _add_system_args(parser: argparse.ArgumentParser) -> None:
                         choices=_BACKEND_CHOICES,
                         help="walk engine execution backend (default: auto)")
     parser.add_argument("--train-backend", default=None,
-                        choices=_BACKEND_CHOICES,
-                        help="trainer execution backend (default: auto)")
+                        choices=_TRAIN_BACKEND_CHOICES,
+                        help="trainer execution backend; 'torch' runs the "
+                             "batched slice plans on torch tensors "
+                             "(optional dependency) (default: auto)")
+    parser.add_argument("--torch-device", default=None,
+                        choices=["auto", "cpu", "cuda"],
+                        help="device for --train-backend torch: 'auto' "
+                             "prefers CUDA when available (default: auto)")
+    parser.add_argument("--torch-dtype", default=None,
+                        choices=["auto", "float32", "float64"],
+                        help="buffer dtype for --train-backend torch: "
+                             "'auto' is float64 on CPU (byte-parity tier) "
+                             "and float32 on CUDA (default: auto)")
     parser.add_argument("--partition-backend", default=None,
                         choices=_BACKEND_CHOICES,
                         help="MPGP partitioner backend; DistGER methods "
@@ -137,6 +151,10 @@ def _backend_kwargs(args) -> dict:
         kwargs["backend"] = args.walk_backend
     if getattr(args, "train_backend", None):
         kwargs["train_backend"] = args.train_backend
+    if getattr(args, "torch_device", None):
+        kwargs["torch_device"] = args.torch_device
+    if getattr(args, "torch_dtype", None):
+        kwargs["torch_dtype"] = args.torch_dtype
     if getattr(args, "partition_backend", None):
         kwargs["partition_backend"] = args.partition_backend
     if getattr(args, "execution", None):

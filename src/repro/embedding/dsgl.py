@@ -93,6 +93,7 @@ class DSGLLearner(BaseLearner):
         from repro.embedding.vectorized import merge_deltas, plan_dsgl_slice
 
         cfg = self.config
+        ops = self.ops  # always the NumPy reference (loop backend)
         phi_in, phi_out = self.model.phi_in, self.model.phi_out
         cohort_walks = cfg.dsgl_threads * cfg.multi_windows
         tokens = 0
@@ -109,9 +110,9 @@ class DSGLLearner(BaseLearner):
                 if plan is None:
                     continue
                 ctx_mega, ctx_start, out_mega, out_start = plan.gather(
-                    phi_in, phi_out)
+                    phi_in, phi_out, ops)
                 for t in range(plan.num_steps):
-                    plan.run_step(t, 1, ctx_mega, out_mega, lr)
+                    plan.run_step(t, 1, ctx_mega, out_mega, lr, ops)
                 ctx_mega -= ctx_start
                 out_mega -= out_start
                 ctx_rows.append(plan.ctx_gather)

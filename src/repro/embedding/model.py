@@ -14,6 +14,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.embedding.ops import TORCH_INSTALL_HINT, torch_available
 from repro.embedding.schedules import SCHEDULES
 from repro.embedding.vocab import Vocabulary
 from repro.runtime.executor import (
@@ -50,9 +51,17 @@ class TrainConfig:
       :mod:`repro.embedding.vectorized` (window extraction, buffer
       indexing and negative draws hoisted into NumPy precomputation,
       update math unchanged to the bit); ``"loop"`` runs the per-window
-      reference learners; ``"auto"`` (default) picks vectorized wherever
-      semantics match (``sgns``/``pword2vec``/``dsgl``) and loop for
-      ``psgnscc``.
+      reference learners; ``"torch"`` runs the *same* batched slice
+      plans on torch tensors through the :mod:`repro.embedding.ops`
+      seam (byte-equal to NumPy on CPU, golden-AUC-gated float32 on
+      CUDA; requires the optional ``torch`` dependency -- validated
+      eagerly here, not deep inside a worker); ``"auto"`` (default)
+      picks vectorized wherever semantics match
+      (``sgns``/``pword2vec``/``dsgl``) and loop for ``psgnscc``.
+    * ``torch_device`` / ``torch_dtype`` shape the torch backend:
+      device ``"auto"`` prefers CUDA when available, dtype ``"auto"``
+      resolves to float64 on CPU (the byte-parity tier) and float32 on
+      CUDA (the throughput tier).
     * ``rng_protocol`` selects where negative-sample randomness comes
       from: ``"shared"`` (counter-based per-machine streams from
       :mod:`repro.utils.rng` -- draws are independent of batching, which
@@ -83,8 +92,14 @@ class TrainConfig:
     # subsample; exposed as a standard word2vec option).
     subsample: float = 0.0
     seed: int = 0
-    #: "auto" | "vectorized" | "loop" -- see the class docstring.
+    #: "auto" | "vectorized" | "loop" | "torch" -- see the class docstring.
     backend: str = "auto"
+    #: Device of the torch backend: "auto" (CUDA when available, else
+    #: CPU), "cpu", or "cuda".  Ignored by the other backends.
+    torch_device: str = "auto"
+    #: Buffer dtype of the torch backend: "auto" (float64 on CPU --
+    #: byte-parity tier -- float32 on CUDA), "float32", or "float64".
+    torch_dtype: str = "auto"
     #: "auto" | "shared" | "cluster" -- see the class docstring.
     rng_protocol: str = "auto"
     #: Simulated Hogwild thread-pool width of DSGL's shared-protocol
@@ -138,15 +153,41 @@ class TrainConfig:
         if self.subsample < 0:
             raise ValueError(f"subsample must be >= 0, got {self.subsample}")
         check_positive("dsgl_threads", self.dsgl_threads)
-        if self.backend not in ("auto", "vectorized", "loop"):
-            raise ValueError(f"unknown backend {self.backend!r}")
+        if self.backend not in ("auto", "vectorized", "loop", "torch"):
+            raise ValueError(
+                f"unknown backend {self.backend!r}; options: 'auto', "
+                "'vectorized', 'loop', 'torch'")
+        if self.torch_device not in ("auto", "cpu", "cuda"):
+            raise ValueError(
+                f"unknown torch_device {self.torch_device!r}; options: "
+                "'auto', 'cpu', 'cuda'")
+        if self.torch_dtype not in ("auto", "float32", "float64"):
+            raise ValueError(
+                f"unknown torch_dtype {self.torch_dtype!r}; options: "
+                "'auto', 'float32', 'float64'")
         if self.rng_protocol not in ("auto", "shared", "cluster"):
             raise ValueError(f"unknown rng_protocol {self.rng_protocol!r}")
-        if self.backend == "vectorized" and self.rng_protocol == "cluster":
+        if self.backend in ("vectorized", "torch") and \
+                self.rng_protocol == "cluster":
             raise ValueError(
-                "the vectorized backend requires the 'shared' RNG protocol "
-                "(counter-based per-machine negative streams)"
+                f"the {self.backend} backend requires the 'shared' RNG "
+                "protocol (counter-based per-machine negative streams)"
             )
+        if self.backend == "torch":
+            # Eager availability / device validation: a missing optional
+            # dependency must fail here, at config-resolve time, with the
+            # install hint -- not as an opaque crash deep inside a trainer
+            # worker process (the process/pipeline executors construct
+            # learners from this already-validated config).
+            if not torch_available():
+                raise ValueError(
+                    f"backend='torch' requires PyTorch: {TORCH_INSTALL_HINT}")
+            if self.resolved_torch_device() == "cuda" and \
+                    self.execution in ("process", "pipeline"):
+                raise ValueError(
+                    "backend='torch' on CUDA requires execution='serial': "
+                    "CUDA contexts cannot be shared with forked slice "
+                    "workers (CPU torch composes with every executor)")
         resolve_execution(self.execution)
         resolve_backing(self.backing)
         if self.workers < 0:
@@ -166,11 +207,13 @@ class TrainConfig:
         Raises for combinations that cannot hold the parity contract:
         pSGNScc's mutable inverted-index lookup is inherently sequential
         (its overhead is part of what §4.1 measures), so it cannot be
-        vectorized -- exactly like the walk engine's ``fullpath`` mode.
+        vectorized (or run on torch) -- exactly like the walk engine's
+        ``fullpath`` mode.
         """
-        if self.backend == "vectorized" and learner in LOOP_ONLY_LEARNERS:
+        if self.backend in ("vectorized", "torch") and \
+                learner in LOOP_ONLY_LEARNERS:
             raise ValueError(
-                f"learner {learner!r} cannot be vectorized: its per-window "
+                f"learner {learner!r} cannot be batched: its per-window "
                 "partner lookup mutates state between windows; use "
                 "backend='auto' or 'loop'"
             )
@@ -187,6 +230,32 @@ class TrainConfig:
         if self.rng_protocol != "auto":
             return self.rng_protocol
         return "shared"
+
+    def resolved_torch_device(self) -> str:
+        """The device the torch backend runs on (``"cpu"``/``"cuda"``).
+
+        ``"auto"`` prefers CUDA when torch reports one.  Only meaningful
+        (and only callable without torch installed) when ``backend`` is
+        ``"torch"`` -- construction already validated availability.
+        """
+        if self.torch_device != "auto":
+            return self.torch_device
+        import torch
+
+        return "cuda" if torch.cuda.is_available() else "cpu"
+
+    def resolved_torch_dtype(self) -> str:
+        """Buffer dtype of the torch backend.
+
+        ``"auto"`` picks float64 on CPU -- the byte-parity tier pinned by
+        ``tests/test_torch_backend_parity.py`` -- and float32 on CUDA,
+        where throughput is the point and quality is gated on the golden
+        AUC band instead of bytes.
+        """
+        if self.torch_dtype != "auto":
+            return self.torch_dtype
+        return "float64" if self.resolved_torch_device() == "cpu" else \
+            "float32"
 
     def resolved_execution(self) -> str:
         """The execution mode training actually runs under.

@@ -1,0 +1,585 @@
+"""Array-ops seam: the backend-neutral primitives of the trainer hot path.
+
+Every gather, stacked matmul, sigmoid and scatter in the batched learners
+(:mod:`repro.embedding.vectorized`) and the shared DSGL step kernel flows
+through one of the two implementations here:
+
+* :class:`NumpyOps` -- the reference.  Each method wraps the exact NumPy
+  call the learners made before the seam existed (same function, same
+  ``out=`` discipline, same operand order), so the default float32 path is
+  byte-identical to the pre-seam trainer.  A ``dtype`` knob turns the same
+  code into the float64 high-precision tier.
+
+* :class:`TorchOps` -- buffers live as torch tensors, on CPU or CUDA.
+  The CPU tier is the **parity tier**: torch CPU tensors share memory
+  with NumPy views (``tensor.numpy()`` is zero-copy), so the primitives
+  whose rounding depends on the kernel implementation -- GEMM reduction
+  order, libm ``exp`` -- are routed through the *same* host BLAS/libm the
+  NumPy backend uses, while storage, exact-IEEE elementwise arithmetic
+  (``+=``/``-=``/``*=`` are correctly rounded everywhere) and indexing
+  run on the tensors.  That makes CPU-torch output byte-equal to the
+  NumPy backend **by construction**, at float32 and float64 alike --
+  pinned by ``tests/test_torch_backend_parity.py``.  The CUDA tier runs
+  native device kernels (different reduction orders, so no byte
+  contract) and is gated on golden-band AUC plus the measured Table-9
+  bench instead.
+
+Duplicate-row accumulation order
+--------------------------------
+Scatter-add is where backends classically diverge: ``np.add.at``
+accumulates duplicate indices sequentially in input order, torch's
+``index_add_`` only guarantees that order on CPU, and CUDA atomics make
+it nondeterministic -- ties (same row, different lifetimes) then round
+differently run to run.  The seam pins one semantics instead of chasing
+kernel behaviour: :func:`sum_duplicate_rows` reduces each destination
+row's deltas left-to-right in input order *first* and applies one ``+=``
+per row (the ``merge_deltas`` contract in
+:mod:`repro.embedding.vectorized`), and the trainer always reconciles on
+the host over downloaded deltas -- so reconciliation bytes are identical
+across numpy/torch-CPU/CUDA by construction.  ``ops.index_add`` exists
+for in-place device accumulation and follows the same pinned semantics
+(hypothesis-tested against ``np.add.at`` on CPU).
+
+Device dataflow / double buffering
+----------------------------------
+Global model state stays NumPy float32 (shared memory and the sync
+strategies are untouched).  A device backend uploads each cohort's plan
+constants and slice-gathered buffers, computes the lock-step batches on
+device, downloads the deltas and merges them on the host.  On CUDA the
+plan-constant uploads go through a dedicated copy stream
+(:meth:`TorchOps.staged_upload` / :meth:`TorchOps.join`), so the trainer
+can stage cohort ``i+1``'s tensors while cohort ``i``'s kernels are still
+queued -- the double-buffered slice-upload pattern.  On CPU (either
+backend) every call is synchronous and the staging hooks are no-ops.
+
+torch is an **optional** dependency: nothing here imports it at module
+load, :func:`torch_available` probes without importing, and
+:func:`require_torch` raises the actionable install hint.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from typing import Optional, Tuple
+
+import numpy as np
+
+__all__ = [
+    "ArrayOps",
+    "NUMPY_OPS",
+    "NumpyOps",
+    "TORCH_INSTALL_HINT",
+    "TorchOps",
+    "require_torch",
+    "resolve_ops",
+    "sum_duplicate_rows",
+    "torch_available",
+]
+
+#: The actionable message every torch-gated entry point raises.
+TORCH_INSTALL_HINT = (
+    "torch not installed — pip install torch (CPU wheels are enough for "
+    "the byte-parity tier; CUDA wheels enable the float32 device tier)"
+)
+
+
+def torch_available() -> bool:
+    """Whether PyTorch is importable (probed without importing it)."""
+    return importlib.util.find_spec("torch") is not None
+
+
+def require_torch():
+    """Import and return torch, or raise the actionable install hint."""
+    try:
+        import torch
+    except ImportError as exc:  # pragma: no cover - exercised without torch
+        raise ImportError(
+            f"TrainConfig.backend='torch' requires PyTorch: "
+            f"{TORCH_INSTALL_HINT}"
+        ) from exc
+    return torch
+
+
+def sum_duplicate_rows(rows: np.ndarray,
+                       deltas: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """Reduce per-row deltas: ``(unique_rows, merged)`` with pinned order.
+
+    ``rows`` may repeat; the stable sort gathers each destination row's
+    deltas **in input order** and one ``reduceat`` over the row-sorted
+    layout sums them, so a row's result is a deterministic function of
+    its own delta subsequence alone -- independent of how other rows
+    interleave.  This single host routine is the accumulation-order
+    contract shared by ``merge_deltas`` and every CPU backend's
+    ``index_add`` (note the float32 rounding follows ``reduceat``'s
+    association, which is not bit-identical to a naive sequential loop).
+    Rows touched once (the common case) copy straight through without
+    paying the segmented reduction.
+    """
+    order = np.argsort(rows, kind="stable")
+    rows_sorted = rows[order]
+    new = np.empty(rows.size, dtype=bool)
+    new[0] = True
+    np.not_equal(rows_sorted[1:], rows_sorted[:-1], out=new[1:])
+    starts = np.flatnonzero(new)
+    deltas = deltas[order]
+    sizes = np.empty(starts.size, dtype=np.int64)
+    sizes[:-1] = starts[1:] - starts[:-1]
+    sizes[-1] = deltas.shape[0] - starts[-1]
+    merged = np.empty((starts.size, deltas.shape[1]), dtype=deltas.dtype)
+    single = sizes == 1
+    merged[single] = deltas[starts[single]]
+    multi = np.flatnonzero(~single)
+    if multi.size:
+        seg_starts = starts[multi]
+        seg_sizes = sizes[multi]
+        excl = np.zeros(multi.size, dtype=np.int64)
+        np.cumsum(seg_sizes[:-1], out=excl[1:])
+        gather = (np.arange(int(seg_sizes.sum()), dtype=np.int64)
+                  - np.repeat(excl, seg_sizes)
+                  + np.repeat(seg_starts, seg_sizes))
+        merged[multi] = np.add.reduceat(deltas[gather], excl, axis=0)
+    return rows_sorted[starts], merged
+
+
+class ArrayOps:
+    """Interface of the trainer's array primitives (see module docstring).
+
+    ``kind`` identifies the implementation, ``device`` where buffers
+    live; ``dtype`` is the buffer element type as a NumPy dtype.  Host
+    index arrays (``int64``) and the learning rate (a Python float, kept
+    float64 end-to-end by the trainer) cross the seam unchanged --
+    backends convert at the boundary.
+    """
+
+    kind = "abstract"
+    device = "cpu"
+
+    # -- allocation / movement ---------------------------------------- #
+
+    def empty(self, shape):
+        raise NotImplementedError
+
+    def zeros(self, shape):
+        raise NotImplementedError
+
+    def zeros_like(self, x):
+        raise NotImplementedError
+
+    def const(self, arr):
+        """Adopt a host int64 index array (device copy where needed)."""
+        raise NotImplementedError
+
+    def mask(self, arr):
+        """Adopt a host float mask array (0.0/1.0 lanes -- exact)."""
+        raise NotImplementedError
+
+    def upload(self, host):
+        """Adopt a host float block as a backend buffer (dtype-cast)."""
+        raise NotImplementedError
+
+    def staged_upload(self, host):
+        """`upload` that may overlap compute (CUDA copy stream)."""
+        return self.upload(host)
+
+    def join(self) -> None:
+        """Make compute wait for outstanding staged uploads (no-op on CPU)."""
+
+    def download(self, x) -> np.ndarray:
+        """Host float64/float32 view or copy of a backend buffer."""
+        raise NotImplementedError
+
+    def clone(self, x):
+        raise NotImplementedError
+
+    # -- kernels -------------------------------------------------------- #
+
+    def take(self, src, idx, out) -> None:
+        """``out[...] = src[idx]`` for row gathers (idx int64, any shape)."""
+        raise NotImplementedError
+
+    def gather(self, src, idx):
+        """Fresh ``src[idx]`` row gather."""
+        raise NotImplementedError
+
+    def scatter_rows(self, dst, idx, src) -> None:
+        """``dst[idx] = src`` -- duplicate indices follow Hogwild
+        last-write-wins on the parity tiers (NumPy semantics); CUDA's
+        write order for duplicates is undefined, which is inside the
+        quality-gated tier's contract."""
+        raise NotImplementedError
+
+    def index_add(self, dst, rows, src) -> None:
+        """``dst[rows] += src`` under the pinned duplicate-row order of
+        :func:`sum_duplicate_rows`."""
+        raise NotImplementedError
+
+    def put_flat(self, x, positions, value) -> None:
+        """``x.reshape(-1)[positions] = value``."""
+        raise NotImplementedError
+
+    def fill_(self, x, value) -> None:
+        raise NotImplementedError
+
+    def sigmoid(self, x):
+        """Fresh clipped logistic (word2vec's ±6 clip)."""
+        raise NotImplementedError
+
+    def sigmoid_(self, x) -> None:
+        """In-place clipped logistic."""
+        raise NotImplementedError
+
+    def matmul(self, a, b):
+        """Fresh ``a @ b`` (vector or matrix operands)."""
+        raise NotImplementedError
+
+    def matmul_nt(self, a, b):
+        """Fresh ``a @ b.T`` (2-D operands)."""
+        raise NotImplementedError
+
+    def matmul_tn(self, a, b):
+        """Fresh ``a.T @ b`` (2-D operands)."""
+        raise NotImplementedError
+
+    def outer(self, a, b):
+        """Fresh outer product of two vectors."""
+        raise NotImplementedError
+
+    def bmm(self, a, b, out) -> None:
+        """Stacked ``out = a @ b`` over the leading axis."""
+        raise NotImplementedError
+
+    def bmm_nt(self, a, b, out) -> None:
+        """Stacked ``out = a @ b.transpose(-1, -2)``."""
+        raise NotImplementedError
+
+    def bmm_tn(self, a, b, out) -> None:
+        """Stacked ``out = a.transpose(-1, -2) @ b``."""
+        raise NotImplementedError
+
+
+class NumpyOps(ArrayOps):
+    """Reference implementation: the learners' original NumPy calls.
+
+    With the default ``float32`` dtype, every method is the literal
+    pre-seam operation (``np.take(..., out=)``, ``np.matmul(..., out=)``,
+    the clip/negate/exp/+1/divide sigmoid pipeline), so the refactored
+    trainer's bytes are unchanged.  ``NumpyOps(np.float64)`` is the
+    host-side high-precision tier the torch-CPU float64 path is pinned
+    against.
+    """
+
+    kind = "numpy"
+    device = "cpu"
+
+    def __init__(self, dtype=np.float32) -> None:
+        self.dtype = np.dtype(dtype)
+
+    # -- allocation / movement ---------------------------------------- #
+
+    def empty(self, shape):
+        return np.empty(shape, dtype=self.dtype)
+
+    def zeros(self, shape):
+        return np.zeros(shape, dtype=self.dtype)
+
+    def zeros_like(self, x):
+        return np.zeros_like(x)
+
+    def const(self, arr):
+        return arr
+
+    def mask(self, arr):
+        # Masks hold exact 0.0/1.0 lanes; float32 masks multiply into
+        # float64 gradients without rounding, so no cast is needed.
+        return arr
+
+    def upload(self, host):
+        # Identity when dtypes already match -- the float32 default path
+        # adopts the caller's buffer without copying.
+        return np.asarray(host, dtype=self.dtype)
+
+    def download(self, x) -> np.ndarray:
+        return x
+
+    def clone(self, x):
+        return x.copy()
+
+    # -- kernels -------------------------------------------------------- #
+
+    def take(self, src, idx, out) -> None:
+        np.take(src, idx, axis=0, out=out)
+
+    def gather(self, src, idx):
+        return src[idx]
+
+    def scatter_rows(self, dst, idx, src) -> None:
+        dst[idx] = src
+
+    def index_add(self, dst, rows, src) -> None:
+        if not rows.size:
+            return
+        urows, merged = sum_duplicate_rows(rows, src)
+        dst[urows] += merged
+
+    def put_flat(self, x, positions, value) -> None:
+        x.reshape(-1)[positions] = value
+
+    def fill_(self, x, value) -> None:
+        x[...] = value
+
+    def sigmoid(self, x):
+        return 1.0 / (1.0 + np.exp(-np.clip(x, -6.0, 6.0)))
+
+    def sigmoid_(self, x) -> None:
+        np.clip(x, -6.0, 6.0, out=x)
+        np.negative(x, out=x)
+        np.exp(x, out=x)
+        x += 1.0
+        np.divide(1.0, x, out=x)
+
+    def matmul(self, a, b):
+        return a @ b
+
+    def matmul_nt(self, a, b):
+        return a @ b.T
+
+    def matmul_tn(self, a, b):
+        return a.T @ b
+
+    def outer(self, a, b):
+        return np.outer(a, b)
+
+    def bmm(self, a, b, out) -> None:
+        np.matmul(a, b, out=out)
+
+    def bmm_nt(self, a, b, out) -> None:
+        np.matmul(a, b.transpose(0, 2, 1), out=out)
+
+    def bmm_tn(self, a, b, out) -> None:
+        np.matmul(a.transpose(0, 2, 1), b, out=out)
+
+
+#: The shared float32 reference instance (the trainer default).
+NUMPY_OPS = NumpyOps()
+
+
+class TorchOps(ArrayOps):
+    """Torch tensors on CPU (parity tier) or CUDA (quality tier).
+
+    On CPU, reduction/transcendental primitives (matmuls, ``exp``) run
+    through zero-copy NumPy views of the tensors so the host's BLAS/libm
+    produces the same bytes as the NumPy backend; indexing and exact
+    elementwise arithmetic run on the tensors.  On CUDA everything runs
+    native, asynchronously on the default stream, with plan-constant
+    uploads staged on a dedicated copy stream (double buffering).
+    """
+
+    kind = "torch"
+
+    def __init__(self, device: str = "cpu", dtype=np.float32) -> None:
+        torch = require_torch()
+        self.torch = torch
+        self.device = torch.device(device)
+        self.dtype = np.dtype(dtype)
+        self.torch_dtype = (torch.float64 if self.dtype == np.float64
+                            else torch.float32)
+        if self.device.type == "cuda" and not torch.cuda.is_available():
+            raise RuntimeError(
+                "torch_device='cuda' requested but torch.cuda.is_available() "
+                "is False — use torch_device='cpu' (or 'auto')")
+        self.is_cpu = self.device.type == "cpu"
+        self._copy_stream = (None if self.is_cpu
+                             else torch.cuda.Stream(device=self.device))
+
+    # -- allocation / movement ---------------------------------------- #
+
+    def empty(self, shape):
+        return self.torch.empty(shape, dtype=self.torch_dtype,
+                                device=self.device)
+
+    def zeros(self, shape):
+        return self.torch.zeros(shape, dtype=self.torch_dtype,
+                                device=self.device)
+
+    def zeros_like(self, x):
+        return self.torch.zeros_like(x)
+
+    def const(self, arr):
+        t = self.torch.from_numpy(np.ascontiguousarray(arr))
+        return t if self.is_cpu else t.to(self.device, non_blocking=True)
+
+    def mask(self, arr):
+        t = self.torch.from_numpy(
+            np.ascontiguousarray(arr, dtype=self.dtype))
+        return t if self.is_cpu else t.to(self.device, non_blocking=True)
+
+    def upload(self, host):
+        host = np.ascontiguousarray(host, dtype=self.dtype)
+        t = self.torch.from_numpy(host)
+        return t if self.is_cpu else t.to(self.device, non_blocking=True)
+
+    def staged_upload(self, host):
+        if self._copy_stream is None:
+            return self.upload(host)
+        host = np.ascontiguousarray(host, dtype=self.dtype)
+        with self.torch.cuda.stream(self._copy_stream):
+            staged = self.torch.from_numpy(host).pin_memory()
+            return staged.to(self.device, non_blocking=True)
+
+    def join(self) -> None:
+        if self._copy_stream is not None:
+            self.torch.cuda.current_stream(self.device).wait_stream(
+                self._copy_stream)
+
+    def download(self, x) -> np.ndarray:
+        if self.is_cpu:
+            return x.numpy()
+        return x.cpu().numpy()
+
+    def clone(self, x):
+        return x.clone()
+
+    # -- CPU parity routing --------------------------------------------- #
+
+    @staticmethod
+    def _np(x):
+        """Zero-copy NumPy view of a CPU tensor (host array passthrough)."""
+        return x.numpy() if hasattr(x, "numpy") else x
+
+    def _idx(self, idx):
+        """Index operand for native tensor indexing (device long tensor)."""
+        if isinstance(idx, np.ndarray):
+            t = self.torch.from_numpy(idx)
+            return t if self.is_cpu else t.to(self.device, non_blocking=True)
+        return idx
+
+    def _idx_np(self, idx):
+        """Index operand for host-view indexing (NumPy int64 array)."""
+        return idx if isinstance(idx, np.ndarray) else self._np(idx)
+
+    # -- kernels -------------------------------------------------------- #
+
+    def take(self, src, idx, out) -> None:
+        if self.is_cpu:
+            np.take(self._np(src), self._idx_np(idx), axis=0,
+                    out=self._np(out))
+        else:
+            flat = self._idx(idx).reshape(-1)
+            self.torch.index_select(src, 0, flat,
+                                    out=out.view(flat.shape[0], -1))
+
+    def gather(self, src, idx):
+        if self.is_cpu:
+            return self.torch.from_numpy(
+                self._np(src)[self._idx_np(idx)])
+        return src[self._idx(idx)]
+
+    def scatter_rows(self, dst, idx, src) -> None:
+        if self.is_cpu:
+            self._np(dst)[self._idx_np(idx)] = self._np(src)
+        else:
+            dst[self._idx(idx)] = src
+
+    def index_add(self, dst, rows, src) -> None:
+        if self.is_cpu:
+            # Same pinned order as NumpyOps (sum per row, one += each).
+            rows_np = self._idx_np(rows)
+            if not rows_np.size:
+                return
+            urows, merged = sum_duplicate_rows(rows_np, self._np(src))
+            self._np(dst)[urows] += merged
+        else:
+            # index_add_ accumulates atomically on CUDA: per-row delta
+            # *sums* are reproduced, but tie rounding may differ from the
+            # host order -- part of the quality tier's contract (the
+            # trainer's reconciliation path downloads and merges on host
+            # instead, so it never depends on this).
+            dst.index_add_(0, self._idx(rows).reshape(-1), src)
+
+    def put_flat(self, x, positions, value) -> None:
+        if self.is_cpu:
+            self._np(x).reshape(-1)[self._idx_np(positions)] = value
+        else:
+            x.view(-1)[self._idx(positions)] = value
+
+    def fill_(self, x, value) -> None:
+        x.fill_(value)
+
+    def sigmoid(self, x):
+        if self.is_cpu:
+            host = self._np(x)
+            return self.torch.from_numpy(
+                1.0 / (1.0 + np.exp(-np.clip(host, -6.0, 6.0))))
+        return self.torch.sigmoid(self.torch.clamp(x, -6.0, 6.0))
+
+    def sigmoid_(self, x) -> None:
+        if self.is_cpu:
+            host = self._np(x)
+            np.clip(host, -6.0, 6.0, out=host)
+            np.negative(host, out=host)
+            np.exp(host, out=host)
+            host += 1.0
+            np.divide(1.0, host, out=host)
+        else:
+            x.clamp_(-6.0, 6.0)
+            x.neg_()
+            x.exp_()
+            x.add_(1.0)
+            x.reciprocal_()
+
+    def matmul(self, a, b):
+        if self.is_cpu:
+            return self.torch.from_numpy(self._np(a) @ self._np(b))
+        return a @ b
+
+    def matmul_nt(self, a, b):
+        if self.is_cpu:
+            return self.torch.from_numpy(self._np(a) @ self._np(b).T)
+        return a @ b.T
+
+    def matmul_tn(self, a, b):
+        if self.is_cpu:
+            return self.torch.from_numpy(self._np(a).T @ self._np(b))
+        return a.T @ b
+
+    def outer(self, a, b):
+        if self.is_cpu:
+            return self.torch.from_numpy(np.outer(self._np(a), self._np(b)))
+        return self.torch.outer(a, b)
+
+    def bmm(self, a, b, out) -> None:
+        if self.is_cpu:
+            np.matmul(self._np(a), self._np(b), out=self._np(out))
+        else:
+            self.torch.bmm(a, b, out=out)
+
+    def bmm_nt(self, a, b, out) -> None:
+        if self.is_cpu:
+            np.matmul(self._np(a), self._np(b).transpose(0, 2, 1),
+                      out=self._np(out))
+        else:
+            self.torch.bmm(a, b.transpose(1, 2), out=out)
+
+    def bmm_tn(self, a, b, out) -> None:
+        if self.is_cpu:
+            np.matmul(self._np(a).transpose(0, 2, 1), self._np(b),
+                      out=self._np(out))
+        else:
+            self.torch.bmm(a.transpose(1, 2), b, out=out)
+
+
+def resolve_ops(config: Optional[object]) -> ArrayOps:
+    """The :class:`ArrayOps` a learner runs under, from its TrainConfig.
+
+    Duck-typed on ``backend`` / ``resolved_torch_device`` /
+    ``resolved_torch_dtype`` so this module never imports
+    :mod:`repro.embedding.model` (the config module imports *us* for the
+    eager availability check).  Anything that is not the torch backend --
+    including ``None`` -- gets the shared float32 NumPy reference.
+    """
+    if config is None or getattr(config, "backend", None) != "torch":
+        return NUMPY_OPS
+    device = config.resolved_torch_device()
+    dtype = (np.float64 if config.resolved_torch_dtype() == "float64"
+             else np.float32)
+    return TorchOps(device=device, dtype=dtype)

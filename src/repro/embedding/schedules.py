@@ -113,6 +113,19 @@ SCHEDULES = {
 }
 
 
+def progress64(tokens_done, tokens_total) -> float:
+    """Training progress as a float64 Python float, dtype-independent.
+
+    The lr schedule feeds every backend's byte-parity contract, so its
+    input must not inherit a narrower dtype from whoever counted the
+    tokens (a float32 device tier, a NumPy integer scalar, ...).  Token
+    counts are integral by construction; both are normalised through
+    Python ints so the division happens once, in float64, identically on
+    every backend and executor.
+    """
+    return int(tokens_done) / max(1, int(tokens_total))
+
+
 def make_schedule(name: str, lr: float, min_lr: float = 1e-4, **kwargs):
     """Instantiate a schedule by name (see :data:`SCHEDULES`)."""
     key = name.lower()

@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.embedding.model import EmbeddingModel, TrainConfig, sigmoid
 from repro.embedding.negative import NegativeSampler
+from repro.embedding.ops import ArrayOps, resolve_ops
 from repro.embedding.windows import iter_windows
 from repro.utils.rng import CounterStream
 
@@ -34,6 +35,12 @@ class BaseLearner:
     protocol), negatives are a pure function of the stream's counter and
     are identical no matter how draws are batched; when ``None`` (the
     legacy "cluster" protocol), negatives come from the stateful ``rng``.
+
+    ``ops`` is the array-ops implementation the update math runs on
+    (:mod:`repro.embedding.ops`); by default it is resolved from
+    ``config`` -- the shared float32 NumPy reference for every backend
+    except ``"torch"``.  Tests inject explicit instances (e.g.
+    ``NumpyOps(np.float64)``) to pin the precision tiers.
     """
 
     name = "base"
@@ -45,12 +52,14 @@ class BaseLearner:
         config: TrainConfig,
         rng: np.random.Generator,
         neg_stream: Optional[CounterStream] = None,
+        ops: Optional[ArrayOps] = None,
     ) -> None:
         self.model = model
         self.sampler = sampler
         self.config = config
         self.rng = rng
         self.neg_stream = neg_stream
+        self.ops = ops if ops is not None else resolve_ops(config)
 
     def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
         """Train on ``walks`` at learning rate ``lr``; return tokens used."""
@@ -66,6 +75,26 @@ class BaseLearner:
         if self.neg_stream is not None:
             return self.sampler.sample_rows_stream(count, self.neg_stream)
         return self.sampler.sample_rows(count, self.rng)
+
+    def _adopt(self):
+        """The model matrices as backend buffers (identity on NumPy f32).
+
+        On a device/precision backend this uploads both matrices once per
+        ``train_walks`` call; :meth:`_publish` writes them back.  The
+        float32 NumPy default adopts the model's own arrays, so the hot
+        path pays nothing.
+        """
+        return self.ops.upload(self.model.phi_in), \
+            self.ops.upload(self.model.phi_out)
+
+    def _publish(self, phi_in, phi_out) -> None:
+        """Write adopted matrices back into the model (no-op if shared)."""
+        for buf, dst in ((phi_in, self.model.phi_in),
+                         (phi_out, self.model.phi_out)):
+            host = self.ops.download(buf)
+            if host is dst or np.shares_memory(host, dst):
+                continue
+            np.copyto(dst, host.astype(dst.dtype, copy=False))
 
 
 class SGNSLearner(BaseLearner):

@@ -61,7 +61,7 @@ from repro.embedding.dsgl import DSGLLearner
 from repro.embedding.model import EmbeddingModel, TrainConfig
 from repro.embedding.negative import NegativeSampler
 from repro.embedding.psgnscc import PSGNSccLearner
-from repro.embedding.schedules import make_schedule
+from repro.embedding.schedules import make_schedule, progress64
 from repro.embedding.sgns import BaseLearner, Pword2vecLearner, SGNSLearner
 from repro.embedding.sync import make_sync
 from repro.embedding.vectorized import VECTORIZED_LEARNERS
@@ -291,7 +291,11 @@ class DistributedTrainer:
             neg_streams = [CounterStream(int(key)) for key in keys]
         else:
             neg_streams = [None] * m
-        learner_registry = (VECTORIZED_LEARNERS if self.backend == "vectorized"
+        # The torch backend executes the same batched slice plans as the
+        # vectorized learners; only the array-ops implementation differs
+        # (resolved per learner from the config by BaseLearner).
+        learner_registry = (VECTORIZED_LEARNERS
+                            if self.backend in ("vectorized", "torch")
                             else LEARNERS)
         learner_cls = learner_registry[self.learner_name]
         learners = [
@@ -377,7 +381,10 @@ class DistributedTrainer:
                             cursors[machine] += 1
                         if slice_tokens == 0:
                             continue
-                        lr = schedule(tokens_done / max(1, total_tokens))
+                        # progress64 keeps the schedule input float64 no
+                        # matter which dtype tier the slices train in --
+                        # the lr sequence is part of the parity contract.
+                        lr = schedule(progress64(tokens_done, total_tokens))
                         tokens_done += slice_tokens
                         # The (lo, hi) shard range describes this batch
                         # exactly when no parent-side subsampling ran --

@@ -45,6 +45,16 @@ matrix multiplication.  The loop backend executes the *same* plans one
 lifetime at a time through the same step kernel, which keeps the two
 backends bit-identical while leaving the per-lifetime reference honestly
 sequential.
+
+Every array primitive in this module flows through the
+:mod:`repro.embedding.ops` seam: :class:`~repro.embedding.ops.NumpyOps`
+(the default) wraps the original calls one-for-one, so the float32 NumPy
+path is byte-identical to the pre-seam trainer, while
+:class:`~repro.embedding.ops.TorchOps` runs the same plans on torch
+tensors (``TrainConfig.backend="torch"``) -- byte-equal on CPU, golden
+AUC-gated on CUDA.  Plans themselves stay NumPy (device-agnostic slice
+descriptors); only the gathered buffers and plan constants are adopted
+per device via :meth:`DSGLSlicePlan.bind`.
 """
 
 from __future__ import annotations
@@ -53,7 +63,7 @@ from typing import Dict, List, Sequence, Tuple, Type
 
 import numpy as np
 
-from repro.embedding.model import sigmoid
+from repro.embedding.ops import NUMPY_OPS, ArrayOps, sum_duplicate_rows
 from repro.embedding.sgns import BaseLearner
 
 __all__ = [
@@ -99,7 +109,8 @@ class VectorizedSGNSLearner(BaseLearner):
     name = "sgns"
 
     def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
-        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        ops = self.ops
+        phi_in, phi_out = self._adopt()
         k = self.config.negatives
         tokens = 0
         out_rows = np.empty(k + 1, dtype=np.int64)
@@ -115,18 +126,20 @@ class VectorizedSGNSLearner(BaseLearner):
             # negatives equal the loop backend's p-th per-pair draw.
             negs = self._negatives(k * pair_ctx.size).reshape(-1, k)
             for p in range(pair_ctx.size):
-                c_row = pair_ctx[p]
+                c_row = int(pair_ctx[p])
                 out_rows[0] = pair_tgt[p]
                 out_rows[1:] = negs[p]
                 x = phi_in[c_row]
-                outs = phi_out[out_rows]
-                scores = sigmoid(outs @ x)
-                grad = np.zeros(k + 1, dtype=np.float32)
+                outs = ops.gather(phi_out, out_rows)
+                scores = ops.sigmoid(ops.matmul(outs, x))
+                grad = ops.zeros(k + 1)
                 grad[0] = 1.0
                 grad -= scores
                 grad *= lr
-                phi_in[c_row] = x + grad @ outs
-                phi_out[out_rows] = outs + np.outer(grad, x)
+                phi_in[c_row] = x + ops.matmul(grad, outs)
+                ops.scatter_rows(phi_out, out_rows,
+                                 outs + ops.outer(grad, x))
+        self._publish(phi_in, phi_out)
         return tokens
 
 
@@ -136,7 +149,8 @@ class VectorizedPword2vecLearner(BaseLearner):
     name = "pword2vec"
 
     def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
-        phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        ops = self.ops
+        phi_in, phi_out = self._adopt()
         k = self.config.negatives
         tokens = 0
         out_rows = np.empty(k + 1, dtype=np.int64)
@@ -154,14 +168,18 @@ class VectorizedPword2vecLearner(BaseLearner):
                 contexts = ctx_flat[offs[t]:offs[t + 1]]
                 out_rows[0] = rows[t]
                 out_rows[1:] = negs[t]
-                ctx = phi_in[contexts]                     # (m, d)
-                outs = phi_out[out_rows]                   # (k+1, d)
-                scores = sigmoid(ctx @ outs.T)             # (m, k+1)
-                labels = np.zeros_like(scores)
+                ctx = ops.gather(phi_in, contexts)         # (m, d)
+                outs = ops.gather(phi_out, out_rows)       # (k+1, d)
+                scores = ops.sigmoid(ops.matmul_nt(ctx, outs))  # (m, k+1)
+                labels = ops.zeros_like(scores)
                 labels[:, 0] = 1.0
-                grad = (labels - scores) * lr              # (m, k+1)
-                phi_in[contexts] = ctx + grad @ outs
-                phi_out[out_rows] = outs + grad.T @ ctx
+                grad = labels - scores                     # (m, k+1)
+                grad *= lr
+                ops.scatter_rows(phi_in, contexts,
+                                 ctx + ops.matmul(grad, outs))
+                ops.scatter_rows(phi_out, out_rows,
+                                 outs + ops.matmul_tn(grad, ctx))
+        self._publish(phi_in, phi_out)
         return tokens
 
 
@@ -203,89 +221,125 @@ class DSGLSlicePlan:
         "ctx_size", "out_size", "ctx_gather", "out_gather",
         "cidx", "oidx", "row_mask", "col_mask",
         "label_flat", "label_offsets", "active_counts", "steps_per_chunk",
-        "_buffers",
+        "_buffers", "_bound",
     )
 
     # ------------------------------------------------------------------ #
 
-    def gather(self, phi_in: np.ndarray, phi_out: np.ndarray):
+    def bind(self, ops: ArrayOps = NUMPY_OPS) -> None:
+        """Adopt the plan's constant tensors on ``ops``'s device.
+
+        The index tensors, gradient masks and label coordinates never
+        depend on the model matrices, so a device backend can stage their
+        uploads (on the CUDA copy stream, via ``ops.staged_upload``-style
+        transfer inside ``const``/``mask``) while the *previous* cohort's
+        kernels are still queued -- the double-buffered half of the slice
+        upload.  On the NumPy backend every call is an identity.
+        """
+        self._bound = (
+            ops.const(self.cidx),
+            ops.const(self.oidx),
+            ops.mask(self.row_mask),
+            ops.mask(self.col_mask),
+            ops.const(self.label_flat),
+        )
+
+    def gather(self, phi_in: np.ndarray, phi_out: np.ndarray,
+               ops: ArrayOps = NUMPY_OPS):
         """Slice-start local buffers of every lifetime, plus a zero scratch
-        row at the end (index ``ctx_size``/``out_size``)."""
+        row at the end (index ``ctx_size``/``out_size``).
+
+        The host-side gather reads the global float32 matrices; ``ops``
+        then adopts the blocks (identity on NumPy, upload on a device
+        backend -- the phi-dependent half of the slice upload, which
+        cannot start before the previous cohort's writeback).
+        """
         d = phi_in.shape[1]
-        ctx_mega = np.empty((self.ctx_size + 1, d), dtype=phi_in.dtype)
-        ctx_mega[:-1] = phi_in[self.ctx_gather]
-        ctx_mega[-1] = 0.0
-        out_mega = np.empty((self.out_size + 1, d), dtype=phi_out.dtype)
-        out_mega[:-1] = phi_out[self.out_gather]
-        out_mega[-1] = 0.0
+        ctx_host = np.empty((self.ctx_size + 1, d), dtype=phi_in.dtype)
+        ctx_host[:-1] = phi_in[self.ctx_gather]
+        ctx_host[-1] = 0.0
+        out_host = np.empty((self.out_size + 1, d), dtype=phi_out.dtype)
+        out_host[:-1] = phi_out[self.out_gather]
+        out_host[-1] = 0.0
+        if self._bound is None:
+            self.bind(ops)
+        ctx_mega = ops.upload(ctx_host)
+        out_mega = ops.upload(out_host)
         # Reusable step workspaces, sized for the widest step: the step
         # kernel writes into views of these instead of allocating.
         c_top = int(self.active_counts[0])
         self._buffers = (
-            np.empty((c_top, self.m_max, d), dtype=phi_in.dtype),
-            np.empty((c_top, self.b_max, d), dtype=phi_out.dtype),
-            np.empty((c_top, self.m_max, self.b_max), dtype=phi_in.dtype),
-            np.empty((c_top, self.m_max, self.b_max), dtype=phi_in.dtype),
-            np.empty((c_top, self.m_max, d), dtype=phi_in.dtype),
-            np.empty((c_top, self.b_max, d), dtype=phi_out.dtype),
+            ops.empty((c_top, self.m_max, d)),
+            ops.empty((c_top, self.b_max, d)),
+            ops.empty((c_top, self.m_max, self.b_max)),
+            ops.empty((c_top, self.m_max, self.b_max)),
+            ops.empty((c_top, self.m_max, d)),
+            ops.empty((c_top, self.b_max, d)),
         )
-        return ctx_mega, ctx_mega.copy(), out_mega, out_mega.copy()
+        ops.join()  # compute must see the staged constant uploads
+        return ctx_mega, ops.clone(ctx_mega), out_mega, ops.clone(out_mega)
 
     def run_step(self, t: int, c: int,
-                 ctx_mega: np.ndarray, out_mega: np.ndarray,
-                 lr: float) -> None:
+                 ctx_mega, out_mega,
+                 lr: float, ops: ArrayOps = NUMPY_OPS) -> None:
         """One lock-step batch update for the first ``c`` lifetime slots.
 
         The shared step kernel: the loop backend calls it on one-lifetime
         plans (``c=1``), the vectorized backend with the whole active
         prefix.  Per-slice matmul results are identical either way (the
         stacked form loops the same GEMM over slices), which is what makes
-        the two executors bit-equal.
+        the two executors bit-equal.  Every primitive flows through
+        ``ops``; the learning rate stays a float64 Python scalar and only
+        meets the buffer dtype at the final scalar multiply.
         """
         buf_ctx, buf_out, buf_sc, buf_gr, buf_cd, buf_od = self._buffers
-        cidx = self.cidx[t, :c]                          # (C, Mmax)
-        oidx = self.oidx[t, :c]                          # (C, Bmax)
+        b_cidx, b_oidx, b_row_mask, b_col_mask, b_label_flat = self._bound
+        cidx = b_cidx[t, :c]                             # (C, Mmax)
+        oidx = b_oidx[t, :c]                             # (C, Bmax)
         ctx_vecs = buf_ctx[:c]                           # (C, Mmax, d)
-        np.take(ctx_mega, cidx, axis=0, out=ctx_vecs)
+        ops.take(ctx_mega, cidx, out=ctx_vecs)
         out_vecs = buf_out[:c]                           # (C, Bmax, d)
-        np.take(out_mega, oidx, axis=0, out=out_vecs)
+        ops.take(out_mega, oidx, out=out_vecs)
         # In-place sigmoid (same elementwise ops as model.sigmoid).
         scores = buf_sc[:c]                              # (C, Mmax, Bmax)
-        np.matmul(ctx_vecs, out_vecs.transpose(0, 2, 1), out=scores)
-        np.clip(scores, -6.0, 6.0, out=scores)
-        np.negative(scores, out=scores)
-        np.exp(scores, out=scores)
-        scores += 1.0
-        np.divide(1.0, scores, out=scores)
+        ops.bmm_nt(ctx_vecs, out_vecs, out=scores)
+        ops.sigmoid_(scores)
         grad = buf_gr[:c]                                # (C, Mmax, Bmax)
-        grad[...] = 0.0
-        positions = self.label_flat[self.label_offsets[t, 0]:
-                                    self.label_offsets[t, c]]
-        grad.reshape(-1)[positions] = 1.0
-        np.subtract(grad, scores, out=grad)              # labels - scores
+        ops.fill_(grad, 0.0)
+        positions = b_label_flat[self.label_offsets[t, 0]:
+                                 self.label_offsets[t, c]]
+        ops.put_flat(grad, positions, 1.0)
+        grad -= scores                                   # labels - scores
         grad *= lr
         # Zero the padding lanes so scratch-row garbage never leaks into a
         # valid row (and the scratch row itself stays zero: its updates
         # reduce to scratch + 0).  Valid lanes multiply by 1.0 -- exact.
-        grad *= self.row_mask[t, :c, :, None]
-        grad *= self.col_mask[t, :c, None, :]
+        grad *= b_row_mask[t, :c, :, None]
+        grad *= b_col_mask[t, :c, None, :]
         ctx_delta = buf_cd[:c]
-        np.matmul(grad, out_vecs, out=ctx_delta)
+        ops.bmm(grad, out_vecs, out=ctx_delta)
         out_delta = buf_od[:c]
-        np.matmul(grad.transpose(0, 2, 1), ctx_vecs, out=out_delta)
+        ops.bmm_tn(grad, ctx_vecs, out=out_delta)
         ctx_vecs += ctx_delta
         out_vecs += out_delta
-        ctx_mega[cidx] = ctx_vecs
-        out_mega[oidx] = out_vecs
+        ops.scatter_rows(ctx_mega, cidx, ctx_vecs)
+        ops.scatter_rows(out_mega, oidx, out_vecs)
 
     def apply_writeback(self, phi_in: np.ndarray, phi_out: np.ndarray,
-                        ctx_mega: np.ndarray, ctx_start: np.ndarray,
-                        out_mega: np.ndarray, out_start: np.ndarray) -> None:
-        """Delta-sum every lifetime's buffer back into the global matrices."""
+                        ctx_mega, ctx_start,
+                        out_mega, out_start,
+                        ops: ArrayOps = NUMPY_OPS) -> None:
+        """Delta-sum every lifetime's buffer back into the global matrices.
+
+        Deltas are downloaded to the host first (a view on CPU backends,
+        the device→host sync point on CUDA) and merged through the shared
+        :func:`merge_deltas`, so reconciliation arithmetic -- including
+        duplicate-row accumulation order -- is identical across backends.
+        """
         ctx_mega -= ctx_start        # buffers are dead after the writeback
         out_mega -= out_start
-        merge_deltas(phi_in, self.ctx_gather, ctx_mega[:-1])
-        merge_deltas(phi_out, self.out_gather, out_mega[:-1])
+        merge_deltas(phi_in, self.ctx_gather, ops.download(ctx_mega)[:-1])
+        merge_deltas(phi_out, self.out_gather, ops.download(out_mega)[:-1])
 
 
 def merge_deltas(phi: np.ndarray, rows: np.ndarray,
@@ -298,35 +352,18 @@ def merge_deltas(phi: np.ndarray, rows: np.ndarray,
     of the cross-machine delta reconciliation in
     :mod:`repro.embedding.sync`.  Shared by both executors, which makes
     the reconciliation arithmetic backend-independent.
+
+    The accumulation order for rows contested by several lifetimes is
+    pinned by :func:`repro.embedding.ops.sum_duplicate_rows` (stable sort
+    gathering each row's deltas in original lifetime order, one
+    ``reduceat`` segment per row, one ``+=`` per row) -- the same routine
+    every CPU backend's ``index_add`` calls, so ties reconcile
+    identically on numpy and torch.
     """
     if not rows.size:
         return
-    order = np.argsort(rows, kind="stable")
-    rows_sorted = rows[order]
-    new = np.empty(rows.size, dtype=bool)
-    new[0] = True
-    np.not_equal(rows_sorted[1:], rows_sorted[:-1], out=new[1:])
-    starts = np.flatnonzero(new)
-    deltas = deltas[order]
-    sizes = np.empty(starts.size, dtype=np.int64)
-    sizes[:-1] = starts[1:] - starts[:-1]
-    sizes[-1] = deltas.shape[0] - starts[-1]
-    merged = np.empty((starts.size, deltas.shape[1]), dtype=deltas.dtype)
-    single = sizes == 1
-    # Rows touched by one lifetime (the common case) copy straight
-    # through; only contested rows pay the segmented reduction.
-    merged[single] = deltas[starts[single]]
-    multi = np.flatnonzero(~single)
-    if multi.size:
-        seg_starts = starts[multi]
-        seg_sizes = sizes[multi]
-        excl = np.zeros(multi.size, dtype=np.int64)
-        np.cumsum(seg_sizes[:-1], out=excl[1:])
-        gather = (np.arange(int(seg_sizes.sum()), dtype=np.int64)
-                  - np.repeat(excl, seg_sizes)
-                  + np.repeat(seg_starts, seg_sizes))
-        merged[multi] = np.add.reduceat(deltas[gather], excl, axis=0)
-    phi[rows_sorted[starts]] += merged
+    urows, merged = sum_duplicate_rows(rows, deltas)
+    phi[urows] += merged
 
 
 def _chunk_ranks(values: np.ndarray, segment_of: np.ndarray,
@@ -435,6 +472,7 @@ def plan_dsgl_slice(learner: BaseLearner,
     wl_base_arr = np.asarray(wl_base, dtype=np.int64)
 
     plan = DSGLSlicePlan()
+    plan._bound = None
     plan.tokens = tokens
     plan.ctx_gather = ctx_gather
     plan.out_gather = out_gather
@@ -569,21 +607,43 @@ class VectorizedDSGLLearner(BaseLearner):
     name = "dsgl"
 
     def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
+        ops = self.ops
         phi_in, phi_out = self.model.phi_in, self.model.phi_out
+        cohort = self._cohort_walks()
+        spans = list(range(0, len(walks), cohort))
         tokens = 0
-        for start in range(0, len(walks), self._cohort_walks()):
+
+        def plan_span(i: int):
+            # Planning never reads the matrices (negatives come from the
+            # counter stream, layouts from walk lengths), so cohort i+1
+            # can be planned -- and its constant tensors staged onto the
+            # device copy stream via bind() -- while cohort i's kernels
+            # are still queued.  Plans are built strictly in cohort
+            # order, which keeps negative-stream consumption, and hence
+            # backend parity, unchanged.
             cohort_tokens, plan = plan_dsgl_slice(
-                self, walks[start:start + self._cohort_walks()])
+                self, walks[spans[i]:spans[i] + cohort])
+            if plan is not None:
+                plan.bind(ops)
+            return cohort_tokens, plan
+
+        current = plan_span(0) if spans else (0, None)
+        for i in range(len(spans)):
+            cohort_tokens, plan = current
             tokens += cohort_tokens
             if plan is None:
+                current = plan_span(i + 1) if i + 1 < len(spans) else (0, None)
                 continue
-            ctx_mega, ctx_start, out_mega, out_start = plan.gather(phi_in,
-                                                                   phi_out)
+            ctx_mega, ctx_start, out_mega, out_start = plan.gather(
+                phi_in, phi_out, ops)
             for t in range(plan.num_steps):
                 plan.run_step(t, int(plan.active_counts[t]),
-                              ctx_mega, out_mega, lr)
+                              ctx_mega, out_mega, lr, ops)
+            # Double buffering: stage the next cohort before this one's
+            # delta download forces a device sync.
+            current = plan_span(i + 1) if i + 1 < len(spans) else (0, None)
             plan.apply_writeback(phi_in, phi_out, ctx_mega, ctx_start,
-                                 out_mega, out_start)
+                                 out_mega, out_start, ops)
         return tokens
 
     def _cohort_walks(self) -> int:

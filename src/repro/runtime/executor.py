@@ -716,8 +716,12 @@ def _train_learner_for(machine: int):
         model.phi_out = _WORKER_STATE["train_phi_out"][machine]
         model.vocab = _WORKER_STATE["train_vocab"]
         model.dim = int(model.phi_in.shape[1])
+        # "torch" shares the batched-learner registry: workers resolve
+        # their array-ops from the (parent-validated) config, so a missing
+        # torch install can never surface as an opaque worker crash here.
         registry = (VECTORIZED_LEARNERS
-                    if _WORKER_STATE["train_backend"] == "vectorized"
+                    if _WORKER_STATE["train_backend"] in ("vectorized",
+                                                          "torch")
                     else LEARNERS)
         # The generator argument is never consumed under the shared
         # protocol (negatives come from the counter stream; subsampling

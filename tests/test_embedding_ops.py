@@ -1,0 +1,242 @@
+"""The array-ops seam: dup-row determinism, dtype guards, eager gates.
+
+Tier-1 coverage for :mod:`repro.embedding.ops` that runs without torch:
+
+* the eager ``TrainConfig`` validation of the optional torch backend --
+  a missing install must fail at config-resolve time with the pip hint,
+  for every executor (the process/pipeline workers reconstruct learners
+  from a config the *parent* already validated);
+* :func:`sum_duplicate_rows` / :func:`merge_deltas` accumulation-order
+  contract -- repeated destination rows reduce left-to-right in input
+  order, byte-identical to a sequential reference loop (property-tested);
+* the ``NumpyOps`` float64 tier (the reference the torch-CPU tier is
+  pinned against) and the identity fast path of the default float32 ops;
+* :func:`repro.embedding.schedules.progress64` -- the lr schedule input
+  must be dtype-independent no matter who counted the tokens.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.embedding.model import TrainConfig
+from repro.embedding.ops import (
+    NUMPY_OPS,
+    NumpyOps,
+    TORCH_INSTALL_HINT,
+    resolve_ops,
+    sum_duplicate_rows,
+    torch_available,
+)
+from repro.embedding.schedules import SCHEDULES, make_schedule, progress64
+from repro.embedding.vectorized import merge_deltas
+
+needs_missing_torch = pytest.mark.skipif(
+    torch_available(),
+    reason="torch is installed; the missing-dependency gate cannot fire",
+)
+
+
+class TestEagerBackendValidation:
+    """Satellite 1: backend knobs fail at config-resolve time."""
+
+    @needs_missing_torch
+    def test_torch_backend_raises_install_hint(self):
+        with pytest.raises(ValueError, match="pip install torch"):
+            TrainConfig(backend="torch")
+
+    @needs_missing_torch
+    @pytest.mark.parametrize("execution", ["serial", "process", "pipeline"])
+    def test_gate_fires_before_any_worker(self, execution):
+        """Process/pipeline runs fail in the parent, not inside a fork.
+
+        The executors pickle an already-constructed config to workers, so
+        validation at ``__post_init__`` is the last (and only) gate that
+        runs in the parent process -- it must cover every executor.
+        """
+        with pytest.raises(ValueError, match="pip install torch"):
+            TrainConfig(backend="torch", execution=execution, workers=2)
+
+    def test_install_hint_is_actionable(self):
+        assert "pip install torch" in TORCH_INSTALL_HINT
+
+    def test_backend_options_list_torch(self):
+        with pytest.raises(ValueError, match="torch"):
+            TrainConfig(backend="gpu")
+
+    @pytest.mark.parametrize("field,bad", [("torch_device", "gpu"),
+                                           ("torch_dtype", "half")])
+    def test_invalid_torch_knobs(self, field, bad):
+        with pytest.raises(ValueError, match=bad):
+            TrainConfig(**{field: bad})
+
+    def test_torch_requires_shared_protocol(self):
+        """Protocol check fires first, so it works with torch absent."""
+        with pytest.raises(ValueError, match="shared"):
+            TrainConfig(backend="torch", rng_protocol="cluster")
+
+    def test_resolve_ops_defaults_to_numpy_singleton(self):
+        for cfg in (TrainConfig(), TrainConfig(backend="vectorized"),
+                    TrainConfig(backend="loop"), None):
+            assert resolve_ops(cfg) is NUMPY_OPS
+
+
+def reference_merge(rows, deltas):
+    """Sequential left-to-right accumulation -- the pinned order."""
+    acc = {}
+    for row, delta in zip(rows.tolist(), deltas):
+        if row in acc:
+            acc[row] = acc[row] + delta
+        else:
+            acc[row] = delta.copy()
+    urows = np.array(sorted(acc), dtype=rows.dtype)
+    merged = np.stack([acc[int(r)] for r in urows]) if urows.size else \
+        np.empty((0, deltas.shape[1]), dtype=deltas.dtype)
+    return urows, merged
+
+
+def deltas_for(rows, dim=5):
+    """Deterministic float32 deltas whose sum is order-sensitive."""
+    rng = np.random.default_rng(rows.size * 31 + 7)
+    scale = 10.0 ** rng.integers(-3, 4, size=(rows.size, 1))
+    return (rng.standard_normal((rows.size, dim)) * scale).astype(np.float32)
+
+
+class TestDuplicateRowAccumulation:
+    """Satellite 2: repeated rows reconcile in pinned input order."""
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    def test_matches_sequential_reference(self, row_list):
+        rows = np.asarray(row_list, dtype=np.int64)
+        deltas = deltas_for(rows)
+        urows, merged = sum_duplicate_rows(rows, deltas)
+        ref_rows, ref_merged = reference_merge(rows, deltas)
+        np.testing.assert_array_equal(urows, ref_rows)
+        # Mathematically the sequential sum; bitwise only the association
+        # differs (reduceat's, pinned) -- so compare at float32 ulp scale.
+        np.testing.assert_allclose(merged, ref_merged, rtol=1e-5,
+                                   atol=1e-5)
+
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    def test_row_result_depends_on_own_subsequence_only(self, row_list):
+        """The bitwise contract: a row's merge is a pure function of its
+        own delta subsequence in input order, however other rows
+        interleave -- reduce each row's subsequence alone and the full
+        interleaved input must produce the identical bytes.
+        """
+        rows = np.asarray(row_list, dtype=np.int64)
+        deltas = deltas_for(rows)
+        urows, merged = sum_duplicate_rows(rows, deltas)
+        for i, row in enumerate(urows.tolist()):
+            mask = rows == row
+            alone_rows, alone = sum_duplicate_rows(rows[mask], deltas[mask])
+            assert alone_rows.tolist() == [row]
+            np.testing.assert_array_equal(merged[i], alone[0])
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    def test_merge_deltas_applies_pinned_merge(self, row_list):
+        rows = np.asarray(row_list, dtype=np.int64)
+        deltas = deltas_for(rows)
+        phi_fast = np.zeros((8, deltas.shape[1]), dtype=np.float32)
+        merge_deltas(phi_fast, rows, deltas)
+        phi_ref = np.zeros_like(phi_fast)
+        ref_rows, ref_merged = sum_duplicate_rows(rows, deltas)
+        phi_ref[ref_rows] += ref_merged
+        np.testing.assert_array_equal(phi_fast, phi_ref)
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=40))
+    def test_index_add_same_contract(self, row_list):
+        """``ops.index_add`` follows the identical tie semantics."""
+        rows = np.asarray(row_list, dtype=np.int64)
+        deltas = deltas_for(rows)
+        dst = np.zeros((8, deltas.shape[1]), dtype=np.float32)
+        NUMPY_OPS.index_add(dst, rows, deltas)
+        ref = np.zeros_like(dst)
+        merge_deltas(ref, rows, deltas)
+        np.testing.assert_array_equal(dst, ref)
+
+    def test_empty_rows_noop(self):
+        phi = np.ones((3, 2), dtype=np.float32)
+        merge_deltas(phi, np.empty(0, dtype=np.int64),
+                     np.empty((0, 2), dtype=np.float32))
+        np.testing.assert_array_equal(phi, np.ones((3, 2), np.float32))
+
+    def test_single_occurrence_rows_copy_through(self):
+        rows = np.array([4, 1, 6], dtype=np.int64)
+        deltas = np.arange(9, dtype=np.float32).reshape(3, 3)
+        urows, merged = sum_duplicate_rows(rows, deltas)
+        np.testing.assert_array_equal(urows, [1, 4, 6])
+        np.testing.assert_array_equal(merged, deltas[[1, 0, 2]])
+
+
+class TestNumpyOpsTiers:
+    """The f32 default is identity-cheap; the f64 tier is a real cast."""
+
+    def test_default_upload_is_identity(self):
+        host = np.zeros((4, 3), dtype=np.float32)
+        assert NUMPY_OPS.upload(host) is host
+        assert NUMPY_OPS.download(host) is host
+
+    def test_f64_tier_round_trip(self):
+        ops = NumpyOps(dtype=np.float64)
+        host = np.arange(6, dtype=np.float32).reshape(2, 3)
+        dev = ops.upload(host)
+        assert dev.dtype == np.float64
+        assert dev is not host
+        np.testing.assert_array_equal(ops.download(dev), host)
+
+    @pytest.mark.parametrize("dtype", [np.float32, np.float64])
+    def test_sigmoid_matches_closed_form(self, dtype):
+        ops = NumpyOps(dtype=dtype)
+        x = np.linspace(-12, 12, 97, dtype=dtype).reshape(1, 97)
+        got = ops.sigmoid(ops.upload(x))
+        want = 1.0 / (1.0 + np.exp(-np.clip(x.astype(np.float64), -6, 6)))
+        np.testing.assert_allclose(got, want, atol=1e-6)
+        inplace = ops.upload(x).copy()
+        ops.sigmoid_(inplace)
+        np.testing.assert_array_equal(inplace, got)
+
+    def test_matmul_family_shapes(self):
+        ops = NumpyOps(dtype=np.float64)
+        a = ops.upload(np.random.default_rng(0).standard_normal((4, 3)))
+        b = ops.upload(np.random.default_rng(1).standard_normal((5, 3)))
+        np.testing.assert_allclose(ops.matmul_nt(a, b), a @ b.T)
+        np.testing.assert_allclose(ops.matmul_tn(a[:, :2].copy(), a),
+                                   a[:, :2].T @ a)
+
+
+class TestProgress64:
+    """Satellite 3: lr progress is float64 whatever counted the tokens."""
+
+    @pytest.mark.parametrize("cast", [int, np.int32, np.int64,
+                                      np.float32, np.float64])
+    def test_dtype_independent(self, cast):
+        assert progress64(cast(12345), cast(54321)) \
+            == progress64(12345, 54321)
+        assert isinstance(progress64(cast(3), cast(7)), float)
+
+    def test_float32_would_have_drifted(self):
+        """The guard matters: a float32 ratio differs at these counts."""
+        done, total = 11184811, 33554467
+        exact = progress64(done, total)
+        drifted = float(np.float32(done) / np.float32(total))
+        assert exact != drifted
+        assert abs(exact - done / total) == 0.0
+
+    def test_zero_total_guard(self):
+        assert progress64(0, 0) == 0.0
+        assert progress64(5, 0) == 5.0  # max(1, 0) == 1 floor
+
+    @pytest.mark.parametrize("name", sorted(SCHEDULES))
+    def test_schedules_see_identical_progress(self, name):
+        schedule = make_schedule(name, lr=0.05)
+        for done in (0, 1, 999, 54321):
+            assert schedule(progress64(np.float32(done), np.int32(54321))) \
+                == schedule(progress64(done, 54321))
