@@ -39,6 +39,12 @@ from repro.api import (
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import load as load_dataset
 from repro.graph.datasets import load_suite
+from repro.persona import (
+    PersonaConfig,
+    PersonaResult,
+    embed_persona_graph,
+    persona_pair_scores,
+)
 from repro.systems import (
     ALL_SYSTEMS,
     SystemComparison,
@@ -63,6 +69,8 @@ __all__ = [
     "HuGED",
     "KnightKing",
     "PBG",
+    "PersonaConfig",
+    "PersonaResult",
     "SystemComparison",
     "SystemResult",
     "__version__",
@@ -70,7 +78,9 @@ __all__ = [
     "available_methods",
     "compare_systems",
     "embed_graph",
+    "embed_persona_graph",
     "load_dataset",
     "load_suite",
+    "persona_pair_scores",
     "serve_embeddings",
 ]

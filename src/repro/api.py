@@ -187,6 +187,7 @@ def embed_graph(
     epochs: int = 2,
     seed: int = 0,
     kernel: Optional[str] = None,
+    persona=None,
     **system_kwargs,
 ) -> SystemResult:
     """Embed ``graph`` with one of the reproduced systems.
@@ -203,6 +204,14 @@ def embed_graph(
     kernel:
         For the walk-based systems: ``"huge"`` (default), ``"huge+"``,
         ``"deepwalk"`` or ``"node2vec"`` -- the §6.6 generic API.
+    persona:
+        A :class:`repro.persona.PersonaConfig` switches to the Splitter
+        persona workload (walk-based methods only): ego-net splitting,
+        then persona-regularized training anchored to a base-graph
+        prior.  The call then returns a
+        :class:`repro.persona.PersonaResult` (persona-space embeddings
+        plus the persona↔base mapping) instead of a ``SystemResult``;
+        :func:`repro.embed_persona_graph` is the direct entry point.
     system_kwargs:
         Forwarded to the selected system's constructor.  For the
         walk-based systems, flat training hyper-parameters (``lr``,
@@ -232,6 +241,13 @@ def embed_graph(
     key = method.lower()
     if key not in _METHODS:
         raise KeyError(f"unknown method {method!r}; options: {sorted(_METHODS)}")
+    if persona is not None:
+        from repro.persona import embed_persona_graph
+
+        return embed_persona_graph(
+            graph, method=method, num_machines=num_machines, dim=dim,
+            epochs=epochs, seed=seed, kernel=kernel, persona=persona,
+            **system_kwargs)
     cls = _METHODS[key]
     kwargs = dict(num_machines=num_machines, dim=dim, epochs=epochs,
                   seed=seed, **_route_overrides(key, dict(system_kwargs)))

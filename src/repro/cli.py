@@ -23,6 +23,8 @@ Examples::
     python -m repro embed --dataset LJ --method distger --dim 64 \
         --out /tmp/lj.emb
     python -m repro embed --edges graph.txt --method knightking
+    python -m repro embed --dataset FL --persona --persona-lam 0.1 \
+        --out /tmp/fl_persona.emb
     python -m repro update --dataset FL --churn 0.01 --out /tmp/fl.emb
     python -m repro update --dataset FL --stream edits.txt
     python -m repro evaluate --dataset LJ --method distger --trials 3
@@ -169,26 +171,49 @@ def _backend_kwargs(args) -> dict:
 
 
 def cmd_embed(args) -> int:
-    if args.save_corpus and args.method not in walk_methods():
+    if (args.save_corpus or args.persona) and \
+            args.method not in walk_methods():
         # Fail before the (potentially long) run, not after it.
+        flag = "--save-corpus" if args.save_corpus else "--persona"
         print(f"error: method {args.method!r} samples no walk corpus; "
-              f"--save-corpus applies to {', '.join(walk_methods())}",
+              f"{flag} applies to {', '.join(walk_methods())}",
               file=sys.stderr)
         return 2
     graph = _load_graph(args)
     print(f"Embedding |V|={graph.num_nodes}, |E|={graph.num_edges} "
           f"with {args.method} on {args.machines} simulated machines ...")
-    result = embed_graph(graph, method=args.method,
-                         num_machines=args.machines, dim=args.dim,
-                         epochs=args.epochs, seed=args.seed,
-                         kernel=args.kernel, **_backend_kwargs(args))
+    if args.persona:
+        from repro.persona import PersonaConfig
+
+        persona = embed_graph(graph, method=args.method,
+                              num_machines=args.machines, dim=args.dim,
+                              epochs=args.epochs, seed=args.seed,
+                              kernel=args.kernel,
+                              persona=PersonaConfig(lam=args.persona_lam),
+                              **_backend_kwargs(args))
+        result = persona.result
+        print(f"persona split: {persona.num_personas} personas over "
+              f"{graph.num_nodes} nodes (lambda={args.persona_lam})")
+    else:
+        persona = None
+        result = embed_graph(graph, method=args.method,
+                             num_machines=args.machines, dim=args.dim,
+                             epochs=args.epochs, seed=args.seed,
+                             kernel=args.kernel, **_backend_kwargs(args))
     print(f"done in {result.wall_seconds:.2f}s wall "
           f"({result.simulated_seconds:.3f}s simulated); "
           f"{result.metrics.messages_sent} walker messages, "
           f"{result.metrics.sync_bytes / 1e6:.1f} MB sync traffic")
     if args.out:
-        save_embeddings(args.out, result.embeddings)
-        print(f"embeddings written to {args.out}")
+        if persona is not None:
+            # Per-persona rows don't fit the one-row-per-node text
+            # format; publish the per-base mean (the single-embedding
+            # projection).  Persona-resolution consumers use the API.
+            save_embeddings(args.out, persona.base_embeddings())
+            print(f"base-node mean embeddings written to {args.out}")
+        else:
+            save_embeddings(args.out, result.embeddings)
+            print(f"embeddings written to {args.out}")
     if args.save_corpus:
         result.corpus.save(args.save_corpus)
         print(f"walk corpus ({result.corpus.num_walks} walks, "
@@ -481,6 +506,16 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the sampled walk corpus: flat npz "
                               "(token block + offsets) by default, legacy "
                               "text when FILE ends in .txt")
+    p_embed.add_argument("--persona", action="store_true",
+                         help="Splitter persona workload: ego-net split "
+                              "the graph, train persona embeddings "
+                              "anchored to a base-graph prior (walk-based "
+                              "methods only); --out saves the per-base "
+                              "mean vectors")
+    p_embed.add_argument("--persona-lam", type=float, default=0.1,
+                         metavar="LAMBDA",
+                         help="anchor regularizer weight for --persona "
+                              "(default: 0.1; 0 disables anchoring)")
     p_embed.set_defaults(func=cmd_embed)
 
     p_update = sub.add_parser(

@@ -1,0 +1,90 @@
+"""Persona anchor regularizer (Splitter's second objective term).
+
+Splitter (Epasto & Perozzi) trains persona embeddings with the usual
+Skip-Gram objective over persona walks **plus** a regularizer that
+anchors each persona's input vector to its base node's *prior* embedding
+(the vanilla embedding of the original graph):
+
+    L_reg = -λ Σ_p log σ(φ_in[p] · prior[base_of[p]])
+
+One ascent step on that term pulls every touched persona row toward its
+anchor, ``φ_in[p] += lr·λ·(1 − σ(φ_in[p]·a_p))·a_p`` -- implemented as
+:meth:`repro.embedding.ops.ArrayOps.anchor_pull` so every trainer
+backend (NumPy, torch-CPU parity tier, CUDA quality tier) gets it
+through the same seam as the SGNS update itself.
+
+The trainer applies the pull once per training slice over the slice's
+unique rows (after the slice's SGNS updates), on every executor --
+serial, process and pipeline interleave it identically, so the byte
+contracts survive.  With ``lam == 0`` (or no anchor at all) the learner
+returns before touching any ops, making the λ=0 path *trivially*
+byte-identical to a plain run -- the parity gate
+``tests/test_persona_training.py`` pins.
+
+:class:`AnchorRegularizer` carries anchors in **node-id space** (how
+callers hold embeddings); the trainer scatters them into the vocabulary's
+row space once per run, exactly like warm starts.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+import numpy as np
+
+
+class RowAnchor(NamedTuple):
+    """Row-space anchor matrix + weight, as attached to learners.
+
+    ``matrix`` is ``(vocab.size, dim)`` float32, aligned with the model
+    matrices (``matrix[row]`` anchors ``phi_in[row]``); rows of nodes
+    without an anchor are zero, which makes their pull exactly zero.
+    """
+
+    matrix: np.ndarray
+    lam: float
+
+
+class AnchorRegularizer:
+    """Node-space anchors for persona-regularized training.
+
+    Parameters
+    ----------
+    anchors:
+        ``(n, dim)`` prior vectors in node-id space -- for persona runs,
+        ``prior[base_of]`` (every persona anchored to its base node's
+        prior embedding).  Adopted as float32 (the model dtype).
+    lam:
+        The regularizer weight λ.  ``0.0`` disables the pull entirely
+        (byte-identical to training without an anchor).
+    """
+
+    def __init__(self, anchors: np.ndarray, lam: float) -> None:
+        anchors = np.ascontiguousarray(anchors, dtype=np.float32)
+        if anchors.ndim != 2:
+            raise ValueError(
+                f"anchors must be 2-D (nodes, dim); got {anchors.shape}")
+        if not np.isfinite(lam) or lam < 0.0:
+            raise ValueError(f"lam must be a finite non-negative weight; "
+                             f"got {lam}")
+        self.anchors = anchors
+        self.lam = float(lam)
+
+    @property
+    def dim(self) -> int:
+        return int(self.anchors.shape[1])
+
+    def row_space(self, vocab, dim: int) -> np.ndarray:
+        """Scatter the node-space anchors into vocabulary row space.
+
+        Mirrors :func:`repro.embedding.trainer.seed_model_from_warm_start`:
+        only the common id prefix carries over (ids beyond the anchor
+        matrix keep a zero anchor, i.e. no pull).
+        """
+        if self.dim != dim:
+            raise ValueError(
+                f"anchor dim {self.dim} does not match training dim {dim}")
+        out = np.zeros((vocab.size, dim), dtype=np.float32)
+        n = min(self.anchors.shape[0], vocab.size)
+        out[vocab.node_to_row[:n]] = self.anchors[:n]
+        return out

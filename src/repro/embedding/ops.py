@@ -244,6 +244,36 @@ class ArrayOps:
         """Fresh outer product of two vectors."""
         raise NotImplementedError
 
+    def rowwise_dot(self, a, b):
+        """Fresh per-row dot products of two equal-shape 2-D buffers."""
+        raise NotImplementedError
+
+    def anchor_pull(self, dst, rows, anchors, scale) -> None:
+        """``dst[rows] += scale * (1 - sigmoid(dst[rows] . anchors)) * anchors``
+
+        The persona-regularizer step (Splitter's anchor term): each
+        selected row is pulled toward its anchor vector with strength
+        proportional to how far the row's logit against the anchor is
+        from saturation.  ``rows`` is a host int64 array (expected
+        duplicate-free -- the learner passes the unique rows of a
+        slice); ``anchors`` is row-aligned with ``rows`` (``(len(rows),
+        d)`` backend buffer); ``scale`` is a Python float (``lr * λ``).
+
+        The default composes existing primitives, so every backend
+        inherits it with its own parity/quality contract: the reduction
+        (:meth:`rowwise_dot`) and transcendental (:meth:`sigmoid`)
+        follow the backend's routing (host BLAS/libm on the CPU tiers),
+        the remaining arithmetic is exact elementwise, and the
+        accumulation goes through :meth:`index_add`'s pinned order --
+        which makes torch-CPU byte-equal to NumPy here by construction,
+        same as the training step itself.
+        """
+        current = self.gather(dst, rows)
+        coeff = self.sigmoid(self.rowwise_dot(current, anchors))
+        # (1 - σ) * scale, exact elementwise on either backend's buffers.
+        coeff = (1.0 - coeff) * scale
+        self.index_add(dst, rows, coeff[:, None] * anchors)
+
     def bmm(self, a, b, out) -> None:
         """Stacked ``out = a @ b`` over the leading axis."""
         raise NotImplementedError
@@ -348,6 +378,9 @@ class NumpyOps(ArrayOps):
 
     def outer(self, a, b):
         return np.outer(a, b)
+
+    def rowwise_dot(self, a, b):
+        return np.einsum("ij,ij->i", a, b)
 
     def bmm(self, a, b, out) -> None:
         np.matmul(a, b, out=out)
@@ -546,6 +579,15 @@ class TorchOps(ArrayOps):
         if self.is_cpu:
             return self.torch.from_numpy(np.outer(self._np(a), self._np(b)))
         return self.torch.outer(a, b)
+
+    def rowwise_dot(self, a, b):
+        if self.is_cpu:
+            # Same einsum reduction (and therefore the same bytes) as the
+            # NumPy backend -- this is a reduction, so it routes through
+            # the host views like the matmuls above.
+            return self.torch.from_numpy(
+                np.einsum("ij,ij->i", self._np(a), self._np(b)))
+        return (a * b).sum(dim=1)
 
     def bmm(self, a, b, out) -> None:
         if self.is_cpu:

@@ -60,10 +60,40 @@ class BaseLearner:
         self.rng = rng
         self.neg_stream = neg_stream
         self.ops = ops if ops is not None else resolve_ops(config)
+        # Optional persona regularizer (repro.embedding.anchor.RowAnchor);
+        # trainers attach it after construction.
+        self.anchor = None
 
     def train_walks(self, walks: Sequence[np.ndarray], lr: float) -> int:
         """Train on ``walks`` at learning rate ``lr``; return tokens used."""
         raise NotImplementedError
+
+    def apply_anchor(self, walks: Sequence[np.ndarray], lr: float) -> None:
+        """One anchor-pull step over the unique rows touched by ``walks``.
+
+        Splitter's persona regularizer: each touched row's φ_in is pulled
+        toward its anchor with step ``lr * lam`` (see
+        :mod:`repro.embedding.anchor`).  Trainers call this once per
+        training slice, right after :meth:`train_walks`, identically on
+        every executor.  Without an anchor (or with ``lam == 0``) this
+        returns before touching any ops, keeping the plain path
+        byte-identical.
+        """
+        anchor = self.anchor
+        if anchor is None or anchor.lam <= 0.0 or len(walks) == 0:
+            return
+        nodes = np.unique(np.concatenate([np.asarray(w) for w in walks]))
+        if nodes.size == 0:
+            return
+        rows = np.unique(self._rows(nodes))
+        phi_in = self.ops.upload(self.model.phi_in)
+        self.ops.anchor_pull(phi_in, rows,
+                             self.ops.upload(anchor.matrix[rows]),
+                             lr * anchor.lam)
+        host = self.ops.download(phi_in)
+        dst = self.model.phi_in
+        if not (host is dst or np.shares_memory(host, dst)):
+            np.copyto(dst, host.astype(dst.dtype, copy=False))
 
     # Shared helpers ----------------------------------------------------- #
 

@@ -57,6 +57,7 @@ from typing import Dict, List, NamedTuple, Optional, Sequence, Type
 
 import numpy as np
 
+from repro.embedding.anchor import AnchorRegularizer, RowAnchor
 from repro.embedding.dsgl import DSGLLearner
 from repro.embedding.model import EmbeddingModel, TrainConfig
 from repro.embedding.negative import NegativeSampler
@@ -164,6 +165,7 @@ class DistributedTrainer:
         walk_machines: Optional[Sequence[int]] = None,
         feed: Optional["CorpusFeed"] = None,
         warm_start: Optional[WarmStart] = None,
+        anchor: Optional[AnchorRegularizer] = None,
     ) -> None:
         if learner not in LEARNERS:
             raise KeyError(f"unknown learner {learner!r}; options: "
@@ -194,6 +196,10 @@ class DistributedTrainer:
         #: replicas are cloned (and before the process executor shares
         #: them), so every execution mode trains from identical bytes.
         self.warm_start = warm_start
+        #: Persona anchor regularizer (node-id space); converted to row
+        #: space once the corpus vocabulary is known and applied after
+        #: every training slice (:mod:`repro.embedding.anchor`).
+        self.anchor = anchor
 
     # ------------------------------------------------------------------ #
 
@@ -298,11 +304,20 @@ class DistributedTrainer:
                             if self.backend in ("vectorized", "torch")
                             else LEARNERS)
         learner_cls = learner_registry[self.learner_name]
+        # Persona regularizer: scatter node-space anchors into this
+        # corpus's row space once (same id-prefix rule as warm starts).
+        # A zero λ drops the anchor entirely so the plain byte path runs.
+        row_anchor = None
+        if self.anchor is not None and self.anchor.lam > 0.0:
+            row_anchor = RowAnchor(self.anchor.row_space(vocab, cfg.dim),
+                                   self.anchor.lam)
         learners = [
             learner_cls(replicas[i], sampler, cfg, rngs[i],
                         neg_stream=neg_streams[i])
             for i in range(m)
         ]
+        for learner in learners:
+            learner.anchor = row_anchor
         sync = make_sync(cfg.sync_mode)
         sync.start(replicas)
         shards = self._shards()
@@ -326,7 +341,8 @@ class DistributedTrainer:
                 replicas, vocab, cfg, self.learner_name, self.backend,
                 [stream.key for stream in neg_streams],
                 corpus=self.corpus if keep is None else None,
-                shards=shards if keep is None else None)
+                shards=shards if keep is None else None,
+                anchor=row_anchor)
         # Descriptor-shipping rounds never materialise walks in the
         # parent: slice spans are sized from the offsets table alone so
         # a file-backed corpus's token pages are only ever faulted by
@@ -396,10 +412,14 @@ class DistributedTrainer:
                     if process_trainer is not None and plans:
                         used_by_machine = process_trainer.train_round(plans)
                     else:
-                        used_by_machine = {
-                            machine: learners[machine].train_walks(batch, lr)
-                            for machine, batch, lr, _span in plans
-                        }
+                        used_by_machine = {}
+                        for machine, batch, lr, _span in plans:
+                            used_by_machine[machine] = \
+                                learners[machine].train_walks(batch, lr)
+                            # Persona pull over this slice's touched rows
+                            # (no-op without an anchor) -- same
+                            # train-then-anchor order as the executors.
+                            learners[machine].apply_anchor(batch, lr)
                     for machine, _batch, _lr, _span in plans:
                         # Compute cost: one fused update per token per
                         # (window x (K+1)) dot products, matching §2.1's

@@ -19,6 +19,7 @@ from repro.graph.generators import (
     community_graph,
     erdos_renyi,
     multi_labels_from_communities,
+    overlapping_community_graph,
     path,
     planted_partition,
     powerlaw_cluster,
@@ -40,10 +41,13 @@ from repro.graph.sampling import (
     snowball_sample,
 )
 from repro.graph.transform import (
+    PersonaGraph,
     core_number,
+    ego_net_communities,
     induced_subgraph,
     k_core,
     largest_component_subgraph,
+    persona_graph,
 )
 from repro.graph.stats import (
     approximate_diameter,
@@ -66,6 +70,7 @@ __all__ = [
     "Dataset",
     "LABELLED_DATASETS",
     "LINK_PREDICTION_DATASETS",
+    "PersonaGraph",
     "approximate_diameter",
     "average_degree",
     "barabasi_albert",
@@ -78,6 +83,7 @@ __all__ = [
     "degree_gini",
     "degree_histogram",
     "density",
+    "ego_net_communities",
     "erdos_renyi",
     "induced_subgraph",
     "k_core",
@@ -88,7 +94,9 @@ __all__ = [
     "load_graph_npz",
     "load_suite",
     "multi_labels_from_communities",
+    "overlapping_community_graph",
     "path",
+    "persona_graph",
     "planted_partition",
     "power_law_exponent",
     "powerlaw_cluster",

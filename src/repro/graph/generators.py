@@ -274,6 +274,73 @@ def community_graph(
     return graph, comm
 
 
+def overlapping_community_graph(
+    num_nodes: int,
+    num_communities: int,
+    overlap_fraction: float = 0.5,
+    within_degree: float = 8.0,
+    cross_degree: float = 0.2,
+    seed: SeedLike = None,
+) -> Tuple[CSRGraph, np.ndarray]:
+    """Dense communities with a planted *overlap* -- the persona workload.
+
+    Every node gets a primary community (round-robin, so sizes are
+    balanced); ``overlap_fraction`` of nodes additionally join a second
+    community.  Each community then receives ``|C| * within_degree / 2``
+    internal edges among its (primary + overlapping) members, plus a few
+    global cross edges -- so overlap nodes sit inside **two** dense
+    clusters at once.  A single embedding has to place them between the
+    clusters; per-community personas (:func:`repro.graph.persona_graph`)
+    can give them one vector per side, which is exactly the structure the
+    persona-vs-single link-prediction figure measures
+    (``benchmarks/bench_persona_linkpred.py``).
+
+    Returns ``(graph, membership)`` with ``membership`` a boolean
+    ``(num_nodes, num_communities)`` matrix.
+    """
+    check_positive("num_nodes", num_nodes)
+    check_positive("num_communities", num_communities)
+    check_probability("overlap_fraction", overlap_fraction)
+    check_positive("within_degree", within_degree)
+    check_positive("cross_degree", cross_degree, allow_zero=True)
+    rng = default_rng(seed)
+    membership = np.zeros((num_nodes, num_communities), dtype=bool)
+    primary = np.arange(num_nodes, dtype=np.int64) % num_communities
+    membership[np.arange(num_nodes), primary] = True
+    if num_communities > 1:
+        overlap = np.flatnonzero(rng.random(num_nodes) < overlap_fraction)
+        second = (primary[overlap]
+                  + rng.integers(1, num_communities, size=overlap.size)
+                  ) % num_communities
+        membership[overlap, second] = True
+    edges: set = set()
+
+    def sample_pairs(members: np.ndarray, num_edges: int) -> None:
+        if members.size < 2 or num_edges <= 0:
+            return
+        attempts = 0
+        added = 0
+        while added < num_edges and attempts < 20 * num_edges + 100:
+            attempts += 1
+            u, v = rng.choice(members, size=2, replace=False)
+            e = (int(min(u, v)), int(max(u, v)))
+            if e in edges:
+                continue
+            edges.add(e)
+            added += 1
+
+    for c in range(num_communities):
+        members = np.flatnonzero(membership[:, c])
+        sample_pairs(members, int(round(members.size * within_degree / 2.0)))
+    sample_pairs(np.arange(num_nodes),
+                 int(round(num_nodes * cross_degree / 2.0)))
+    graph = CSRGraph.from_edges(
+        np.array(sorted(edges), dtype=np.int64).reshape(-1, 2),
+        num_nodes=num_nodes,
+    )
+    return graph, membership
+
+
 def multi_labels_from_communities(
     communities: np.ndarray,
     num_labels: int,

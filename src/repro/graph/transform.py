@@ -1,4 +1,4 @@
-"""Graph transformations: component extraction, k-core, relabeling.
+"""Graph transformations: component extraction, k-core, relabeling, personas.
 
 Random-walk embedding pipelines preprocess real graphs before sampling:
 walks cannot leave a connected component, so embedding quality statistics
@@ -7,11 +7,19 @@ shells (k-core) is the standard densification step when walks on hairy
 peripheries waste the corpus budget.  These helpers produce *compact*
 subgraphs (node ids relabelled to ``0..n'-1``) plus the id mapping needed
 to carry labels/embeddings across.
+
+:func:`persona_graph` is the ego-net splitting transform of Splitter
+(Epasto & Perozzi): each node is expanded into one *persona* per
+community of its ego-net, and every edge is rewired to the persona pair
+that owns it.  The output is a plain :class:`CSRGraph`, so the walk
+engine, executors and flat corpus consume it unchanged -- the persona
+workload is a graph transform plus a trainer regularizer, not a new
+engine (see :mod:`repro.persona`).
 """
 
 from __future__ import annotations
 
-from typing import Tuple
+from typing import Callable, NamedTuple, Optional, Tuple
 
 import numpy as np
 
@@ -97,6 +105,146 @@ def k_core(graph: CSRGraph, k: int) -> Tuple[CSRGraph, np.ndarray]:
                 if degree[v] < k:
                     queue.append(v)
     return induced_subgraph(graph, np.flatnonzero(alive))
+
+
+class PersonaGraph(NamedTuple):
+    """An ego-net-split graph plus the compact persona↔base id mapping.
+
+    ``graph`` relabels personas to ``0..P-1`` grouped by base node:
+    node ``u``'s personas are exactly the contiguous id range
+    ``persona_offsets[u]:persona_offsets[u + 1]`` and ``base_of[p]``
+    recovers the base node of persona ``p`` (so ``base_of`` is sorted,
+    total, and ``labels[base_of]`` re-indexes node metadata onto
+    personas).  Projecting every persona arc through ``base_of`` yields
+    the original graph's arc multiset -- the invariant the property
+    suite pins.
+    """
+
+    graph: CSRGraph
+    base_of: np.ndarray          # (P,) persona id -> base node id
+    persona_offsets: np.ndarray  # (n + 1,) base node -> persona id range
+
+    @property
+    def num_personas(self) -> int:
+        return int(self.base_of.size)
+
+    def personas_of(self, node: int) -> np.ndarray:
+        """Persona ids of ``node`` (a contiguous ``arange`` view)."""
+        return np.arange(self.persona_offsets[node],
+                         self.persona_offsets[node + 1], dtype=np.int64)
+
+
+def ego_net_communities(graph: CSRGraph, node: int,
+                        neighbors: np.ndarray) -> np.ndarray:
+    """Default ego-net labeler: connected components of the ego-net.
+
+    The ego-net of ``node`` is the subgraph induced by its neighbours
+    (the centre excluded, as in Splitter); two neighbours share a
+    community iff they are connected inside it.  Returns one int label
+    per ``neighbors`` entry, compact in first-appearance order -- which
+    makes the labelling (and therefore persona ids) deterministic.
+    """
+    labels = np.arange(neighbors.size, dtype=np.int64)  # union-find parents
+
+    def find(x: int) -> int:
+        while labels[x] != x:
+            labels[x] = labels[labels[x]]
+            x = int(labels[x])
+        return x
+
+    for slot, v in enumerate(neighbors):
+        # Mutual neighbours = edges of the ego-net incident to v.
+        mutual = np.intersect1d(graph.neighbors(int(v)), neighbors,
+                                assume_unique=True)
+        for w in np.searchsorted(neighbors, mutual):
+            ra, rb = find(slot), find(int(w))
+            if ra != rb:
+                labels[max(ra, rb)] = min(ra, rb)
+    roots = np.fromiter((find(i) for i in range(neighbors.size)),
+                        dtype=np.int64, count=neighbors.size)
+    # Compact to 0..k-1 in first-appearance order.
+    _, first = np.unique(roots, return_index=True)
+    rank = np.empty(neighbors.size, dtype=np.int64)
+    rank[:] = -1
+    rank[roots[np.sort(first)]] = np.arange(first.size, dtype=np.int64)
+    return rank[roots]
+
+
+def persona_graph(
+    graph: CSRGraph,
+    communities: Optional[
+        Callable[[CSRGraph, int, np.ndarray], np.ndarray]] = None,
+) -> PersonaGraph:
+    """Split every node into per-ego-net-community personas (Splitter).
+
+    For each node ``u``, ``communities(graph, u, neighbors)`` labels
+    ``u``'s neighbours with ego-net community ids (default:
+    :func:`ego_net_communities`, connected components of the ego-net);
+    ``u`` is expanded into one persona per distinct label (zero-degree
+    nodes keep exactly one persona) and the arc ``u -> v`` is rewired to
+    ``persona(u, label of v in u's ego-net) -> persona(v, label of u in
+    v's ego-net)``.  Edge weights are carried over.  Every persona's
+    adjacency is a subset of its base's, so the persona graph's arc
+    multiset projects back onto the original graph's exactly.
+
+    Undirected graphs only (ego-net community structure -- like k-core
+    peeling above -- is an undirected notion).
+    """
+    if graph.directed:
+        raise ValueError(
+            "persona splitting is defined here for undirected graphs")
+    n = graph.num_nodes
+    indptr = graph.indptr
+    # Per-adjacency-slot community label of the *target* inside the
+    # source's ego-net, plus per-node persona counts.
+    slot_label = np.empty(graph.indices.size, dtype=np.int64)
+    counts = np.ones(n, dtype=np.int64)  # zero-degree: one persona
+    for u in range(n):
+        nbrs = graph.neighbors(u)
+        if nbrs.size == 0:
+            continue
+        labels = (ego_net_communities(graph, u, nbrs) if communities is None
+                  else np.asarray(communities(graph, u, nbrs),
+                                  dtype=np.int64))
+        if labels.shape != (nbrs.size,):
+            raise ValueError(
+                f"community labeler returned shape {labels.shape} for "
+                f"node {u} with {nbrs.size} neighbours")
+        if labels.size and labels.min() < 0:
+            raise ValueError("community labels must be non-negative")
+        slot_label[indptr[u]:indptr[u + 1]] = labels
+        counts[u] = int(labels.max()) + 1
+    persona_offsets = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=persona_offsets[1:])
+    base_of = np.repeat(np.arange(n, dtype=np.int64), counts)
+
+    # Rewire every arc (u, v): the source persona comes from v's label in
+    # u's ego-net (this slot), the target persona from u's label in v's
+    # ego-net (the reverse arc's slot).  Arcs are CSR-sorted by (src,
+    # dst), so the reverse arc's position is one sorted lookup away.
+    src = np.repeat(np.arange(n, dtype=np.int64), np.diff(indptr))
+    dst = graph.indices.astype(np.int64, copy=False)
+    key = src * n + dst
+    rev = np.searchsorted(key, dst * n + src)
+    p_src = persona_offsets[src] + slot_label
+    p_dst = persona_offsets[dst] + slot_label[rev]
+
+    # Arcs are direction-complete (the reverse arc maps to the mirrored
+    # persona pair), so build the CSR directly -- same pattern as
+    # induced_subgraph above.
+    num_p = int(persona_offsets[-1])
+    order = np.lexsort((p_dst, p_src))
+    p_src, p_dst = p_src[order], p_dst[order]
+    weights = None if graph.weights is None else graph.weights[order]
+    p_indptr = np.zeros(num_p + 1, dtype=np.int64)
+    if p_src.size:
+        p_indptr[1:] = np.cumsum(np.bincount(p_src, minlength=num_p))
+    split = CSRGraph(p_indptr,
+                     p_dst.copy() if p_dst.size
+                     else np.empty(0, dtype=np.int64),
+                     weights, directed=False)
+    return PersonaGraph(graph=split, base_of=base_of,
+                        persona_offsets=persona_offsets)
 
 
 def core_number(graph: CSRGraph) -> np.ndarray:

@@ -1,0 +1,232 @@
+"""Persona walks (Splitter-style) over the DistGER pipeline.
+
+Splitter (Epasto & Perozzi, *Is a Single Embedding Enough?*) observes
+that one vector per node cannot represent a node that sits in several
+overlapping communities -- the embedding lands between its roles.  The
+fix is structural: split every node into one *persona* per community of
+its ego-net, embed the persona graph, and anchor each persona to its
+base node's prior embedding so the personas stay mutually comparable.
+
+This module composes that workload out of pieces this reproduction
+already has, without a new engine:
+
+1. :func:`repro.graph.persona_graph` expands the graph (ego-net
+   splitting; a plain :class:`~repro.graph.CSRGraph` comes out, so the
+   partitioner, walk engine, executors and flat corpus consume it
+   unchanged).
+2. A *prior* embedding of the base graph is trained (or supplied), and
+   every persona is anchored to its base node's prior through
+   :class:`repro.embedding.anchor.AnchorRegularizer` -- the
+   persona-regularized SGNS term, applied per training slice through the
+   array-ops seam on every executor and backend.
+3. The chosen walk system embeds the persona graph; the result carries
+   the persona↔base mapping so downstream tasks can score base-node
+   pairs as a max over their persona pairs
+   (:func:`persona_pair_scores`), Splitter's link-prediction protocol.
+
+``lam=0`` degrades to embedding the persona graph with plain DistGER --
+byte-identical to a run with no anchor attached at all (the parity gate
+``benchmarks/bench_persona_linkpred.py`` enforces on every executor).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+from repro.embedding.anchor import AnchorRegularizer
+from repro.graph.csr import CSRGraph
+from repro.graph.transform import persona_graph
+from repro.systems.base import SystemResult
+
+__all__ = [
+    "PersonaConfig",
+    "PersonaResult",
+    "embed_persona_graph",
+    "persona_pair_scores",
+]
+
+
+@dataclass
+class PersonaConfig:
+    """Knobs of the persona workload.
+
+    ``lam`` is Splitter's regularizer weight λ (0 disables anchoring;
+    0.1 is the paper's setting).  ``communities`` overrides the ego-net
+    labeler of :func:`repro.graph.persona_graph`.  ``prior`` supplies
+    the base-graph embedding to anchor to (node-id space, ``(n, dim)``);
+    when ``None`` it is trained with the same system configuration,
+    for ``prior_epochs`` epochs (default: the persona run's epochs).
+    ``warm_start`` (default True, as in Splitter) initialises every
+    persona's vectors *from* its base's prior instead of word2vec noise
+    -- personas then diverge only where their walks pull them apart;
+    disable it to recover the plain-initialisation path (the λ=0 +
+    ``warm_start=False`` combination is byte-identical to embedding the
+    persona graph directly).
+    """
+
+    lam: float = 0.1
+    communities: Optional[Callable] = None
+    prior: Optional[np.ndarray] = None
+    prior_epochs: Optional[int] = None
+    warm_start: bool = True
+
+
+@dataclass
+class PersonaResult:
+    """Output of :func:`embed_persona_graph`.
+
+    ``embeddings`` is ``(P, dim)`` in **persona-id space**; the mapping
+    arrays mirror :class:`repro.graph.PersonaGraph` (personas of base
+    node ``u`` are rows ``persona_offsets[u]:persona_offsets[u + 1]``,
+    ``base_of[p]`` recovers ``p``'s base node).  ``prior`` is the base
+    embedding the personas were anchored to and ``result`` the inner
+    system run on the persona graph (timers, metrics, corpus).
+    """
+
+    embeddings: np.ndarray       # (P, dim) persona-id space
+    base_of: np.ndarray          # (P,)
+    persona_offsets: np.ndarray  # (n + 1,)
+    prior: np.ndarray            # (n, dim) base-graph prior
+    result: SystemResult = field(repr=False, default=None)
+
+    @property
+    def num_personas(self) -> int:
+        return int(self.base_of.size)
+
+    @property
+    def num_nodes(self) -> int:
+        return int(self.persona_offsets.size - 1)
+
+    def personas_of(self, node: int) -> np.ndarray:
+        """Persona ids of ``node`` (a contiguous ``arange``)."""
+        return np.arange(self.persona_offsets[node],
+                         self.persona_offsets[node + 1], dtype=np.int64)
+
+    def base_embeddings(self) -> np.ndarray:
+        """One vector per base node: the mean over its personas.
+
+        The single-embedding projection -- useful when a downstream
+        consumer needs exactly ``n`` rows (classification, serving
+        without grouped lookups).  Link prediction should prefer
+        :func:`persona_pair_scores`, which keeps the multi-role
+        resolution the split bought.
+        """
+        sums = np.add.reduceat(self.embeddings.astype(np.float64),
+                               self.persona_offsets[:-1], axis=0)
+        counts = np.diff(self.persona_offsets).astype(np.float64)
+        return (sums / counts[:, None]).astype(self.embeddings.dtype)
+
+
+def embed_persona_graph(
+    graph: CSRGraph,
+    method: str = "distger",
+    num_machines: int = 4,
+    dim: int = 64,
+    epochs: int = 2,
+    seed: int = 0,
+    kernel: Optional[str] = None,
+    persona: Optional[PersonaConfig] = None,
+    **system_kwargs,
+) -> PersonaResult:
+    """Embed ``graph``'s personas with a walk-based system (Splitter).
+
+    The persona counterpart of :func:`repro.embed_graph` (also reachable
+    as ``embed_graph(graph, persona=...)``): same method/hyper-parameter
+    surface, walk-based methods only (the workload is a graph transform
+    plus a trainer regularizer, so it needs the walk→train pipeline).
+    Runs the prior training (unless ``persona.prior`` supplies one),
+    splits the graph, anchors every persona to its base's prior with
+    weight ``persona.lam``, and embeds the persona graph.
+    """
+    from repro.api import _METHODS, _WALK_METHODS, _route_overrides
+
+    key = method.lower()
+    if key not in _WALK_METHODS:
+        raise ValueError(
+            f"persona embedding needs a walk-based method; {method!r} is "
+            f"not one ({', '.join(_WALK_METHODS)})")
+    persona = persona if persona is not None else PersonaConfig()
+
+    prior = persona.prior
+    prior_out = None
+    if prior is None:
+        from repro.api import embed_graph
+
+        prior_epochs = (persona.prior_epochs
+                        if persona.prior_epochs is not None else epochs)
+        prior_result = embed_graph(graph, method=method,
+                                   num_machines=num_machines, dim=dim,
+                                   epochs=prior_epochs, seed=seed,
+                                   kernel=kernel, **dict(system_kwargs))
+        prior = prior_result.embeddings
+        if prior_result.model is not None:
+            # Context matrix of the prior, node space -- seeding it too
+            # keeps warm-started training from re-learning phi_out.
+            prior_out = np.ascontiguousarray(
+                prior_result.model.vocab.reorder_to_node_space(
+                    prior_result.model.phi_out), dtype=np.float32)
+    prior = np.ascontiguousarray(prior, dtype=np.float32)
+    if prior.shape != (graph.num_nodes, dim):
+        raise ValueError(
+            f"prior shape {prior.shape} does not match "
+            f"(num_nodes, dim) = ({graph.num_nodes}, {dim})")
+
+    split = persona_graph(graph, communities=persona.communities)
+
+    cls = _METHODS[key]
+    kwargs = dict(num_machines=num_machines, dim=dim, epochs=epochs,
+                  seed=seed, **_route_overrides(key, dict(system_kwargs)))
+    if kernel is not None:
+        kwargs["kernel"] = kernel
+    system = cls(**kwargs)
+    # Each persona is anchored to its base node's prior vector; λ=0
+    # drops the anchor entirely (the trainer's byte-identical plain path).
+    system.anchor = AnchorRegularizer(prior[split.base_of], persona.lam)
+    if persona.warm_start:
+        # Splitter's initialisation: personas start *at* their base's
+        # prior, diverging only where their walks pull them apart.
+        from repro.embedding.trainer import WarmStart
+
+        system.warm_start = WarmStart(
+            phi_in=prior[split.base_of],
+            phi_out=(None if prior_out is None
+                     else prior_out[split.base_of]))
+    result = system.embed(split.graph)
+    return PersonaResult(
+        embeddings=result.embeddings,
+        base_of=split.base_of,
+        persona_offsets=split.persona_offsets,
+        prior=prior,
+        result=result,
+    )
+
+
+def persona_pair_scores(
+    embeddings: np.ndarray,
+    persona_offsets: np.ndarray,
+    pairs: np.ndarray,
+) -> np.ndarray:
+    """Score base-node pairs as the max over their persona pairs.
+
+    Splitter's link-prediction aggregation: a base edge ``(u, v)`` is as
+    plausible as its *best* persona pair -- the roles in which the two
+    nodes would interact -- so the score is
+    ``max_{p∈personas(u), q∈personas(v)} φ[p]·φ[q]``.  ``pairs`` is an
+    ``(m, 2)`` int array of base node ids; returns ``(m,)`` float64
+    scores (drop-in for :func:`repro.tasks.pair_scores` in
+    :func:`repro.tasks.auc_score`).
+    """
+    pairs = np.asarray(pairs, dtype=np.int64)
+    if pairs.ndim != 2 or pairs.shape[1] != 2:
+        raise ValueError(f"pairs must be (m, 2); got {pairs.shape}")
+    emb = np.asarray(embeddings, dtype=np.float64)
+    offsets = np.asarray(persona_offsets, dtype=np.int64)
+    scores = np.empty(pairs.shape[0], dtype=np.float64)
+    for i, (u, v) in enumerate(pairs):
+        left = emb[offsets[u]:offsets[u + 1]]
+        right = emb[offsets[v]:offsets[v + 1]]
+        scores[i] = float((left @ right.T).max())
+    return scores

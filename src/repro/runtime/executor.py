@@ -681,7 +681,8 @@ def run_partition_async(partitioner, graph, num_parts: int) -> AsyncPartition:
 
 
 def _train_worker_init(phi_in_handle, phi_out_handle, vocab, config,
-                       learner_name, backend, corpus_handles) -> None:
+                       learner_name, backend, corpus_handles,
+                       anchor_spec=None) -> None:
     from repro.embedding.negative import NegativeSampler
 
     _WORKER_STATE["train_phi_in"] = attach_shared_array(phi_in_handle)
@@ -692,6 +693,10 @@ def _train_worker_init(phi_in_handle, phi_out_handle, vocab, config,
     _WORKER_STATE["train_backend"] = backend
     _WORKER_STATE["train_learner_name"] = learner_name
     _WORKER_STATE["train_learners"] = {}
+    # Persona anchor (row-space matrix shared read-only + λ), or None.
+    _WORKER_STATE["train_anchor"] = (
+        None if anchor_spec is None
+        else (attach_shared_array(anchor_spec[0]), anchor_spec[1]))
     if corpus_handles is not None:
         # Flat corpus + shard indices: attach once, the slice-descriptor
         # tasks rebuild their walk batches as views into these arrays.
@@ -730,6 +735,11 @@ def _train_learner_for(machine: int):
             model, _WORKER_STATE["train_sampler"],
             _WORKER_STATE["train_config"], np.random.default_rng(0),
             neg_stream=None)
+        anchor = _WORKER_STATE.get("train_anchor")
+        if anchor is not None:
+            from repro.embedding.anchor import RowAnchor
+
+            learner.anchor = RowAnchor(anchor[0], anchor[1])
         learners[machine] = learner
     return learner
 
@@ -742,6 +752,9 @@ def _train_slice_task(machine: int, walks, lr: float, key: int,
     learner = _train_learner_for(machine)
     learner.neg_stream = CounterStream(key, counter)
     used = learner.train_walks(walks, lr)
+    # Persona pull after the slice's SGNS updates -- identical order to
+    # the serial path; consumes no negatives, so the counter is untouched.
+    learner.apply_anchor(walks, lr)
     return machine, used, learner.neg_stream.counter
 
 
@@ -793,7 +806,8 @@ class ProcessSliceTrainer:
 
     def __init__(self, replicas, vocab, config, learner_name: str,
                  backend: str, neg_keys, corpus=None,
-                 shards: Optional[Sequence[np.ndarray]] = None) -> None:
+                 shards: Optional[Sequence[np.ndarray]] = None,
+                 anchor=None) -> None:
         m = len(replicas)
         dim = int(replicas[0].phi_in.shape[1])
         self._group = _SharedGroup(
@@ -829,11 +843,18 @@ class ProcessSliceTrainer:
                     self._group.share(shard_flat),
                     self._group.share(shard_offsets),
                 )
+            # Persona anchor matrix (row space) rides along read-only --
+            # every worker pulls against the same shared bytes.
+            anchor_spec = None
+            if anchor is not None and anchor.lam > 0.0:
+                anchor_spec = (self._group.share(anchor.matrix),
+                               float(anchor.lam))
             self.workers = resolved_worker_count(config.workers)
             self._pool = ProcessExecutor(
                 self.workers, initializer=_train_worker_init,
                 initargs=(phi_in.handle, phi_out.handle, vocab, config,
-                          learner_name, backend, corpus_handles))
+                          learner_name, backend, corpus_handles,
+                          anchor_spec))
         except BaseException:
             self._group.close()
             raise

@@ -133,12 +133,19 @@ class BatchTopKScorer:
         Precomputed :func:`row_norms` of ``embeddings`` (e.g. shipped by
         the store so workers skip the O(n d) pass); computed here when
         omitted.
+    groups:
+        Optional length-``n`` int array mapping each embedding row to a
+        *group* id (e.g. ``PersonaResult.base_of``, mapping personas to
+        base nodes).  Enables :meth:`top_k_bases`: group-level queries
+        answered as the max over member-pair scores -- Splitter's
+        best-persona-pair lookup.
     """
 
     def __init__(self, embeddings: np.ndarray,
                  candidates: Optional[np.ndarray] = None,
                  normalized_cache: bool = False,
-                 norms: Optional[np.ndarray] = None) -> None:
+                 norms: Optional[np.ndarray] = None,
+                 groups: Optional[np.ndarray] = None) -> None:
         embeddings = np.asarray(embeddings)
         if embeddings.ndim != 2:
             raise ValueError(
@@ -156,6 +163,26 @@ class BatchTopKScorer:
         if normalized_cache:
             self._normalized = embeddings / \
                 self._safe_norms[:, None].astype(embeddings.dtype)
+        self.groups: Optional[np.ndarray] = None
+        self.num_groups = 0
+        self._group_rows_order: Optional[np.ndarray] = None
+        self._group_rows_bounds: Optional[np.ndarray] = None
+        if groups is not None:
+            groups = np.asarray(groups, dtype=np.int64)
+            if groups.shape != (self.num_nodes,):
+                raise ValueError(
+                    f"groups must map every row; expected shape "
+                    f"({self.num_nodes},), got {groups.shape}")
+            if groups.size and groups.min() < 0:
+                raise ValueError("group ids must be non-negative")
+            self.groups = groups
+            self.num_groups = int(groups.max()) + 1 if groups.size else 0
+            # Group -> member rows: stable row order within each group so
+            # the gathered query blocks are deterministic.
+            self._group_rows_order = np.argsort(groups, kind="stable")
+            self._group_rows_bounds = np.searchsorted(
+                groups[self._group_rows_order],
+                np.arange(self.num_groups + 1, dtype=np.int64))
         self._default_cand: Optional[np.ndarray] = None
         self._default_gather: Optional[dict] = None
         if candidates is not None:
@@ -181,7 +208,28 @@ class BatchTopKScorer:
             # Norm-descending scan order for ANN-style pruning (stable,
             # ids break norm ties, so the order is deterministic).
             "prune_order": None,
+            # Group-sorted column structure for top_k_bases (lazy).
+            "group_cols": None,
         }
+
+    def _group_columns(self, gathered: dict):
+        """Candidate columns bucketed by group, for reduceat reductions.
+
+        Returns ``(col_order, seg_starts, seg_gids)``: scoring columns
+        permuted group-ascending, each group's segment start, and the
+        (sorted, unique) group ids present in the catalogue.  Computed
+        once per gather and cached -- the grouped hot path then costs one
+        column permutation plus one ``maximum.reduceat`` per request.
+        """
+        if gathered["group_cols"] is None:
+            cand = gathered["ids"]
+            gids = self.groups[cand]
+            col_order = np.lexsort((cand, gids))
+            sorted_gids = gids[col_order]
+            seg_gids = np.unique(sorted_gids)
+            seg_starts = np.searchsorted(sorted_gids, seg_gids)
+            gathered["group_cols"] = (col_order, seg_starts, seg_gids)
+        return gathered["group_cols"]
 
     def _resolve_candidates(self, candidates) -> dict:
         if candidates is None:
@@ -248,6 +296,83 @@ class BatchTopKScorer:
         gathered = self._resolve_candidates(candidates)
         scores = self._score(vectors, None, metric, gathered)
         return self._select(scores, None, k, gathered, False, exclude)
+
+    def top_k_bases(self, bases: np.ndarray, k: int = 10,
+                    metric: str = "cosine",
+                    candidates: Optional[np.ndarray] = None,
+                    exclude_self: bool = True) -> TopKResult:
+        """Top-``k`` *groups* for each query group (persona-aware lookup).
+
+        Requires ``groups`` at construction.  A query group (e.g. a base
+        node whose personas are the member rows) scores a candidate
+        group as the **max over member-pair scores** -- Splitter's
+        best-persona-pair semantics -- and the returned ids are group
+        ids, deterministic with smallest-group-id tie-breaks and the
+        usual ``(-1, -inf)`` padding.  ``candidates`` (member-row ids,
+        e.g. a persona catalogue) restricts the candidate side; a group
+        with no candidate rows cannot be returned.  The whole batch is
+        still one matmul: all query members score at once, then two
+        ``maximum`` reductions collapse member rows/columns to groups.
+        """
+        check_positive("k", k)
+        if self.groups is None:
+            raise ValueError(
+                "top_k_bases needs the groups row->group mapping at "
+                "construction")
+        if metric not in METRICS:
+            raise ValueError(f"unknown metric {metric!r}; use "
+                             f"{' or '.join(repr(m) for m in METRICS)}")
+        bases = np.atleast_1d(np.asarray(bases, dtype=np.int64))
+        if bases.size and (bases.min() < 0
+                           or bases.max() >= self.num_groups):
+            raise ValueError(
+                f"query groups must lie in [0, {self.num_groups})")
+        gathered = self._resolve_candidates(candidates)
+        col_order, seg_starts, seg_gids = self._group_columns(gathered)
+
+        # Query side: every member row of every queried group, scored in
+        # one batch; q_bounds marks each group's row block.
+        lo = self._group_rows_bounds[bases]
+        hi = self._group_rows_bounds[bases + 1]
+        q_counts = hi - lo
+        q_rows = np.concatenate(
+            [self._group_rows_order[a:b] for a, b in zip(lo, hi)]) \
+            if bases.size else np.empty(0, dtype=np.int64)
+        q_bounds = np.zeros(bases.size + 1, dtype=np.int64)
+        np.cumsum(q_counts, out=q_bounds[1:])
+
+        out_ids = np.full((bases.size, k), -1, dtype=np.int64)
+        out_scores = np.full((bases.size, k), -np.inf, dtype=np.float64)
+        if seg_gids.size == 0 or q_rows.size == 0:
+            return TopKResult(out_ids, out_scores)
+        member_scores = self._score(self.embeddings[q_rows], q_rows,
+                                    metric, gathered)
+        # Columns to groups, then member rows to query groups (max-max).
+        grouped_cols = np.maximum.reduceat(
+            member_scores[:, col_order], seg_starts, axis=1)
+        nonempty = np.flatnonzero(q_counts > 0)
+        scores = np.full((bases.size, seg_gids.size), -np.inf,
+                         dtype=np.float64)
+        if nonempty.size:
+            # Start offsets of the nonempty query groups are strictly
+            # increasing (empty groups contribute no rows), so reduceat
+            # segments cover exactly each group's member block.
+            reduced = np.maximum.reduceat(grouped_cols,
+                                          q_bounds[:-1][nonempty], axis=0)
+            scores[nonempty] = reduced
+        if exclude_self:
+            pos = np.searchsorted(seg_gids, bases)
+            hit = (pos < seg_gids.size) & \
+                (seg_gids[np.minimum(pos, seg_gids.size - 1)] == bases)
+            scores[np.flatnonzero(hit), pos[hit]] = -np.inf
+        for row in range(bases.size):
+            row_scores = scores[row]
+            top = deterministic_top_k(row_scores, k)
+            keep = row_scores[top] > -np.inf
+            top = top[keep]
+            out_ids[row, :top.size] = seg_gids[top]
+            out_scores[row, :top.size] = row_scores[top]
+        return TopKResult(out_ids, out_scores)
 
     def _score(self, queries: np.ndarray, nodes: Optional[np.ndarray],
                metric: str, gathered: dict) -> np.ndarray:

@@ -93,6 +93,15 @@ class RandomWalkSystem(EmbeddingSystem):
             dim=dim, epochs=epochs, seed=derive_seed(seed, 2) or 0,
         )
         self.learner = learner
+        #: Optional persona regularizer
+        #: (:class:`repro.embedding.anchor.AnchorRegularizer`); attached
+        #: by :func:`repro.persona.embed_persona_graph` after
+        #: construction and threaded into the trainer untouched.
+        self.anchor = None
+        #: Optional :class:`repro.embedding.trainer.WarmStart` seeding
+        #: the model before training (node-id space); the persona
+        #: workload initialises personas from the base prior with it.
+        self.warm_start = None
 
     def embed(self, graph: CSRGraph) -> SystemResult:
         timer = Timer()
@@ -145,6 +154,8 @@ class RandomWalkSystem(EmbeddingSystem):
                 learner=self.learner,
                 walk_machines=walk_result.walk_machines,
                 feed=feed,
+                warm_start=self.warm_start,
+                anchor=self.anchor,
             )
             train_result = trainer.train()
         corpus_storage = walk_result.corpus.storage_bytes()

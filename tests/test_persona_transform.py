@@ -1,0 +1,257 @@
+"""Property suite for the ego-net persona split (Splitter-style).
+
+The contract :func:`repro.graph.persona_graph` documents, pinned here:
+
+* projecting every persona arc through ``base_of`` recovers the original
+  graph's arc multiset exactly (weights included);
+* the persona↔base mapping is total and compact -- ``base_of`` is
+  sorted, covers ``0..P-1``, and agrees with ``persona_offsets``;
+* zero-degree nodes keep exactly one persona;
+* the persona graph is a plain, well-formed :class:`CSRGraph` --
+  relabelling it through :func:`induced_subgraph` round-trips
+  byte-identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph import (
+    CSRGraph,
+    ego_net_communities,
+    induced_subgraph,
+    persona_graph,
+    powerlaw_cluster,
+    ring_of_cliques,
+    star,
+)
+
+
+def _random_graph(seed: int) -> CSRGraph:
+    """Small random graph, including isolated nodes and parallel inputs."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(2, 25))
+    m = int(rng.integers(0, 3 * n))
+    edges = rng.integers(0, n, size=(m, 2))
+    return CSRGraph.from_edges(edges, num_nodes=n)
+
+
+def _arc_keys(src: np.ndarray, dst: np.ndarray, n: int) -> np.ndarray:
+    """Sortable multiset fingerprint of an arc list over ``n`` node ids."""
+    return np.sort(src.astype(np.int64) * n + dst.astype(np.int64))
+
+
+def _arcs(graph: CSRGraph):
+    src = np.repeat(np.arange(graph.num_nodes, dtype=np.int64),
+                    np.diff(graph.indptr))
+    return src, graph.indices.astype(np.int64)
+
+
+class TestEdgeMultisetProjection:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_projection_recovers_original_arcs(self, seed):
+        g = _random_graph(seed)
+        pg = persona_graph(g)
+        p_src, p_dst = _arcs(pg.graph)
+        base_src, base_dst = pg.base_of[p_src], pg.base_of[p_dst]
+        src, dst = _arcs(g)
+        assert np.array_equal(_arc_keys(base_src, base_dst, g.num_nodes),
+                              _arc_keys(src, dst, g.num_nodes))
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_projection_on_clustered_graph(self, seed):
+        g = powerlaw_cluster(40, attach=2, seed=seed)
+        pg = persona_graph(g)
+        p_src, p_dst = _arcs(pg.graph)
+        src, dst = _arcs(g)
+        assert np.array_equal(
+            _arc_keys(pg.base_of[p_src], pg.base_of[p_dst], g.num_nodes),
+            _arc_keys(src, dst, g.num_nodes))
+
+    def test_weights_carried_over(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (0, 2), (2, 3)],
+                                weights=[1.0, 2.0, 3.0, 4.0])
+        pg = persona_graph(g)
+        assert pg.graph.is_weighted
+        # Total weight mass is conserved by the rewiring.
+        assert pg.graph.weights.sum() == pytest.approx(g.weights.sum())
+        # Per-arc: project personas back and compare the weight of each
+        # base arc (arcs map 1:1, so sorting by base key aligns them).
+        p_src, p_dst = _arcs(pg.graph)
+        src, dst = _arcs(g)
+        n = g.num_nodes
+        p_key = pg.base_of[p_src] * n + pg.base_of[p_dst]
+        key = src * n + dst
+        assert np.array_equal(pg.graph.weights[np.argsort(p_key)],
+                              g.weights[np.argsort(key)])
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_persona_adjacency_is_subset_of_base(self, seed):
+        g = _random_graph(seed)
+        pg = persona_graph(g)
+        for p in range(pg.num_personas):
+            base_nbrs = g.neighbors(int(pg.base_of[p]))
+            projected = np.unique(pg.base_of[pg.graph.neighbors(p)])
+            assert np.all(np.isin(projected, base_nbrs))
+
+
+class TestMappingTotalAndCompact:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_offsets_and_base_of_agree(self, seed):
+        g = _random_graph(seed)
+        pg = persona_graph(g)
+        offsets = pg.persona_offsets
+        assert offsets[0] == 0
+        assert offsets[-1] == pg.num_personas == pg.graph.num_nodes
+        counts = np.diff(offsets)
+        assert np.all(counts >= 1)  # every base node keeps >= 1 persona
+        assert np.array_equal(
+            pg.base_of,
+            np.repeat(np.arange(g.num_nodes, dtype=np.int64), counts))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_personas_of_tiles_the_id_space(self, seed):
+        g = _random_graph(seed)
+        pg = persona_graph(g)
+        tiled = np.concatenate([pg.personas_of(u)
+                                for u in range(g.num_nodes)])
+        assert np.array_equal(tiled,
+                              np.arange(pg.num_personas, dtype=np.int64))
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_persona_count_bounded_by_degree(self, seed):
+        g = _random_graph(seed)
+        pg = persona_graph(g)
+        counts = np.diff(pg.persona_offsets)
+        assert np.all(counts <= np.maximum(g.degrees, 1))
+
+
+class TestZeroDegreeNodes:
+    def test_isolated_nodes_keep_one_persona(self):
+        # Nodes 3 and 4 have no edges at all.
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], num_nodes=5)
+        pg = persona_graph(g)
+        for u in (3, 4):
+            assert pg.personas_of(u).size == 1
+            p = int(pg.personas_of(u)[0])
+            assert pg.graph.neighbors(p).size == 0
+
+    def test_edgeless_graph(self):
+        g = CSRGraph.from_edges([], num_nodes=4)
+        pg = persona_graph(g)
+        assert pg.num_personas == 4
+        assert pg.graph.num_edges == 0
+        assert np.array_equal(pg.base_of, np.arange(4))
+
+
+class TestRelabelRoundTrip:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_induced_subgraph_of_all_personas_is_identity(self, seed):
+        g = _random_graph(seed)
+        pg = persona_graph(g)
+        sub, old_ids = induced_subgraph(
+            pg.graph, np.arange(pg.num_personas, dtype=np.int64))
+        assert np.array_equal(old_ids,
+                              np.arange(pg.num_personas, dtype=np.int64))
+        assert np.array_equal(sub.indptr, pg.graph.indptr)
+        assert np.array_equal(sub.indices, pg.graph.indices)
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    def test_one_base_nodes_personas_induce_an_edgeless_graph(self, seed):
+        # Personas of one base node are never adjacent to each other
+        # (a node's arcs all leave its ego, never cross personas).
+        g = _random_graph(seed)
+        pg = persona_graph(g)
+        u = int(np.argmax(np.diff(pg.persona_offsets)))
+        sub, _ = induced_subgraph(pg.graph, pg.personas_of(u))
+        assert sub.num_edges == 0
+
+
+class TestDeterminismAndKnownGraphs:
+    def test_deterministic(self, medium_graph):
+        a = persona_graph(medium_graph)
+        b = persona_graph(medium_graph)
+        assert np.array_equal(a.graph.indptr, b.graph.indptr)
+        assert np.array_equal(a.graph.indices, b.graph.indices)
+        assert np.array_equal(a.base_of, b.base_of)
+
+    def test_triangle_does_not_split(self, triangle):
+        # Every ego-net of a triangle is a single edge: one community.
+        pg = persona_graph(triangle)
+        assert pg.num_personas == 3
+        assert np.array_equal(pg.graph.indptr, triangle.indptr)
+        assert np.array_equal(pg.graph.indices, triangle.indices)
+
+    def test_star_centre_splits_per_leaf(self, star_graph):
+        # The centre's ego-net is edgeless: one persona per leaf.
+        pg = persona_graph(star_graph)
+        leaves = star_graph.num_nodes - 1
+        assert pg.personas_of(0).size == leaves
+        assert pg.num_personas == 2 * leaves
+        # Every persona edge is a 2-node component: persona degree 1.
+        assert np.all(np.diff(pg.graph.indptr) == 1)
+
+    def test_ring_of_cliques_splits_bridge_nodes(self):
+        g = ring_of_cliques(4, 5)
+        pg = persona_graph(g)
+        # Bridge endpoints see two ego-net components (their clique and
+        # the far bridge endpoint), everyone else one.
+        counts = np.diff(pg.persona_offsets)
+        assert counts.max() >= 2
+        assert counts.min() == 1
+
+    def test_single_label_labeler_is_identity(self, medium_graph):
+        ones = lambda graph, u, nbrs: np.zeros(nbrs.size, dtype=np.int64)
+        pg = persona_graph(medium_graph, communities=ones)
+        assert pg.num_personas == medium_graph.num_nodes
+        assert np.array_equal(pg.graph.indptr, medium_graph.indptr)
+        assert np.array_equal(pg.graph.indices, medium_graph.indices)
+
+
+class TestEgoNetCommunities:
+    def test_star_centre_all_separate(self, star_graph):
+        nbrs = star_graph.neighbors(0)
+        labels = ego_net_communities(star_graph, 0, nbrs)
+        assert np.array_equal(labels, np.arange(nbrs.size))
+
+    def test_clique_single_community(self):
+        g = ring_of_cliques(1, 6)
+        nbrs = g.neighbors(0)
+        labels = ego_net_communities(g, 0, nbrs)
+        assert np.array_equal(labels, np.zeros(nbrs.size, dtype=np.int64))
+
+    def test_labels_compact_in_first_appearance_order(self):
+        # Two triangles sharing node 0: neighbours sorted = [1, 2, 3, 4];
+        # {1, 2} and {3, 4} are the components, labelled 0 and 1.
+        g = CSRGraph.from_edges([(0, 1), (0, 2), (1, 2),
+                                 (0, 3), (0, 4), (3, 4)])
+        labels = ego_net_communities(g, 0, g.neighbors(0))
+        assert np.array_equal(labels, [0, 0, 1, 1])
+
+
+class TestValidation:
+    def test_directed_rejected(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2)], directed=True)
+        with pytest.raises(ValueError, match="undirected"):
+            persona_graph(g)
+
+    def test_bad_labeler_shape_rejected(self, triangle):
+        bad = lambda graph, u, nbrs: np.zeros(nbrs.size + 1, dtype=np.int64)
+        with pytest.raises(ValueError, match="shape"):
+            persona_graph(triangle, communities=bad)
+
+    def test_negative_labels_rejected(self, triangle):
+        bad = lambda graph, u, nbrs: np.full(nbrs.size, -1, dtype=np.int64)
+        with pytest.raises(ValueError, match="non-negative"):
+            persona_graph(triangle, communities=bad)

@@ -304,3 +304,141 @@ class TestNormPruning:
                               exclude=exclude, prune=True)
         assert full.ids.tobytes() == pruned.ids.tobytes()
         assert full.scores.tobytes() == pruned.scores.tobytes()
+
+
+# --------------------------------------------------------------------- #
+# Grouped (persona-aware) top-k
+# --------------------------------------------------------------------- #
+
+
+def brute_force_top_k_bases(emb, groups, base, k, metric,
+                            candidates=None, exclude_self=True):
+    """Per-group reference: best member-pair score, sort by (-score, gid)."""
+    n = emb.shape[0]
+    cand = (np.unique(np.asarray(candidates, dtype=np.int64))
+            if candidates is not None else np.arange(n, dtype=np.int64))
+    q_rows = np.flatnonzero(groups == base)
+    scored = []
+    for gid in np.unique(groups[cand]):
+        if exclude_self and int(gid) == int(base):
+            continue
+        g_rows = cand[groups[cand] == gid]
+        best = -np.inf
+        for qr in q_rows:
+            for cr in g_rows:
+                score = float(emb[int(cr)].astype(np.float64)
+                              @ emb[int(qr)].astype(np.float64))
+                if metric == "cosine":
+                    qn = float(np.linalg.norm(
+                        emb[int(qr)].astype(np.float64))) or 1.0
+                    cn = float(np.linalg.norm(
+                        emb[int(cr)].astype(np.float64))) or 1.0
+                    score = score / cn / qn
+                best = max(best, score)
+        if best > -np.inf:
+            scored.append((int(gid), best))
+    scored.sort(key=lambda pair: (-pair[1], pair[0]))
+    return scored[:k]
+
+
+class TestGroupedTopK:
+    def _random_grouped(self, seed, n=20, d=4, num_groups=7):
+        rng = np.random.default_rng(seed)
+        emb = rng.integers(-2, 3, size=(n, d)).astype(np.float64)
+        groups = np.sort(rng.integers(0, num_groups, size=n))
+        groups[0] = 0  # group 0 always populated
+        return emb, groups
+
+    @given(st.integers(0, 5000), st.sampled_from(["cosine", "dot"]),
+           st.integers(1, 9))
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, seed, metric, k):
+        emb, groups = self._random_grouped(seed)
+        scorer = BatchTopKScorer(emb, groups=groups)
+        present = np.unique(groups)
+        bases = present[:3]
+        result = scorer.top_k_bases(bases, k=k, metric=metric)
+        for row, base in enumerate(bases):
+            want = brute_force_top_k_bases(emb, groups, base, k, metric)
+            got = result.as_lists()[row]
+            assert [i for i, _ in got] == [i for i, _ in want]
+            np.testing.assert_allclose([s for _, s in got],
+                                       [s for _, s in want],
+                                       rtol=1e-12, atol=1e-12)
+
+    @given(st.integers(0, 5000), st.sampled_from(["cosine", "dot"]))
+    @settings(max_examples=25, deadline=None)
+    def test_candidate_restriction(self, seed, metric):
+        emb, groups = self._random_grouped(seed)
+        rng = np.random.default_rng(seed + 1)
+        cand = rng.integers(0, emb.shape[0], size=emb.shape[0] // 2 + 2)
+        scorer = BatchTopKScorer(emb, groups=groups)
+        base = int(groups[0])
+        result = scorer.top_k_bases([base], k=4, metric=metric,
+                                    candidates=cand)
+        want = brute_force_top_k_bases(emb, groups, base, 4, metric,
+                                       candidates=cand)
+        got = result.as_lists()[0]
+        assert [i for i, _ in got] == [i for i, _ in want]
+        np.testing.assert_allclose([s for _, s in got],
+                                   [s for _, s in want],
+                                   rtol=1e-12, atol=1e-12)
+        # Groups without a candidate row can never be returned.
+        allowed = set(int(g) for g in np.unique(groups[np.unique(cand)]))
+        assert all(i in allowed for i, _ in got)
+
+    def test_exclude_self_toggles_query_group(self):
+        emb = np.ones((6, 3))
+        groups = np.array([0, 0, 1, 1, 2, 2])
+        scorer = BatchTopKScorer(emb, groups=groups)
+        barred = scorer.top_k_bases([1], k=6, metric="dot")
+        assert 1 not in barred.ids[0]
+        kept = scorer.top_k_bases([1], k=6, metric="dot",
+                                  exclude_self=False)
+        assert 1 in kept.ids[0]
+
+    def test_empty_query_group_pads(self):
+        # Group ids {0, 2}: group 1 exists in id space but owns no rows.
+        emb = np.eye(4)
+        groups = np.array([0, 0, 2, 2])
+        scorer = BatchTopKScorer(emb, groups=groups)
+        result = scorer.top_k_bases([1], k=3, metric="dot")
+        assert (result.ids[0] == -1).all()
+        assert np.isneginf(result.scores[0]).all()
+
+    def test_k_beyond_groups_pads(self):
+        emb = np.eye(6)
+        groups = np.array([0, 0, 1, 1, 2, 2])
+        result = BatchTopKScorer(emb, groups=groups).top_k_bases(
+            [0], k=5, metric="dot")
+        assert result.ids.shape == (1, 5)
+        assert set(result.ids[0][:2].tolist()) == {1, 2}
+        assert (result.ids[0][2:] == -1).all()
+
+    def test_singleton_groups_reduce_to_plain_top_k(self):
+        rng = np.random.default_rng(4)
+        emb = rng.integers(-2, 3, size=(15, 4)).astype(np.float64)
+        scorer = BatchTopKScorer(emb, groups=np.arange(15))
+        plain = BatchTopKScorer(emb)
+        for metric in ("cosine", "dot"):
+            grouped = scorer.top_k_bases([3, 7], k=5, metric=metric)
+            flat = plain.top_k([3, 7], k=5, metric=metric)
+            np.testing.assert_array_equal(grouped.ids, flat.ids)
+            np.testing.assert_allclose(grouped.scores, flat.scores,
+                                       rtol=1e-12)
+
+    def test_validation_errors(self):
+        emb = np.eye(4)
+        with pytest.raises(ValueError, match="groups"):
+            BatchTopKScorer(emb).top_k_bases([0], k=1)
+        with pytest.raises(ValueError, match="map every row"):
+            BatchTopKScorer(emb, groups=np.zeros(3, dtype=np.int64))
+        with pytest.raises(ValueError, match="non-negative"):
+            BatchTopKScorer(emb, groups=np.array([0, -1, 1, 1]))
+        scorer = BatchTopKScorer(emb, groups=np.array([0, 0, 1, 1]))
+        with pytest.raises(ValueError, match="metric"):
+            scorer.top_k_bases([0], k=1, metric="euclid")
+        with pytest.raises(ValueError, match="k must be"):
+            scorer.top_k_bases([0], k=0)
+        with pytest.raises(ValueError, match="query groups"):
+            scorer.top_k_bases([5], k=1)

@@ -1,0 +1,162 @@
+"""Edge cases of the link-prediction harness (tasks/link_prediction.py).
+
+The degenerate inputs an evaluation protocol actually meets: empty test
+splits (every edge removal would isolate an endpoint), one-class
+candidate sets, duplicate edges in the eval set -- pinned so the harness
+fails loudly instead of reporting a meaningless AUC.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph import CSRGraph, powerlaw_cluster, star
+from repro.tasks import (
+    LinkPredictionSplit,
+    auc_from_split,
+    evaluate_link_prediction,
+    pair_scores,
+    split_edges,
+)
+from repro.tasks.metrics import auc_score
+
+
+@pytest.fixture
+def embeddings(rng):
+    return rng.standard_normal((12, 8))
+
+
+class TestPairScores:
+    def test_matches_manual_dot_products(self, embeddings):
+        pairs = np.array([(0, 1), (2, 3), (4, 4)])
+        scores = pair_scores(embeddings, pairs)
+        for k, (u, v) in enumerate(pairs):
+            assert scores[k] == pytest.approx(embeddings[u] @ embeddings[v])
+
+    def test_empty_pairs_give_empty_scores(self, embeddings):
+        scores = pair_scores(embeddings, np.empty((0, 2), dtype=np.int64))
+        assert scores.shape == (0,)
+
+    def test_duplicate_pairs_score_identically(self, embeddings):
+        scores = pair_scores(embeddings, np.array([(1, 2), (1, 2), (1, 2)]))
+        assert scores[0] == scores[1] == scores[2]
+
+
+class TestEmptyTestSplit:
+    def test_star_split_removes_no_edges(self):
+        # Every star edge has a degree-1 leaf endpoint, so
+        # keep_connected_sources skips every removal: the split is
+        # well-formed but empty.
+        split = split_edges(star(8), test_fraction=0.5, seed=0)
+        assert split.test_positive.shape[0] == 0
+        assert split.test_negative.shape[0] == 0
+        assert split.train_graph.num_edges == star(8).num_edges
+
+    def test_auc_on_empty_split_fails_loudly(self, embeddings):
+        split = LinkPredictionSplit(
+            train_graph=star(8),
+            test_positive=np.empty((0, 2), dtype=np.int64),
+            test_negative=np.empty((0, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="at least one score"):
+            auc_from_split(embeddings[:9], split)
+
+    def test_too_small_graph_rejected_up_front(self):
+        g = CSRGraph.from_edges([(0, 1), (1, 2), (2, 0)])
+        with pytest.raises(ValueError, match="too small"):
+            split_edges(g, test_fraction=0.5)
+
+
+class TestOneClassCandidateSets:
+    """AUC needs both classes; one-sided candidate sets are an error,
+    not a silent 0.0 or 1.0."""
+
+    def test_all_positive_candidates_rejected(self, embeddings):
+        split = LinkPredictionSplit(
+            train_graph=star(8),
+            test_positive=np.array([(0, 1), (0, 2)]),
+            test_negative=np.empty((0, 2), dtype=np.int64))
+        with pytest.raises(ValueError, match="at least one score"):
+            auc_from_split(embeddings, split)
+
+    def test_all_negative_candidates_rejected(self, embeddings):
+        split = LinkPredictionSplit(
+            train_graph=star(8),
+            test_positive=np.empty((0, 2), dtype=np.int64),
+            test_negative=np.array([(3, 5), (4, 6)]))
+        with pytest.raises(ValueError, match="at least one score"):
+            auc_from_split(embeddings, split)
+
+    def test_separable_split_scores_one(self):
+        # Embeddings crafted so every positive pair out-scores every
+        # negative pair: AUC is exactly 1.
+        emb = np.zeros((4, 2))
+        emb[0] = emb[1] = (1.0, 0.0)    # positive pair: score 1
+        emb[2] = emb[3] = (-1.0, 0.0)   # negative pair vs 0: score -1...
+        split = LinkPredictionSplit(
+            train_graph=star(3),
+            test_positive=np.array([(0, 1)]),
+            test_negative=np.array([(0, 2), (0, 3)]))
+        assert auc_from_split(emb, split) == pytest.approx(1.0)
+
+    def test_constant_scores_give_half(self):
+        emb = np.ones((4, 3))
+        split = LinkPredictionSplit(
+            train_graph=star(3),
+            test_positive=np.array([(0, 1)]),
+            test_negative=np.array([(2, 3)]))
+        assert auc_from_split(emb, split) == pytest.approx(0.5)
+
+
+class TestDuplicateEvalEdges:
+    def test_duplicates_keep_auc_in_range_and_deterministic(self, rng):
+        emb = rng.standard_normal((10, 4))
+        pos = np.array([(0, 1), (0, 1), (2, 3)])  # (0, 1) listed twice
+        neg = np.array([(4, 5), (6, 7), (6, 7)])
+        split = LinkPredictionSplit(train_graph=star(9),
+                                    test_positive=pos, test_negative=neg)
+        auc = auc_from_split(emb, split)
+        assert 0.0 <= auc <= 1.0
+        assert auc == auc_from_split(emb, split)
+
+    def test_duplicates_reweight_their_edge(self):
+        # One positive scoring below both negatives, one above; the AUC
+        # moves with the duplicate count -- duplicates are weight, not
+        # noise to be deduped silently.
+        pos = np.array([2.0, 0.0])
+        neg = np.array([1.0, 1.0])
+        base = auc_score(pos, neg)
+        doubled = auc_score(np.array([2.0, 0.0, 0.0]), neg)
+        assert base == pytest.approx(0.5)
+        assert doubled < base
+
+    def test_perfectly_separated_duplicates_still_score_one(self):
+        assert auc_score(np.array([3.0, 3.0, 2.0]),
+                         np.array([1.0, 1.0])) == pytest.approx(1.0)
+
+
+class TestEvaluateProtocol:
+    def test_runs_trials_on_residual_graphs(self):
+        graph = powerlaw_cluster(60, attach=3, seed=4)
+        seen = []
+
+        def embed(train_graph):
+            seen.append(train_graph.num_edges)
+            rng = np.random.default_rng(0)
+            return rng.standard_normal((train_graph.num_nodes, 8))
+
+        report = evaluate_link_prediction(graph, embed, trials=3,
+                                          test_fraction=0.3, seed=1)
+        assert len(report.aucs) == 3
+        assert all(0.0 <= auc <= 1.0 for auc in report.aucs)
+        assert all(m < graph.num_edges for m in seen)  # edges held out
+        assert report.mean_auc == pytest.approx(np.mean(report.aucs))
+        assert report.std_auc == pytest.approx(np.std(report.aucs))
+
+    def test_deterministic_under_seed(self):
+        graph = powerlaw_cluster(60, attach=3, seed=4)
+        embed = lambda g: np.random.default_rng(0).standard_normal(
+            (g.num_nodes, 8))
+        a = evaluate_link_prediction(graph, embed, trials=2, seed=9)
+        b = evaluate_link_prediction(graph, embed, trials=2, seed=9)
+        assert a.aucs == b.aucs
